@@ -1,0 +1,366 @@
+package ricjs_test
+
+// One benchmark per table and figure of the paper's evaluation. The
+// custom metrics attached via b.ReportMetric carry the quantity each
+// table/figure reports; `go test -bench . -benchmem` regenerates the full
+// set. cmd/ricbench prints the same data as formatted tables.
+
+import (
+	"testing"
+
+	"ricjs"
+	"ricjs/internal/bench"
+	"ricjs/internal/workloads"
+)
+
+type (
+	// Local aliases keep the benchmark bodies readable.
+	CodeCache = ricjs.CodeCache
+	Record    = ricjs.Record
+	Options   = ricjs.Options
+	Stats     = ricjs.Stats
+)
+
+var (
+	NewEngine    = ricjs.NewEngine
+	NewCodeCache = ricjs.NewCodeCache
+)
+
+// prime compiles a library into a cache and returns (cache, src) so that
+// benchmark iterations measure execution, not compilation.
+func prime(b *testing.B, p workloads.Profile) (*CodeCache, string) {
+	b.Helper()
+	cache := NewCodeCache()
+	src := p.Source()
+	e := NewEngine(Options{Cache: cache})
+	if err := e.Run(p.Script, src); err != nil {
+		b.Fatal(err)
+	}
+	return cache, src
+}
+
+// recordFor runs the Initial run and extracts the record.
+func recordFor(b *testing.B, cache *CodeCache, p workloads.Profile, src string) *Record {
+	b.Helper()
+	initial := NewEngine(Options{Cache: cache})
+	if err := initial.Run(p.Script, src); err != nil {
+		b.Fatal(err)
+	}
+	return initial.ExtractRecord(p.Name)
+}
+
+// BenchmarkFigure1Data walks the Figure 1 motivation series (static data;
+// present so every figure has a bench target).
+func BenchmarkFigure1Data(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var loads, reqs float64
+		for _, p := range bench.Figure1Paper {
+			loads += p.ExpectedLoadSecs
+			reqs += p.JSRequests
+		}
+		if loads == 0 || reqs == 0 {
+			b.Fatal("empty figure 1 data")
+		}
+	}
+	b.ReportMetric(float64(len(bench.Figure1Paper)), "years")
+}
+
+// BenchmarkFigure5InstructionBreakdown measures each library's Initial
+// run and reports the IC-miss share of its instructions (Figure 5).
+func BenchmarkFigure5InstructionBreakdown(b *testing.B) {
+	for _, p := range workloads.Profiles {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			cache, src := prime(b, p)
+			var share float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := NewEngine(Options{Cache: cache})
+				if err := e.Run(p.Script, src); err != nil {
+					b.Fatal(err)
+				}
+				share = e.Stats().ICMissShare()
+			}
+			b.ReportMetric(100*share, "%ic-miss-instr")
+		})
+	}
+}
+
+// BenchmarkTable1Characterization measures the Table 1 columns in the
+// Initial run of each library.
+func BenchmarkTable1Characterization(b *testing.B) {
+	for _, p := range workloads.Profiles {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			cache, src := prime(b, p)
+			var s Stats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := NewEngine(Options{Cache: cache})
+				if err := e.Run(p.Script, src); err != nil {
+					b.Fatal(err)
+				}
+				s = e.Stats()
+			}
+			b.ReportMetric(float64(s.HCCreated), "hidden-classes")
+			b.ReportMetric(float64(s.ICMisses), "ic-misses")
+			b.ReportMetric(s.MissesPerHC(), "misses/hc")
+			b.ReportMetric(s.ContextIndependentShare(), "%ci-handlers")
+		})
+	}
+}
+
+// BenchmarkTable4MissRates measures IC miss rates of the Initial and RIC
+// Reuse runs (Table 4).
+func BenchmarkTable4MissRates(b *testing.B) {
+	for _, p := range workloads.Profiles {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			cache, src := prime(b, p)
+			record := recordFor(b, cache, p, src)
+			var initRate, reuseRate float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				initial := NewEngine(Options{Cache: cache})
+				if err := initial.Run(p.Script, src); err != nil {
+					b.Fatal(err)
+				}
+				initRate = initial.Stats().MissRate()
+
+				reuse := NewEngine(Options{Cache: cache, Record: record})
+				if err := reuse.Run(p.Script, src); err != nil {
+					b.Fatal(err)
+				}
+				reuseRate = reuse.Stats().MissRate()
+			}
+			b.ReportMetric(initRate, "%initial-miss-rate")
+			b.ReportMetric(reuseRate, "%reuse-miss-rate")
+		})
+	}
+}
+
+// BenchmarkFigure8Instructions measures the normalized dynamic
+// instruction count of the RIC Reuse run against the Conventional one.
+func BenchmarkFigure8Instructions(b *testing.B) {
+	for _, p := range workloads.Profiles {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			cache, src := prime(b, p)
+			record := recordFor(b, cache, p, src)
+			var conv, ric uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := NewEngine(Options{Cache: cache})
+				if err := c.Run(p.Script, src); err != nil {
+					b.Fatal(err)
+				}
+				conv = c.Stats().TotalInstr()
+
+				r := NewEngine(Options{Cache: cache, Record: record})
+				if err := r.Run(p.Script, src); err != nil {
+					b.Fatal(err)
+				}
+				ric = r.Stats().TotalInstr()
+			}
+			b.ReportMetric(100*float64(ric)/float64(conv), "%instr-vs-conventional")
+		})
+	}
+}
+
+// BenchmarkFigure9ExecutionTime times the two Reuse-run variants; the
+// Conventional/RIC pair of sub-benchmarks per library gives the
+// normalized execution time of Figure 9 (ns/op ratios).
+func BenchmarkFigure9ExecutionTime(b *testing.B) {
+	for _, p := range workloads.Profiles {
+		p := p
+		cachedRecord := func(b *testing.B) (*CodeCache, string, *Record) {
+			cache, src := prime(b, p)
+			return cache, src, recordFor(b, cache, p, src)
+		}
+		b.Run(p.Name+"/Conventional", func(b *testing.B) {
+			cache, src, _ := cachedRecord(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := NewEngine(Options{Cache: cache})
+				if err := e.Run(p.Script, src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(p.Name+"/RIC", func(b *testing.B) {
+			cache, src, record := cachedRecord(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := NewEngine(Options{Cache: cache, Record: record})
+				if err := e.Run(p.Script, src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtractionPhase times the extraction phase alone (§7.3).
+func BenchmarkExtractionPhase(b *testing.B) {
+	for _, p := range workloads.Profiles {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			cache, src := prime(b, p)
+			initial := NewEngine(Options{Cache: cache})
+			if err := initial.Run(p.Script, src); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if initial.ExtractRecord(p.Name) == nil {
+					b.Fatal("nil record")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkICRecordSize measures encoding throughput and reports the
+// record's size (§7.3's memory overhead).
+func BenchmarkICRecordSize(b *testing.B) {
+	for _, p := range workloads.Profiles {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			cache, src := prime(b, p)
+			record := recordFor(b, cache, p, src)
+			var size int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				size = len(record.Encode())
+			}
+			b.ReportMetric(float64(size)/1024, "record-KB")
+		})
+	}
+}
+
+// BenchmarkWebsiteCrossReuse measures the §6 robustness setup: record
+// from website 1 consumed by website 2's different load order.
+func BenchmarkWebsiteCrossReuse(b *testing.B) {
+	cache := NewCodeCache()
+	initial := NewEngine(Options{Cache: cache})
+	for _, s := range workloads.Website(1) {
+		if err := initial.Run(s.Name, s.Source); err != nil {
+			b.Fatal(err)
+		}
+	}
+	record := initial.ExtractRecord("website1")
+	var saved uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reuse := NewEngine(Options{Cache: cache, Record: record})
+		for _, s := range workloads.Website(2) {
+			if err := reuse.Run(s.Name, s.Source); err != nil {
+				b.Fatal(err)
+			}
+		}
+		saved = reuse.Stats().MissesSaved
+	}
+	b.ReportMetric(float64(saved), "misses-averted")
+}
+
+// BenchmarkAblationGlobals compares reuse effectiveness with RIC's
+// global-object support on and off (§6's design choice).
+func BenchmarkAblationGlobals(b *testing.B) {
+	for _, includeGlobals := range []bool{false, true} {
+		name := "GlobalsOff"
+		if includeGlobals {
+			name = "GlobalsOn"
+		}
+		b.Run(name, func(b *testing.B) {
+			p, _ := workloads.ByName("jQuery")
+			cache := NewCodeCache()
+			src := p.Source()
+			initial := NewEngine(Options{Cache: cache, IncludeGlobals: includeGlobals})
+			if err := initial.Run(p.Script, src); err != nil {
+				b.Fatal(err)
+			}
+			record := initial.ExtractRecord(p.Name)
+			var rate float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reuse := NewEngine(Options{Cache: cache, Record: record})
+				if err := reuse.Run(p.Script, src); err != nil {
+					b.Fatal(err)
+				}
+				rate = reuse.Stats().MissRate()
+			}
+			b.ReportMetric(rate, "%reuse-miss-rate")
+		})
+	}
+}
+
+// BenchmarkAblationEmptyRecord isolates RIC's Reuse-run bookkeeping
+// overhead by running with a record that matches nothing (§7.3 reports
+// this overhead as negligible).
+func BenchmarkAblationEmptyRecord(b *testing.B) {
+	cache := NewCodeCache()
+	emptyEngine := NewEngine(Options{Cache: cache})
+	if err := emptyEngine.Run("empty.js", ";"); err != nil {
+		b.Fatal(err)
+	}
+	record := emptyEngine.ExtractRecord("empty")
+	p, _ := workloads.ByName("AngularJS")
+	src := p.Source()
+	warm := NewEngine(Options{Cache: cache})
+	if err := warm.Run(p.Script, src); err != nil {
+		b.Fatal(err)
+	}
+	for _, withRecord := range []bool{false, true} {
+		name := "Conventional"
+		if withRecord {
+			name = "WithEmptyRecord"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := Options{Cache: cache}
+				if withRecord {
+					opts.Record = record
+				}
+				e := NewEngine(opts)
+				if err := e.Run(p.Script, src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotRestore times heap-snapshot restoration against the
+// Reuse runs (the §9 comparison): restore skips execution entirely.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	p, _ := workloads.ByName("jQuery")
+	src := p.Source()
+	sources := map[string]string{p.Script: src}
+	cache := NewCodeCache()
+	initial := NewEngine(Options{Cache: cache})
+	if err := initial.Run(p.Script, src); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := initial.CaptureSnapshot(p.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target := NewEngine(Options{Cache: cache})
+		if err := target.RestoreSnapshot(snap, sources); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineStartup measures bare engine construction (builtin
+// environment setup), context for all per-run numbers above.
+func BenchmarkEngineStartup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(Options{})
+		if e == nil {
+			b.Fatal("nil engine")
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Command ricbench regenerates every table and figure of the paper's
+// evaluation against the engine in this repository.
+//
+// Usage:
+//
+//	ricbench                  # all experiments
+//	ricbench -table1          # one experiment
+//	ricbench -reps 9          # more timing repetitions
+//	ricbench -ablation        # design-choice ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ricjs/internal/bench"
+)
+
+func main() {
+	var (
+		fig1      = flag.Bool("fig1", false, "Figure 1: motivation trend data")
+		fig5      = flag.Bool("fig5", false, "Figure 5: instruction breakdown during initialization")
+		table1    = flag.Bool("table1", false, "Table 1: IC statistics in the Initial run")
+		table4    = flag.Bool("table4", false, "Table 4: IC miss rates, Initial vs Reuse")
+		fig8      = flag.Bool("fig8", false, "Figure 8: normalized instruction count of Reuse runs")
+		fig9      = flag.Bool("fig9", false, "Figure 9: normalized execution time of Reuse runs")
+		overheads = flag.Bool("overheads", false, "Section 7.3: extraction time and record size")
+		websites  = flag.Bool("websites", false, "cross-website reuse robustness")
+		ablation  = flag.Bool("ablation", false, "design-choice ablations")
+		snapshotF = flag.Bool("snapshot", false, "compare RIC with heap-snapshot restoration (§9)")
+		reps      = flag.Int("reps", 5, "timing repetitions per Reuse run (median reported)")
+		format    = flag.String("format", "text", "output format: text or json (json runs the full evaluation)")
+	)
+	flag.Parse()
+
+	if *format == "json" {
+		runs, err := bench.MeasureAll(bench.Options{Reps: *reps})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ricbench:", err)
+			os.Exit(1)
+		}
+		wr, err := bench.MeasureWebsites(bench.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ricbench:", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteJSON(os.Stdout, runs, &wr); err != nil {
+			fmt.Fprintln(os.Stderr, "ricbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *format != "text" {
+		fmt.Fprintf(os.Stderr, "ricbench: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	all := !(*fig1 || *fig5 || *table1 || *table4 || *fig8 || *fig9 ||
+		*overheads || *websites || *ablation || *snapshotF)
+
+	needRuns := all || *fig5 || *table1 || *table4 || *fig8 || *fig9 || *overheads
+	var runs []bench.LibraryRun
+	if needRuns {
+		var err error
+		runs, err = bench.MeasureAll(bench.Options{Reps: *reps})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ricbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	section := func(enabled bool, f func()) {
+		if all || enabled {
+			f()
+			fmt.Println()
+		}
+	}
+
+	section(*fig1, func() { bench.ReportFigure1(os.Stdout) })
+	section(*fig5, func() { bench.ReportFigure5(os.Stdout, runs) })
+	section(*table1, func() { bench.ReportTable1(os.Stdout, runs) })
+	section(*table4, func() { bench.ReportTable4(os.Stdout, runs) })
+	section(*fig8, func() { bench.ReportFigure8(os.Stdout, runs) })
+	section(*fig9, func() { bench.ReportFigure9(os.Stdout, runs) })
+	section(*overheads, func() { bench.ReportOverheads(os.Stdout, runs) })
+	section(*websites, func() {
+		wr, err := bench.MeasureWebsites(bench.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ricbench:", err)
+			os.Exit(1)
+		}
+		bench.ReportWebsites(os.Stdout, wr)
+	})
+	section(*snapshotF, func() {
+		runs, err := bench.MeasureSnapshotComparison(bench.Options{Reps: *reps})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ricbench:", err)
+			os.Exit(1)
+		}
+		bench.ReportSnapshot(os.Stdout, runs)
+	})
+	section(*ablation, func() {
+		if err := bench.ReportAblations(os.Stdout, bench.Options{Reps: *reps}); err != nil {
+			fmt.Fprintln(os.Stderr, "ricbench:", err)
+			os.Exit(1)
+		}
+	})
+}

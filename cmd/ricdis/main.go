@@ -1,0 +1,67 @@
+// Command ricdis compiles JavaScript files and prints their bytecode,
+// constant pools, and object-access-site tables — the feedback slots the
+// ICVector is built from.
+//
+// Usage:
+//
+//	ricdis script.js [more.js ...]
+//	ricdis -sites script.js      # only the site table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ricjs/internal/bytecode"
+	"ricjs/internal/parser"
+)
+
+func main() {
+	sitesOnly := flag.Bool("sites", false, "print only the object access site tables")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ricdis [-sites] script.js [more.js ...]")
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fail(err)
+		}
+		name := filepath.Base(path)
+		prog, err := parser.Parse(name, string(src))
+		if err != nil {
+			fail(err)
+		}
+		compiled, err := bytecode.Compile(prog)
+		if err != nil {
+			fail(err)
+		}
+		compiled.Toplevel.WalkProtos(func(p *bytecode.FuncProto) {
+			if *sitesOnly {
+				printSites(p)
+				return
+			}
+			fmt.Print(p.Disassemble())
+			printSites(p)
+			fmt.Println()
+		})
+	}
+}
+
+func printSites(p *bytecode.FuncProto) {
+	if len(p.Sites) == 0 {
+		return
+	}
+	fmt.Printf("sites of %s:\n", p.FunctionName())
+	for i, s := range p.Sites {
+		fmt.Printf("  [%d] %s %s %q\n", i, s.Site, s.Kind, s.Name)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ricdis:", err)
+	os.Exit(1)
+}

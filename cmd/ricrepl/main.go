@@ -1,0 +1,195 @@
+// Command ricrepl is an interactive read-eval-print loop over the engine,
+// with live inline-cache introspection.
+//
+// Each input line (or multi-line block while brackets stay open) runs in
+// a persistent engine, so hidden classes and IC state accumulate across
+// inputs. Expression inputs print their value.
+//
+// Meta commands:
+//
+//	:stats     print the engine's IC statistics
+//	:ic        dump the populated ICVector slots
+//	:record F  extract an ICRecord and write it to file F
+//	:quit      exit
+//
+// Start with -reuse FILE to run against a previously extracted record.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ricjs"
+	"ricjs/internal/parser"
+)
+
+func main() {
+	reuseIn := flag.String("reuse", "", "run with the ICRecord read from this file")
+	maxSteps := flag.Uint64("max-steps", 50_000_000, "per-engine step budget (0 = unlimited)")
+	flag.Parse()
+
+	opts := ricjs.Options{Stdout: os.Stdout, MaxSteps: *maxSteps}
+	if *reuseIn != "" {
+		data, err := os.ReadFile(*reuseIn)
+		if err != nil {
+			fail(err)
+		}
+		rec, err := ricjs.DecodeRecord(data)
+		if err != nil {
+			fail(err)
+		}
+		opts.Record = rec
+		fmt.Fprintf(os.Stderr, "loaded record %q\n", rec.Label())
+	}
+	engine := ricjs.NewEngine(opts)
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	seq := 0
+	prompt := func() {
+		if pending.Len() == 0 {
+			fmt.Fprint(os.Stderr, "ric> ")
+		} else {
+			fmt.Fprint(os.Stderr, "...> ")
+		}
+	}
+
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		if pending.Len() == 0 && strings.HasPrefix(strings.TrimSpace(line), ":") {
+			if quit := metaCommand(engine, strings.TrimSpace(line)); quit {
+				return
+			}
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		src := pending.String()
+		if bracketsOpen(src) {
+			prompt()
+			continue
+		}
+		pending.Reset()
+
+		seq++
+		name := fmt.Sprintf("repl-%d.js", seq)
+		if err := engine.Run(name, wrapExpression(name, src)); err != nil {
+			fmt.Fprintln(os.Stderr, trimErr(err.Error()))
+		}
+		prompt()
+	}
+}
+
+// wrapExpression turns pure-expression inputs into prints so the REPL
+// echoes values; statements pass through unchanged.
+func wrapExpression(name, src string) string {
+	trimmed := strings.TrimSpace(src)
+	if trimmed == "" {
+		return src
+	}
+	// Heuristic: if wrapping in print(...) still parses, and the input
+	// parsed as a single expression statement, echo it.
+	prog, err := parser.Parse(name, src)
+	if err != nil || len(prog.Body) != 1 {
+		return src
+	}
+	candidate := "print((" + strings.TrimSuffix(trimmed, ";") + "));"
+	if _, err := parser.Parse(name, candidate); err != nil {
+		return src
+	}
+	if !looksLikeExpression(trimmed) {
+		return src
+	}
+	return candidate
+}
+
+// looksLikeExpression rejects obvious statements.
+func looksLikeExpression(s string) bool {
+	for _, kw := range []string{"var ", "function ", "if", "for", "while", "do",
+		"return", "throw", "try", "switch", "break", "continue", "print"} {
+		if strings.HasPrefix(s, kw) {
+			return false
+		}
+	}
+	return true
+}
+
+// bracketsOpen reports whether the input still has unbalanced brackets
+// (ignoring strings and comments coarsely — good enough for a REPL).
+func bracketsOpen(src string) bool {
+	depth := 0
+	var inStr byte
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if inStr != 0 {
+			if c == '\\' {
+				i++
+			} else if c == inStr {
+				inStr = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			inStr = c
+		case '(', '{', '[':
+			depth++
+		case ')', '}', ']':
+			depth--
+		case '/':
+			if i+1 < len(src) && src[i+1] == '/' {
+				for i < len(src) && src[i] != '\n' {
+					i++
+				}
+			}
+		}
+	}
+	return depth > 0
+}
+
+// metaCommand handles :commands; returns true to quit.
+func metaCommand(engine *ricjs.Engine, cmd string) bool {
+	switch {
+	case cmd == ":quit" || cmd == ":q":
+		return true
+	case cmd == ":stats":
+		s := engine.Stats()
+		fmt.Fprintf(os.Stderr, "IC: %d accesses, %d hits, %d misses (%.2f%%); %d hidden classes; %d instr\n",
+			s.ICAccesses(), s.ICHits, s.ICMisses, s.MissRate(), s.HCCreated, s.TotalInstr())
+		if s.MissesSaved > 0 {
+			fmt.Fprintf(os.Stderr, "RIC: %d misses averted, %d validations\n", s.MissesSaved, s.Validations)
+		}
+	case cmd == ":ic":
+		fmt.Fprint(os.Stderr, engine.ICState())
+	case strings.HasPrefix(cmd, ":record "):
+		path := strings.TrimSpace(strings.TrimPrefix(cmd, ":record "))
+		rec := engine.ExtractRecord("repl")
+		if err := os.WriteFile(path, rec.Encode(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			break
+		}
+		s := rec.Stats()
+		fmt.Fprintf(os.Stderr, "wrote %s (%d HCs, %d dependents)\n", path, s.HiddenClasses, s.DependentSlots)
+	default:
+		fmt.Fprintln(os.Stderr, "commands: :stats :ic :record FILE :quit")
+	}
+	return false
+}
+
+func trimErr(s string) string {
+	if i := strings.Index(s, ": "); i >= 0 && strings.HasPrefix(s, "ricjs:") {
+		return s[i+2:]
+	}
+	return s
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ricrepl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Customlib: embedding the engine with your own library and persistent
+// warm-up across simulated browser sessions.
+//
+// The example runs five "sessions" against a user-supplied library. The
+// first session has no record (a cold start); it extracts and persists
+// one. Every later session loads the record from disk, runs warm, and
+// re-extracts — demonstrating that records are stable across sessions
+// (the re-extracted record equals the previous one byte-for-byte, because
+// the engine's behaviour is deterministic even though heap addresses
+// differ every session).
+//
+// Run with: go run ./examples/customlib
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ricjs"
+)
+
+// customLibrary is an event-emitter + model library, the kind of code
+// single-page applications initialize on every page load.
+const customLibrary = `
+	function Emitter() { this.listeners = {}; this.fired = 0; }
+	Emitter.prototype.on = function (name, fn) {
+		var list = this.listeners[name];
+		if (!list) { list = []; this.listeners[name] = list; }
+		list.push(fn);
+		return this;
+	};
+	Emitter.prototype.emit = function (name, value) {
+		var list = this.listeners[name];
+		if (!list) return 0;
+		for (var i = 0; i < list.length; i++) list[i](value);
+		this.fired++;
+		return list.length;
+	};
+
+	function Model(id) {
+		this.id = id;
+		this.attrs = {};
+		this.events = new Emitter();
+	}
+	Model.prototype.set = function (key, value) {
+		this.attrs[key] = value;
+		this.events.emit('change', key);
+		return this;
+	};
+	Model.prototype.get = function (key) { return this.attrs[key]; };
+
+	var changes = 0;
+	var models = [];
+	for (var i = 0; i < 8; i++) {
+		var m = new Model(i);
+		m.events.on('change', function (key) { changes++; });
+		m.set('name', 'model-' + i).set('rank', i * 10);
+		models.push(m);
+	}
+	var ranks = 0;
+	for (var j = 0; j < models.length; j++) ranks += models[j].get('rank');
+	print('models', models.length, 'changes', changes, 'ranks', ranks);
+`
+
+func main() {
+	cache := ricjs.NewCodeCache()
+	recordPath := filepath.Join(os.TempDir(), "ricjs-customlib.ric")
+	defer os.Remove(recordPath)
+
+	var prevEncoded []byte
+	for session := 1; session <= 5; session++ {
+		opts := ricjs.Options{Cache: cache}
+		cold := true
+		if data, err := os.ReadFile(recordPath); err == nil {
+			rec, err := ricjs.DecodeRecord(data)
+			if err != nil {
+				log.Fatalf("session %d: corrupt record: %v", session, err)
+			}
+			opts.Record = rec
+			cold = false
+		}
+
+		engine := ricjs.NewEngine(opts)
+		if err := engine.Run("customlib.js", customLibrary); err != nil {
+			log.Fatal(err)
+		}
+		s := engine.Stats()
+		mode := "warm (record loaded)"
+		if cold {
+			mode = "cold (no record)"
+		}
+		fmt.Printf("session %d %-22s misses=%-3d rate=%5.1f%%  averted=%-3d instr=%d\n",
+			session, mode+":", s.ICMisses, s.MissRate(), s.MissesSaved, s.TotalInstr())
+
+		// Re-extract and persist; deterministic execution means the record
+		// converges immediately.
+		record := engine.ExtractRecord("customlib.js")
+		encoded := record.Encode()
+		if prevEncoded != nil && !bytes.Equal(encoded, prevEncoded) {
+			fmt.Println("  note: record changed since the previous session")
+		}
+		prevEncoded = encoded
+		if err := os.WriteFile(recordPath, encoded, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\nrecords from warm sessions are byte-identical across sessions,")
+	fmt.Println("even though every session allocated at different heap addresses.")
+}

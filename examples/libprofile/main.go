@@ -1,0 +1,64 @@
+// Libprofile: Table-1-style IC characterization of one library.
+//
+// This example reproduces the paper's §3 analysis for a single workload:
+// it runs the library's Initial run, prints the hidden-class and IC-miss
+// statistics (the columns of Table 1), the instruction breakdown
+// (Figure 5), and then dissects the extracted ICRecord.
+//
+// Run with: go run ./examples/libprofile [library]
+// where library is one of: AngularJS CamanJS Handlebars jQuery JSFeat
+// React Underscore (default React).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ricjs"
+	"ricjs/internal/workloads"
+)
+
+func main() {
+	name := "React"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	profile, ok := workloads.ByName(name)
+	if !ok {
+		log.Fatalf("unknown library %q; choose one of %v", name, workloads.Names())
+	}
+
+	engine := ricjs.NewEngine(ricjs.Options{})
+	if err := engine.Run(profile.Script, profile.Source()); err != nil {
+		log.Fatal(err)
+	}
+	s := engine.Stats()
+
+	fmt.Printf("IC characterization of %s (%s)\n\n", profile.Name, profile.Domain)
+
+	fmt.Println("Table 1 columns (Initial run):")
+	fmt.Printf("  distinct hidden classes:        %d\n", s.HCCreated)
+	fmt.Printf("  IC misses:                      %d\n", s.ICMisses)
+	fmt.Printf("  IC misses per hidden class:     %.1f\n", s.MissesPerHC())
+	fmt.Printf("  context-independent handlers:   %.1f%%\n\n", s.ContextIndependentShare())
+
+	fmt.Println("Figure 5 breakdown (Initial run):")
+	fmt.Printf("  IC miss handling instructions:  %d (%.1f%%)\n", s.InstrICMiss, 100*s.ICMissShare())
+	fmt.Printf("  rest of the work:               %d (%.1f%%)\n\n", s.InstrRest, 100*(1-s.ICMissShare()))
+
+	fmt.Println("IC accesses:")
+	fmt.Printf("  total %d: %d hits, %d misses (miss rate %.2f%%)\n\n",
+		s.ICAccesses(), s.ICHits, s.ICMisses, s.MissRate())
+
+	record := engine.ExtractRecord(profile.Name)
+	rs := record.Stats()
+	encoded := record.Encode()
+	fmt.Println("extracted ICRecord:")
+	fmt.Printf("  HCVT rows (hidden classes):     %d\n", rs.HiddenClasses)
+	fmt.Printf("  TOAST site entries:             %d\n", rs.TriggeringSites)
+	fmt.Printf("  TOAST builtin entries:          %d\n", rs.BuiltinEntries)
+	fmt.Printf("  dependent (site, HC) slots:     %d\n", rs.DependentSlots)
+	fmt.Printf("  sites rejected (CD handlers):   %d\n", rs.RejectedSites)
+	fmt.Printf("  encoded size:                   %d bytes\n", len(encoded))
+}

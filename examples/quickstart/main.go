@@ -1,0 +1,93 @@
+// Quickstart: the full RIC pipeline on a small library.
+//
+// An Initial run executes a script and builds IC state; the extraction
+// phase distills the context-independent part into an ICRecord; a Reuse
+// run consumes the record and averts IC misses. This example prints the
+// IC statistics of each stage.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ricjs"
+)
+
+const library = `
+	// A miniature widget library, initialization-heavy like the paper's
+	// workloads: constructors, prototype methods, config literals.
+	function Widget(id, kind) {
+		this.id = id;
+		this.kind = kind;
+		this.visible = false;
+	}
+	Widget.prototype.show = function () { this.visible = true; return this; };
+	Widget.prototype.describe = function () { return this.kind + '#' + this.id; };
+
+	var registry = [];
+	function make(id, kind) {
+		var w = new Widget(id, kind);
+		registry.push(w.show());
+		return w;
+	}
+
+	make(1, 'button'); make(2, 'label'); make(3, 'input');
+	make(4, 'button'); make(5, 'panel');
+
+	var labels = '';
+	for (var i = 0; i < registry.length; i++) {
+		labels += registry[i].describe() + ' ';
+	}
+	print('initialized:', labels);
+`
+
+func main() {
+	cache := ricjs.NewCodeCache()
+
+	// 1. Initial run: ICs populate from scratch; every first access to a
+	// new hidden class at a site is a miss handled by the runtime.
+	initial := ricjs.NewEngine(ricjs.Options{Cache: cache})
+	if err := initial.Run("widgets.js", library); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(initial.Output())
+	report("initial run", initial.Stats())
+
+	// 2. Extraction phase: build the ICRecord (HCVT + TOAST + saved
+	// context-independent handlers).
+	record := initial.ExtractRecord("widgets.js")
+	rs := record.Stats()
+	fmt.Printf("\nextracted record: %d hidden classes, %d triggering sites, "+
+		"%d dependent slots, %d bytes encoded\n\n",
+		rs.HiddenClasses, rs.TriggeringSites, rs.DependentSlots, len(record.Encode()))
+
+	// 3. Conventional Reuse run: the code cache skips compilation, but the
+	// ICVector starts empty, so the misses repeat.
+	conventional := ricjs.NewEngine(ricjs.Options{Cache: cache})
+	if err := conventional.Run("widgets.js", library); err != nil {
+		log.Fatal(err)
+	}
+	report("conventional reuse run", conventional.Stats())
+
+	// 4. RIC Reuse run: hidden classes validate against the record and
+	// dependent sites preload, averting their misses.
+	reuse := ricjs.NewEngine(ricjs.Options{Cache: cache, Record: record})
+	if err := reuse.Run("widgets.js", library); err != nil {
+		log.Fatal(err)
+	}
+	report("RIC reuse run", reuse.Stats())
+
+	cs, rss := conventional.Stats(), reuse.Stats()
+	fmt.Printf("\nRIC averted %d of %d misses (miss rate %.1f%% -> %.1f%%), "+
+		"instructions %d -> %d (%.1f%% saved)\n",
+		rss.MissesSaved, cs.ICMisses, cs.MissRate(), rss.MissRate(),
+		cs.TotalInstr(), rss.TotalInstr(),
+		100*(1-float64(rss.TotalInstr())/float64(cs.TotalInstr())))
+}
+
+func report(label string, s ricjs.Stats) {
+	fmt.Printf("%-24s misses=%-4d hits=%-4d rate=%5.1f%%  instr=%d (ic-miss share %.0f%%)\n",
+		label+":", s.ICMisses, s.ICHits, s.MissRate(), s.TotalInstr(), 100*s.ICMissShare())
+}

@@ -1,0 +1,113 @@
+// Sandbox: embedding the engine to run untrusted or buggy scripts safely,
+// with step budgets, catchable script errors, JavaScript stack traces, and
+// deterministic behaviour — while still benefiting from RIC across runs.
+//
+// Run with: go run ./examples/sandbox
+package main
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"ricjs"
+	"ricjs/internal/vm"
+)
+
+type script struct {
+	name string
+	src  string
+}
+
+var scripts = []script{
+	{"healthy.js", `
+		function Job(id) { this.id = id; this.done = false; }
+		Job.prototype.finish = function () { this.done = true; return this.id; };
+		var total = 0;
+		for (var i = 0; i < 5; i++) total += new Job(i).finish();
+		print('healthy total', total);
+	`},
+	{"throws.js", `
+		function parseConfig(cfg) {
+			if (!cfg.version) throw 'config missing version';
+			return cfg.version;
+		}
+		function boot() { return parseConfig({name: 'x'}); }
+		boot();
+	`},
+	{"runaway.js", `
+		print('starting infinite loop');
+		while (true) { var spin = 0; spin++; }
+	`},
+	{"bad-syntax.js", `function ( { ]`},
+}
+
+func main() {
+	cache := ricjs.NewCodeCache()
+
+	// First pass builds records for the scripts that complete; a second
+	// pass shows the sandbox staying safe while reusing IC state.
+	records := map[string]*ricjs.Record{}
+	for pass := 1; pass <= 2; pass++ {
+		fmt.Printf("--- pass %d ---\n", pass)
+		for _, s := range scripts {
+			opts := ricjs.Options{
+				Cache:    cache,
+				MaxSteps: 200_000, // hard budget per engine
+				Record:   records[s.name],
+			}
+			engine := ricjs.NewEngine(opts)
+			err := engine.Run(s.name, s.src)
+			switch {
+			case err == nil:
+				stats := engine.Stats()
+				fmt.Printf("%-14s ok      %s", s.name,
+					strings.TrimSuffix(engine.Output(), "\n"))
+				if stats.MissesSaved > 0 {
+					fmt.Printf("  [RIC averted %d misses]", stats.MissesSaved)
+				}
+				fmt.Println()
+				records[s.name] = engine.ExtractRecord(s.name)
+			case isLimit(err):
+				fmt.Printf("%-14s KILLED  step budget exhausted (output so far: %s)\n",
+					s.name, strings.TrimSpace(engine.Output()))
+			case isThrown(err):
+				// Script-level exception: report with its JS stack.
+				firstLine := strings.SplitN(err.Error(), "\n", 2)
+				fmt.Printf("%-14s THREW   %s\n", s.name, trimPrefixes(firstLine[0]))
+				for _, frame := range jsStack(err) {
+					fmt.Printf("%-14s         at %s\n", "", frame)
+				}
+			default:
+				fmt.Printf("%-14s ERROR   %v\n", s.name, trimPrefixes(err.Error()))
+			}
+		}
+	}
+}
+
+func isLimit(err error) bool {
+	var le *vm.LimitError
+	return errors.As(err, &le)
+}
+
+func isThrown(err error) bool {
+	var th *vm.Thrown
+	return errors.As(err, &th)
+}
+
+func jsStack(err error) []string {
+	var th *vm.Thrown
+	if errors.As(err, &th) {
+		return th.Stack
+	}
+	return nil
+}
+
+func trimPrefixes(s string) string {
+	for _, p := range []string{"ricjs: run ", "ricjs: load "} {
+		if i := strings.Index(s, p); i >= 0 {
+			s = s[i+len(p):]
+		}
+	}
+	return s
+}

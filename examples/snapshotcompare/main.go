@@ -1,0 +1,90 @@
+// Snapshotcompare: RIC versus heap snapshots, the paper's §9 discussion
+// made runnable.
+//
+// Both techniques accelerate startup by reusing information from an
+// earlier run. A heap snapshot restores the initialized state without
+// executing anything — fastest, but rigid: it captures one exact
+// application and freezes any nondeterminism. RIC re-executes the code
+// with IC hints — slower than a snapshot, but correct under
+// nondeterminism and shareable across applications.
+//
+// Run with: go run ./examples/snapshotcompare
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ricjs"
+)
+
+// The library stamps a session token from Math.random during
+// initialization — the kind of nondeterminism §9 warns snapshots about.
+const library = `
+	function Service(name) { this.name = name; this.up = true; }
+	var services = [];
+	var names = ['auth', 'db', 'cache', 'queue'];
+	for (var i = 0; i < names.length; i++) services.push(new Service(names[i]));
+	var sessionToken = Math.floor(Math.random() * 1000000);
+	var ready = services.length;
+`
+
+func main() {
+	cache := ricjs.NewCodeCache()
+	sources := map[string]string{"svc.js": library}
+
+	// First session: initialize, then persist BOTH artifacts. Each
+	// session gets its own Math.random seed, modelling real-world
+	// nondeterminism across sessions.
+	first := ricjs.NewEngine(ricjs.Options{Cache: cache, RandSeed: 1001})
+	if err := first.Run("svc.js", library); err != nil {
+		log.Fatal(err)
+	}
+	record := first.ExtractRecord("svc.js")
+	snap, err := first.CaptureSnapshot("svc.js")
+	if err != nil {
+		log.Fatal(err)
+	}
+	firstToken := readNum(first, "sessionToken")
+	snapBytes, _ := snap.Encode()
+	fmt.Printf("first session: token=%v  (record %d B, snapshot %d B)\n\n",
+		firstToken, len(record.Encode()), len(snapBytes))
+
+	// Later session A: RIC reuse — re-executes, so the token is fresh.
+	ricStart := time.Now()
+	ricEngine := ricjs.NewEngine(ricjs.Options{Cache: cache, Record: record, RandSeed: 2002})
+	if err := ricEngine.Run("svc.js", library); err != nil {
+		log.Fatal(err)
+	}
+	ricTime := time.Since(ricStart)
+	fmt.Printf("RIC reuse:        %8v  token=%v  (fresh: %v)  misses averted=%d\n",
+		ricTime.Round(time.Microsecond), readNum(ricEngine, "sessionToken"),
+		readNum(ricEngine, "sessionToken") != firstToken, ricEngine.Stats().MissesSaved)
+
+	// Later session B: snapshot restore — no execution, stale token.
+	snapStart := time.Now()
+	snapEngine := ricjs.NewEngine(ricjs.Options{Cache: cache, RandSeed: 3003})
+	if err := snapEngine.RestoreSnapshot(snap, sources); err != nil {
+		log.Fatal(err)
+	}
+	snapTime := time.Since(snapStart)
+	fmt.Printf("snapshot restore: %8v  token=%v  (frozen from first session: %v)\n",
+		snapTime.Round(time.Microsecond), readNum(snapEngine, "sessionToken"),
+		readNum(snapEngine, "sessionToken") == firstToken)
+
+	// The restored heap is nonetheless live: services work.
+	if err := snapEngine.Run("probe.js", "print('services ready:', ready, services[0].name);"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(snapEngine.Output())
+
+	fmt.Println("\ntrade-off (paper §9): the snapshot is faster but froze the token and is")
+	fmt.Println("tied to this exact application; the RIC record re-executes correctly and")
+	fmt.Println("could be merged with other libraries' records (ricjs.MergeRecords).")
+}
+
+func readNum(e *ricjs.Engine, name string) float64 {
+	v, _ := e.VM().Global().GetNamed(name)
+	return v.ToNumber()
+}

@@ -1,0 +1,89 @@
+// Website: cross-site IC reuse over the paper's seven libraries (§6).
+//
+// A first browsing session visits website 1, which loads all seven
+// libraries of Table 3 in one order; the engine extracts an ICRecord and
+// persists it to disk, as a browser would persist its code cache. A later
+// session visits website 2, which loads the same libraries in a different
+// order, and reuses the record. Because the record is keyed by
+// context-independent site identities (script:line:col) and not by load
+// order, most preloads still apply.
+//
+// Run with: go run ./examples/website
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ricjs"
+	"ricjs/internal/workloads"
+)
+
+func main() {
+	cache := ricjs.NewCodeCache()
+	recordPath := filepath.Join(os.TempDir(), "ricjs-website.ric")
+
+	// --- Session 1: visit website 1, record IC state. ---
+	fmt.Println("session 1: visiting website 1 (Initial run)")
+	session1 := ricjs.NewEngine(ricjs.Options{Cache: cache})
+	start := time.Now()
+	for _, script := range workloads.Website(1) {
+		if err := session1.Run(script.Name, script.Source); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("  loaded 7 libraries in %v, IC miss rate %.1f%%\n",
+		time.Since(start).Round(time.Microsecond), session1.Stats().MissRate())
+
+	record := session1.ExtractRecord("website1")
+	if err := os.WriteFile(recordPath, record.Encode(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  persisted ICRecord to %s (%d bytes)\n\n", recordPath, len(record.Encode()))
+
+	// --- Session 2: visit website 2 (different order), with and without
+	// the record. ---
+	data, err := os.ReadFile(recordPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, err := ricjs.DecodeRecord(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("session 2: visiting website 2 (libraries in a different order)")
+	conv := ricjs.NewEngine(ricjs.Options{Cache: cache})
+	convStart := time.Now()
+	for _, script := range workloads.Website(2) {
+		if err := conv.Run(script.Name, script.Source); err != nil {
+			log.Fatal(err)
+		}
+	}
+	convTime := time.Since(convStart)
+
+	reuse := ricjs.NewEngine(ricjs.Options{Cache: cache, Record: restored})
+	reuseStart := time.Now()
+	for _, script := range workloads.Website(2) {
+		if err := reuse.Run(script.Name, script.Source); err != nil {
+			log.Fatal(err)
+		}
+	}
+	reuseTime := time.Since(reuseStart)
+
+	if conv.Output() != reuse.Output() {
+		log.Fatal("BUG: outputs diverge between conventional and RIC runs")
+	}
+
+	cs, rs := conv.Stats(), reuse.Stats()
+	fmt.Printf("  conventional: %6d misses (rate %5.2f%%), %9d instr, %v\n",
+		cs.ICMisses, cs.MissRate(), cs.TotalInstr(), convTime.Round(time.Microsecond))
+	fmt.Printf("  with RIC:     %6d misses (rate %5.2f%%), %9d instr, %v\n",
+		rs.ICMisses, rs.MissRate(), rs.TotalInstr(), reuseTime.Round(time.Microsecond))
+	fmt.Printf("  averted %d misses via %d preloads (%d hidden classes validated, %d divergences)\n",
+		rs.MissesSaved, rs.Preloads, rs.Validations, rs.ValFailures)
+	fmt.Printf("  identical page output: %v\n", conv.Output() == reuse.Output())
+}

@@ -1,0 +1,3 @@
+module ricjs
+
+go 1.22

@@ -1,0 +1,127 @@
+package ricjs
+
+import (
+	"testing"
+
+	"ricjs/internal/workloads"
+)
+
+// TestAllWorkloadsEquivalentAcrossModes is the repository's golden
+// correctness gate: for every library of the evaluation, the Initial run,
+// the Conventional Reuse run, and the RIC Reuse run must print identical
+// output — RIC is an optimization, never a semantic change (the paper's
+// central correctness claim).
+func TestAllWorkloadsEquivalentAcrossModes(t *testing.T) {
+	for _, p := range workloads.Profiles {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			src := p.Source()
+			cache := NewCodeCache()
+
+			initial := NewEngine(Options{Cache: cache})
+			if err := initial.Run(p.Script, src); err != nil {
+				t.Fatal(err)
+			}
+			record := initial.ExtractRecord(p.Name)
+
+			conv := NewEngine(Options{Cache: cache})
+			if err := conv.Run(p.Script, src); err != nil {
+				t.Fatal(err)
+			}
+			reuse := NewEngine(Options{Cache: cache, Record: record})
+			if err := reuse.Run(p.Script, src); err != nil {
+				t.Fatal(err)
+			}
+
+			if initial.Output() != conv.Output() {
+				t.Errorf("conventional output diverged:\n%q\n%q", initial.Output(), conv.Output())
+			}
+			if initial.Output() != reuse.Output() {
+				t.Errorf("RIC output diverged:\n%q\n%q", initial.Output(), reuse.Output())
+			}
+
+			is, cs, rs := initial.Stats(), conv.Stats(), reuse.Stats()
+			// Determinism: Initial and Conventional runs are identical.
+			if is.ICMisses != cs.ICMisses || is.TotalInstr() != cs.TotalInstr() {
+				t.Errorf("conventional run not deterministic: %+v vs %+v", is, cs)
+			}
+			// Effectiveness: RIC must avert misses on every library.
+			if rs.MissesSaved == 0 {
+				t.Error("RIC averted no misses")
+			}
+			if rs.ICMisses >= cs.ICMisses {
+				t.Errorf("RIC misses %d !< conventional %d", rs.ICMisses, cs.ICMisses)
+			}
+			if rs.TotalInstr() >= cs.TotalInstr() {
+				t.Errorf("RIC instructions %d !< conventional %d", rs.TotalInstr(), cs.TotalInstr())
+			}
+			// Conservation: averted misses equal the miss delta.
+			if cs.ICMisses-rs.ICMisses != rs.MissesSaved {
+				t.Errorf("miss accounting broken: conv %d, ric %d, averted %d",
+					cs.ICMisses, rs.ICMisses, rs.MissesSaved)
+			}
+		})
+	}
+}
+
+// TestAllWorkloadsSnapshotEquivalence verifies that snapshot restoration
+// reconstructs each library's observable exported state.
+func TestAllWorkloadsSnapshotEquivalence(t *testing.T) {
+	for _, p := range workloads.Profiles {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			src := p.Source()
+			cache := NewCodeCache()
+
+			initial := NewEngine(Options{Cache: cache})
+			if err := initial.Run(p.Script, src); err != nil {
+				t.Fatal(err)
+			}
+			snap, err := initial.CaptureSnapshot(p.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			target := NewEngine(Options{Cache: cache})
+			if err := target.RestoreSnapshot(snap, map[string]string{p.Script: src}); err != nil {
+				t.Fatal(err)
+			}
+			// Probe the restored API object: the initialization checksum
+			// must match what execution produced, without executing.
+			probe := "print(window." + sanitized(p.Name) + ".acc, window." + sanitized(p.Name) + ".ready);"
+			if err := target.Run("probe.js", probe); err != nil {
+				t.Fatal(err)
+			}
+			probeInit := NewEngine(Options{Cache: cache})
+			if err := probeInit.Run(p.Script, src); err != nil {
+				t.Fatal(err)
+			}
+			if err := probeInit.Run("probe.js", probe); err != nil {
+				t.Fatal(err)
+			}
+			// Compare just the probe line (the executed engine also printed
+			// the library's own line).
+			restoredLine := target.Output()
+			executedOut := probeInit.Output()
+			if len(executedOut) < len(restoredLine) ||
+				executedOut[len(executedOut)-len(restoredLine):] != restoredLine {
+				t.Errorf("restored state diverges:\nrestored probe: %qexecuted tail: %q",
+					restoredLine, executedOut)
+			}
+		})
+	}
+}
+
+// sanitized mirrors the workload generator's namespace naming.
+func sanitized(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,424 @@
+// Package ast defines the abstract syntax tree of the engine's JavaScript
+// subset. Every node that can become an object access site carries its
+// source position, because positions are the context-independent site
+// identity the IC and RIC machinery key on.
+package ast
+
+import "ricjs/internal/source"
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() source.Pos
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Program is a whole script.
+type Program struct {
+	Script string
+	Body   []Stmt
+}
+
+// Pos implements Node.
+func (p *Program) Pos() source.Pos { return source.Pos{Line: 1, Col: 1} }
+
+// ---- Expressions ----
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	P     source.Pos
+	Value float64
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	P     source.Pos
+	Value string
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	P     source.Pos
+	Value bool
+}
+
+// NullLit is null.
+type NullLit struct{ P source.Pos }
+
+// UndefinedLit is undefined.
+type UndefinedLit struct{ P source.Pos }
+
+// Ident is a variable reference.
+type Ident struct {
+	P    source.Pos
+	Name string
+}
+
+// ThisExpr is `this`.
+type ThisExpr struct{ P source.Pos }
+
+// FunctionLit is a function expression or the body of a declaration.
+type FunctionLit struct {
+	P      source.Pos
+	Name   string // "" for anonymous function expressions
+	Params []string
+	Body   []Stmt
+}
+
+// ObjectLit is an object literal; properties are assigned in source order
+// so each one is an object access (store) site with its own position.
+type ObjectLit struct {
+	P     source.Pos
+	Props []ObjectProp
+}
+
+// ObjectProp is one key: value pair in an object literal.
+type ObjectProp struct {
+	P     source.Pos
+	Key   string
+	Value Expr
+}
+
+// ArrayLit is an array literal.
+type ArrayLit struct {
+	P     source.Pos
+	Elems []Expr
+}
+
+// MemberExpr is a named property access: Obj.Name. Its position is the
+// object access site identity.
+type MemberExpr struct {
+	P    source.Pos // position of the property name
+	Obj  Expr
+	Name string
+}
+
+// IndexExpr is a computed property access: Obj[Index].
+type IndexExpr struct {
+	P     source.Pos
+	Obj   Expr
+	Index Expr
+}
+
+// CallExpr is a function or method call.
+type CallExpr struct {
+	P      source.Pos
+	Callee Expr // MemberExpr callees become method calls
+	Args   []Expr
+}
+
+// NewExpr is a constructor invocation.
+type NewExpr struct {
+	P      source.Pos
+	Callee Expr
+	Args   []Expr
+}
+
+// UnaryExpr is a prefix operator: ! - typeof delete ++ --.
+type UnaryExpr struct {
+	P       source.Pos
+	Op      string
+	Operand Expr
+}
+
+// PostfixExpr is x++ or x--.
+type PostfixExpr struct {
+	P       source.Pos
+	Op      string // "++" or "--"
+	Operand Expr
+}
+
+// BinaryExpr is a binary operator expression (arithmetic, comparison,
+// bitwise, in, instanceof).
+type BinaryExpr struct {
+	P    source.Pos
+	Op   string
+	L, R Expr
+}
+
+// LogicalExpr is && or || with short-circuit evaluation.
+type LogicalExpr struct {
+	P    source.Pos
+	Op   string
+	L, R Expr
+}
+
+// CondExpr is the ?: ternary operator.
+type CondExpr struct {
+	P          source.Pos
+	Cond       Expr
+	Then, Else Expr
+}
+
+// AssignExpr is an assignment; Op is "=" or a compound operator like "+=".
+// Target must be an Ident, MemberExpr or IndexExpr.
+type AssignExpr struct {
+	P      source.Pos
+	Op     string
+	Target Expr
+	Value  Expr
+}
+
+// Pos implementations and marker methods.
+
+// Pos implements Node.
+func (e *NumberLit) Pos() source.Pos { return e.P }
+
+// Pos implements Node.
+func (e *StringLit) Pos() source.Pos { return e.P }
+
+// Pos implements Node.
+func (e *BoolLit) Pos() source.Pos { return e.P }
+
+// Pos implements Node.
+func (e *NullLit) Pos() source.Pos { return e.P }
+
+// Pos implements Node.
+func (e *UndefinedLit) Pos() source.Pos { return e.P }
+
+// Pos implements Node.
+func (e *Ident) Pos() source.Pos { return e.P }
+
+// Pos implements Node.
+func (e *ThisExpr) Pos() source.Pos { return e.P }
+
+// Pos implements Node.
+func (e *FunctionLit) Pos() source.Pos { return e.P }
+
+// Pos implements Node.
+func (e *ObjectLit) Pos() source.Pos { return e.P }
+
+// Pos implements Node.
+func (e *ArrayLit) Pos() source.Pos { return e.P }
+
+// Pos implements Node.
+func (e *MemberExpr) Pos() source.Pos { return e.P }
+
+// Pos implements Node.
+func (e *IndexExpr) Pos() source.Pos { return e.P }
+
+// Pos implements Node.
+func (e *CallExpr) Pos() source.Pos { return e.P }
+
+// Pos implements Node.
+func (e *NewExpr) Pos() source.Pos { return e.P }
+
+// Pos implements Node.
+func (e *UnaryExpr) Pos() source.Pos { return e.P }
+
+// Pos implements Node.
+func (e *PostfixExpr) Pos() source.Pos { return e.P }
+
+// Pos implements Node.
+func (e *BinaryExpr) Pos() source.Pos { return e.P }
+
+// Pos implements Node.
+func (e *LogicalExpr) Pos() source.Pos { return e.P }
+
+// Pos implements Node.
+func (e *CondExpr) Pos() source.Pos { return e.P }
+
+// Pos implements Node.
+func (e *AssignExpr) Pos() source.Pos { return e.P }
+
+func (*NumberLit) exprNode()    {}
+func (*StringLit) exprNode()    {}
+func (*BoolLit) exprNode()      {}
+func (*NullLit) exprNode()      {}
+func (*UndefinedLit) exprNode() {}
+func (*Ident) exprNode()        {}
+func (*ThisExpr) exprNode()     {}
+func (*FunctionLit) exprNode()  {}
+func (*ObjectLit) exprNode()    {}
+func (*ArrayLit) exprNode()     {}
+func (*MemberExpr) exprNode()   {}
+func (*IndexExpr) exprNode()    {}
+func (*CallExpr) exprNode()     {}
+func (*NewExpr) exprNode()      {}
+func (*UnaryExpr) exprNode()    {}
+func (*PostfixExpr) exprNode()  {}
+func (*BinaryExpr) exprNode()   {}
+func (*LogicalExpr) exprNode()  {}
+func (*CondExpr) exprNode()     {}
+func (*AssignExpr) exprNode()   {}
+
+// ---- Statements ----
+
+// VarDecl declares one or more variables with optional initializers.
+type VarDecl struct {
+	P     source.Pos
+	Names []string
+	Inits []Expr // parallel to Names; nil entries mean no initializer
+}
+
+// FunctionDecl declares a named function.
+type FunctionDecl struct {
+	P  source.Pos
+	Fn *FunctionLit
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	P source.Pos
+	X Expr
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	P     source.Pos
+	Value Expr // nil for bare return
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	P    source.Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // nil when absent
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	P    source.Pos
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhileStmt is a do..while loop.
+type DoWhileStmt struct {
+	P    source.Pos
+	Body Stmt
+	Cond Expr
+}
+
+// ForStmt is a classic three-clause for loop.
+type ForStmt struct {
+	P    source.Pos
+	Init Stmt // VarDecl or ExprStmt or nil
+	Cond Expr // nil means true
+	Post Expr // nil when absent
+	Body Stmt
+}
+
+// ForInStmt iterates the enumerable own keys of an object.
+type ForInStmt struct {
+	P       source.Pos
+	Name    string // loop variable (declared with var when Decl)
+	Decl    bool
+	Subject Expr
+	Body    Stmt
+}
+
+// BlockStmt is a braced statement list.
+type BlockStmt struct {
+	P    source.Pos
+	Body []Stmt
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ P source.Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ P source.Pos }
+
+// ThrowStmt raises a runtime error carrying a value.
+type ThrowStmt struct {
+	P     source.Pos
+	Value Expr
+}
+
+// SwitchStmt is a switch with strict-equality case dispatch and
+// fallthrough, as in JavaScript.
+type SwitchStmt struct {
+	P       source.Pos
+	Subject Expr
+	Cases   []SwitchCase
+}
+
+// SwitchCase is one case (or default, when Test is nil) clause.
+type SwitchCase struct {
+	P    source.Pos
+	Test Expr // nil for default
+	Body []Stmt
+}
+
+// TryStmt is try { } catch (e) { } — a simplified form without finally
+// semantics beyond sequencing.
+type TryStmt struct {
+	P         source.Pos
+	Body      []Stmt
+	CatchName string
+	Catch     []Stmt
+	Finally   []Stmt
+}
+
+// Pos implements Node.
+func (s *VarDecl) Pos() source.Pos { return s.P }
+
+// Pos implements Node.
+func (s *FunctionDecl) Pos() source.Pos { return s.P }
+
+// Pos implements Node.
+func (s *ExprStmt) Pos() source.Pos { return s.P }
+
+// Pos implements Node.
+func (s *ReturnStmt) Pos() source.Pos { return s.P }
+
+// Pos implements Node.
+func (s *IfStmt) Pos() source.Pos { return s.P }
+
+// Pos implements Node.
+func (s *WhileStmt) Pos() source.Pos { return s.P }
+
+// Pos implements Node.
+func (s *DoWhileStmt) Pos() source.Pos { return s.P }
+
+// Pos implements Node.
+func (s *ForStmt) Pos() source.Pos { return s.P }
+
+// Pos implements Node.
+func (s *ForInStmt) Pos() source.Pos { return s.P }
+
+// Pos implements Node.
+func (s *BlockStmt) Pos() source.Pos { return s.P }
+
+// Pos implements Node.
+func (s *BreakStmt) Pos() source.Pos { return s.P }
+
+// Pos implements Node.
+func (s *ContinueStmt) Pos() source.Pos { return s.P }
+
+// Pos implements Node.
+func (s *ThrowStmt) Pos() source.Pos { return s.P }
+
+// Pos implements Node.
+func (s *SwitchStmt) Pos() source.Pos { return s.P }
+
+// Pos implements Node.
+func (s *TryStmt) Pos() source.Pos { return s.P }
+
+func (*VarDecl) stmtNode()      {}
+func (*FunctionDecl) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+func (*ReturnStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()      {}
+func (*ForInStmt) stmtNode()    {}
+func (*BlockStmt) stmtNode()    {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ThrowStmt) stmtNode()    {}
+func (*SwitchStmt) stmtNode()   {}
+func (*TryStmt) stmtNode()      {}

@@ -1,0 +1,47 @@
+package ast
+
+import (
+	"testing"
+
+	"ricjs/internal/source"
+)
+
+// Every node type must carry its position and satisfy the right marker
+// interface; this pins the AST contract the compiler depends on.
+func TestNodePositionsAndMarkers(t *testing.T) {
+	p := source.Pos{Line: 7, Col: 3}
+
+	exprs := []Expr{
+		&NumberLit{P: p}, &StringLit{P: p}, &BoolLit{P: p}, &NullLit{P: p},
+		&UndefinedLit{P: p}, &Ident{P: p}, &ThisExpr{P: p},
+		&FunctionLit{P: p}, &ObjectLit{P: p}, &ArrayLit{P: p},
+		&MemberExpr{P: p}, &IndexExpr{P: p}, &CallExpr{P: p}, &NewExpr{P: p},
+		&UnaryExpr{P: p}, &PostfixExpr{P: p}, &BinaryExpr{P: p},
+		&LogicalExpr{P: p}, &CondExpr{P: p}, &AssignExpr{P: p},
+	}
+	for _, e := range exprs {
+		if e.Pos() != p {
+			t.Errorf("%T.Pos() = %v, want %v", e, e.Pos(), p)
+		}
+	}
+
+	stmts := []Stmt{
+		&VarDecl{P: p}, &FunctionDecl{P: p}, &ExprStmt{P: p},
+		&ReturnStmt{P: p}, &IfStmt{P: p}, &WhileStmt{P: p},
+		&DoWhileStmt{P: p}, &ForStmt{P: p}, &ForInStmt{P: p},
+		&BlockStmt{P: p}, &BreakStmt{P: p}, &ContinueStmt{P: p},
+		&ThrowStmt{P: p}, &SwitchStmt{P: p}, &TryStmt{P: p},
+	}
+	for _, s := range stmts {
+		if s.Pos() != p {
+			t.Errorf("%T.Pos() = %v, want %v", s, s.Pos(), p)
+		}
+	}
+}
+
+func TestProgramPos(t *testing.T) {
+	prog := &Program{Script: "x.js"}
+	if got := prog.Pos(); got.Line != 1 || got.Col != 1 {
+		t.Fatalf("Program.Pos() = %v", got)
+	}
+}

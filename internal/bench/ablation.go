@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ricjs"
+	"ricjs/internal/profiler"
+	"ricjs/internal/workloads"
+)
+
+// ReportAblations exercises the design choices DESIGN.md calls out:
+//
+//  1. RIC for global objects on vs off (the paper disables it, §6, and
+//     reports that enabling it "adds only negligible performance
+//     overhead" for same-order runs);
+//  2. the cost of running with a record that matches nothing (an empty
+//     record), isolating RIC's Reuse-run bookkeeping overhead, which the
+//     paper reports as negligible (§7.3).
+func ReportAblations(w io.Writer, opts Options) error {
+	if err := ablationGlobals(w, opts); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return ablationEmptyRecord(w)
+}
+
+func ablationGlobals(w io.Writer, opts Options) error {
+	fmt.Fprintln(w, "Ablation: RIC for global objects (same-order reuse)")
+	t := tw(w)
+	fmt.Fprintln(t, "Config\tAvgReuseMissRate\tAvgMissesSaved\tAvgGlobalMissRate")
+	for _, includeGlobals := range []bool{false, true} {
+		o := opts
+		o.IncludeGlobals = includeGlobals
+		runs, err := MeasureAll(o)
+		if err != nil {
+			return err
+		}
+		var rate, saved, global float64
+		for _, r := range runs {
+			rate += r.RIC.MissRate()
+			saved += float64(r.RIC.MissesSaved)
+			global += r.RIC.MissRateOf(profiler.MissGlobal)
+		}
+		n := float64(len(runs))
+		label := "globals off (default)"
+		if includeGlobals {
+			label = "globals on (ablation)"
+		}
+		fmt.Fprintf(t, "%s\t%.2f%%\t%.0f\t%.2f%%\n", label, rate/n, saved/n, global/n)
+	}
+	t.Flush()
+	return nil
+}
+
+func ablationEmptyRecord(w io.Writer) error {
+	fmt.Fprintln(w, "Ablation: Reuse-run bookkeeping overhead with a non-matching (empty) record")
+	// A record extracted from an empty program validates only builtins and
+	// preloads nothing useful; the delta against Conventional is RIC's
+	// pure bookkeeping overhead.
+	cache := ricjs.NewCodeCache()
+	empty := ricjs.NewEngine(ricjs.Options{Cache: cache})
+	if err := empty.Run("empty.js", ";"); err != nil {
+		return err
+	}
+	record := empty.ExtractRecord("empty")
+
+	t := tw(w)
+	fmt.Fprintln(t, "Library\tConvInstr\tRIC(empty rec)Instr\tOverhead")
+	for _, p := range workloads.Profiles {
+		src := p.Source()
+		warm := ricjs.NewEngine(ricjs.Options{Cache: cache})
+		if err := warm.Run(p.Script, src); err != nil {
+			return err
+		}
+		conv := ricjs.NewEngine(ricjs.Options{Cache: cache})
+		if err := conv.Run(p.Script, src); err != nil {
+			return err
+		}
+		withRec := ricjs.NewEngine(ricjs.Options{Cache: cache, Record: record})
+		if err := withRec.Run(p.Script, src); err != nil {
+			return err
+		}
+		c := float64(conv.Stats().TotalInstr())
+		r := float64(withRec.Stats().TotalInstr())
+		fmt.Fprintf(t, "%s\t%.0f\t%.0f\t%+.2f%%\n", p.Name, c, r, 100*(r/c-1))
+	}
+	t.Flush()
+	return nil
+}

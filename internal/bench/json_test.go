@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	run := measureOne(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []LibraryRun{run}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var back JSONResults
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(back.Libraries) != 1 || back.Libraries[0].Name != "CamanJS" {
+		t.Fatalf("libraries = %+v", back.Libraries)
+	}
+	lib := back.Libraries[0]
+	if lib.HiddenClasses == 0 || lib.ICMisses == 0 || lib.RecordBytes == 0 {
+		t.Fatalf("empty measurements: %+v", lib)
+	}
+	if lib.InstrRatioPct <= 0 || lib.InstrRatioPct >= 100 {
+		t.Fatalf("instruction ratio out of range: %v", lib.InstrRatioPct)
+	}
+	if back.Averages.InitialMissRatePct != lib.InitialMissRatePct {
+		t.Fatal("single-library average must equal the library's value")
+	}
+	if back.Paper.InstrRatioPct != 85 || back.Paper.TimeRatioPct != 83 {
+		t.Fatalf("paper anchors wrong: %+v", back.Paper)
+	}
+	if back.Website != nil {
+		t.Fatal("website must be omitted when not measured")
+	}
+}
+
+func TestWriteJSONIncludesWebsite(t *testing.T) {
+	run := measureOne(t)
+	wr := WebsiteRun{Conv: run.Conv, RIC: run.RIC}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []LibraryRun{run}, &wr); err != nil {
+		t.Fatal(err)
+	}
+	var back JSONResults
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Website == nil || back.Website.ConvMissRatePct == 0 {
+		t.Fatalf("website block missing: %+v", back.Website)
+	}
+}

@@ -1,0 +1,103 @@
+// Package bench reproduces the paper's evaluation (§3, §6, §7): one
+// experiment runner per table and figure, each printing the same rows or
+// series the paper reports, side by side with the paper's published
+// numbers. Absolute magnitudes differ — the substrate is this repository's
+// interpreter, not the authors' patched V8 on their testbed — but the
+// shapes (who wins, by roughly what factor, where the outliers are) are
+// the reproduction targets.
+package bench
+
+// PaperTable1 holds the paper's Table 1: IC statistics during library
+// initialization in the Initial run.
+type PaperTable1 struct {
+	Library       string
+	HiddenClasses int
+	ICMisses      int
+	MissesPerHC   float64
+	CIHandlerPct  float64
+}
+
+// Table1Paper is the paper's Table 1.
+var Table1Paper = []PaperTable1{
+	{"AngularJS", 138, 799, 5.8, 62.5},
+	{"CamanJS", 99, 383, 3.9, 61.8},
+	{"Handlebars", 88, 541, 6.2, 63.2},
+	{"jQuery", 271, 1547, 5.7, 57.3},
+	{"JSFeat", 116, 323, 2.8, 51.7},
+	{"React", 360, 2356, 6.5, 82.3},
+	{"Underscore", 123, 295, 2.4, 38.1},
+}
+
+// PaperTable4 holds the paper's Table 4: IC miss rates in the Initial and
+// Reuse runs, with the Reuse-run breakdown by cause.
+type PaperTable4 struct {
+	Library     string
+	InitialRate float64
+	ReuseRate   float64
+	Handler     float64
+	Global      float64
+	Other       float64
+}
+
+// Table4Paper is the paper's Table 4.
+var Table4Paper = []PaperTable4{
+	{"AngularJS", 68.94, 32.79, 8.63, 2.85, 21.31},
+	{"CamanJS", 87.64, 43.94, 1.14, 3.43, 39.36},
+	{"Handlebars", 57.92, 20.34, 4.82, 1.07, 14.45},
+	{"jQuery", 48.50, 29.28, 6.49, 1.13, 21.66},
+	{"JSFeat", 18.96, 8.16, 0.18, 1.82, 6.16},
+	{"React", 18.67, 3.83, 1.90, 0.31, 1.62},
+	{"Underscore", 43.70, 30.22, 1.48, 1.78, 26.96},
+}
+
+// Figure5PaperAvgMissShare is the paper's Figure 5 average: IC miss
+// handling accounts for 36% of initialization instructions.
+const Figure5PaperAvgMissShare = 0.36
+
+// Figure8PaperAvgReduction is the paper's Figure 8 average: RIC cuts the
+// Reuse run's dynamic instruction count by 15%.
+const Figure8PaperAvgReduction = 0.15
+
+// Figure9PaperAvgReduction is the paper's Figure 9 average: RIC cuts the
+// Reuse run's execution time by 17%.
+const Figure9PaperAvgReduction = 0.17
+
+// Figure9PaperTimesMs gives the paper's Conventional Reuse-run times in
+// milliseconds (annotated atop Figure 9's bars), in Table 3 order.
+var Figure9PaperTimesMs = map[string]float64{
+	"AngularJS":  67,
+	"CamanJS":    21,
+	"Handlebars": 66,
+	"jQuery":     138,
+	"JSFeat":     29,
+	"React":      216,
+	"Underscore": 35,
+}
+
+// OverheadsPaper holds §7.3's overhead figures for V8.
+var OverheadsPaper = struct {
+	ExtractMsMin, ExtractMsMax, ExtractMsAvg float64
+	RecordKBMin, RecordKBMax, RecordKBAvg    float64
+	HeapMBMin, HeapMBMax, HeapMBAvg          float64
+}{6, 30, 13, 11, 118, 39, 2.6, 5.6, 3.7}
+
+// Figure1Point is one year of the paper's Figure 1.
+type Figure1Point struct {
+	Year             int
+	ExpectedLoadSecs float64 // user-expected page load time (surveys)
+	JSRequests       float64 // average JavaScript requests, top-1000 sites
+}
+
+// Figure1Paper reproduces the two series of Figure 1 (the paper cites the
+// 1999/2006/2014 surveys and HTTP Archive request counts; intermediate
+// points follow the figure's trend lines).
+var Figure1Paper = []Figure1Point{
+	{1999, 8, 0},
+	{2006, 4, 0},
+	{2010, 3, 12},
+	{2011, 2.8, 16},
+	{2012, 2.5, 19},
+	{2013, 2.2, 23},
+	{2014, 2, 26},
+	{2015, 1.8, 28},
+}

@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"sort"
+	"time"
+
+	"ricjs"
+	"ricjs/internal/workloads"
+)
+
+// LibraryRun aggregates every measurement of one library across the three
+// run kinds the paper compares: the Initial run (builds IC state), the
+// Conventional Reuse run (code cache only — V8's baseline), and the RIC
+// Reuse run (code cache + ICRecord).
+type LibraryRun struct {
+	Name string
+
+	Initial ricjs.Stats
+	Conv    ricjs.Stats
+	RIC     ricjs.Stats
+
+	ConvTime time.Duration
+	RICTime  time.Duration
+
+	ExtractTime  time.Duration
+	RecordBytes  int
+	RecordStats  RecordStats
+	ValidatedHCs int
+}
+
+// RecordStats mirrors the extraction statistics without re-exporting the
+// internal type.
+type RecordStats struct {
+	HiddenClasses   int
+	TriggeringSites int
+	DependentSlots  int
+	RejectedSites   int
+}
+
+// InstrReduction returns the fractional dynamic-instruction reduction of
+// the RIC Reuse run against the Conventional one (Figure 8's quantity).
+func (r LibraryRun) InstrReduction() float64 {
+	c := float64(r.Conv.TotalInstr())
+	if c == 0 {
+		return 0
+	}
+	return 1 - float64(r.RIC.TotalInstr())/c
+}
+
+// TimeReduction returns the fractional execution-time reduction (Figure
+// 9's quantity).
+func (r LibraryRun) TimeReduction() float64 {
+	if r.ConvTime == 0 {
+		return 0
+	}
+	return 1 - float64(r.RICTime)/float64(r.ConvTime)
+}
+
+// Options configures measurement.
+type Options struct {
+	// Reps is how many times each timed Reuse run repeats; the median
+	// wall time is reported. Statistics come from the first rep (they are
+	// deterministic across reps).
+	Reps int
+	// IncludeGlobals extends RIC to global-object state (ablation).
+	IncludeGlobals bool
+}
+
+func (o Options) reps() int {
+	if o.Reps <= 0 {
+		return 5
+	}
+	return o.Reps
+}
+
+// MeasureLibrary runs the full Initial → extract → Reuse pipeline for one
+// library.
+func MeasureLibrary(p workloads.Profile, opts Options) (LibraryRun, error) {
+	src := p.Source()
+	cache := ricjs.NewCodeCache()
+
+	// Prime the code cache so both Reuse variants skip compilation, as in
+	// the paper's methodology (§6: "The Reuse run uses the bytecodes from
+	// the code cache").
+	initial := ricjs.NewEngine(ricjs.Options{Cache: cache, IncludeGlobals: opts.IncludeGlobals})
+	if err := initial.Run(p.Script, src); err != nil {
+		return LibraryRun{}, err
+	}
+
+	extractStart := time.Now()
+	record := initial.ExtractRecord(p.Name)
+	extractTime := time.Since(extractStart)
+	encoded := record.Encode()
+
+	run := LibraryRun{
+		Name:        p.Name,
+		Initial:     initial.Stats(),
+		ExtractTime: extractTime,
+		RecordBytes: len(encoded),
+		RecordStats: RecordStats{
+			HiddenClasses:   record.Stats().HiddenClasses,
+			TriggeringSites: record.Stats().TriggeringSites,
+			DependentSlots:  record.Stats().DependentSlots,
+			RejectedSites:   record.Stats().RejectedSites,
+		},
+	}
+
+	// Two warmup rounds settle allocator and cache state before timing;
+	// the first round also captures the (deterministic) statistics.
+	const warmups = 2
+	convTimes := make([]time.Duration, 0, opts.reps())
+	ricTimes := make([]time.Duration, 0, opts.reps())
+	for i := 0; i < warmups+opts.reps(); i++ {
+		conv := ricjs.NewEngine(ricjs.Options{Cache: cache})
+		start := time.Now()
+		if err := conv.Run(p.Script, src); err != nil {
+			return LibraryRun{}, err
+		}
+		if i >= warmups {
+			convTimes = append(convTimes, time.Since(start))
+		}
+		if i == 0 {
+			run.Conv = conv.Stats()
+		}
+
+		reuse := ricjs.NewEngine(ricjs.Options{Cache: cache, Record: record})
+		start = time.Now()
+		if err := reuse.Run(p.Script, src); err != nil {
+			return LibraryRun{}, err
+		}
+		if i >= warmups {
+			ricTimes = append(ricTimes, time.Since(start))
+		}
+		if i == 0 {
+			run.RIC = reuse.Stats()
+			run.ValidatedHCs = reuse.ValidatedHCs()
+		}
+	}
+	run.ConvTime = median(convTimes)
+	run.RICTime = median(ricTimes)
+	return run, nil
+}
+
+// MeasureAll measures every library of Table 3.
+func MeasureAll(opts Options) ([]LibraryRun, error) {
+	runs := make([]LibraryRun, 0, len(workloads.Profiles))
+	for _, p := range workloads.Profiles {
+		r, err := MeasureLibrary(p, opts)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, r)
+	}
+	return runs, nil
+}
+
+func median(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration{}, ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2]
+}
+
+// WebsiteRun holds the cross-website robustness measurement (§6): the
+// record is generated on website 1 and consumed on website 2, which loads
+// the same seven libraries in a different order.
+type WebsiteRun struct {
+	Conv ricjs.Stats
+	RIC  ricjs.Stats
+}
+
+// MeasureWebsites produces the record on website 1 and reuses it on
+// website 2.
+func MeasureWebsites(opts Options) (WebsiteRun, error) {
+	cache := ricjs.NewCodeCache()
+
+	initial := ricjs.NewEngine(ricjs.Options{Cache: cache, IncludeGlobals: opts.IncludeGlobals})
+	for _, s := range workloads.Website(1) {
+		if err := initial.Run(s.Name, s.Source); err != nil {
+			return WebsiteRun{}, err
+		}
+	}
+	record := initial.ExtractRecord("website1")
+
+	conv := ricjs.NewEngine(ricjs.Options{Cache: cache})
+	for _, s := range workloads.Website(2) {
+		if err := conv.Run(s.Name, s.Source); err != nil {
+			return WebsiteRun{}, err
+		}
+	}
+	reuse := ricjs.NewEngine(ricjs.Options{Cache: cache, Record: record})
+	for _, s := range workloads.Website(2) {
+		if err := reuse.Run(s.Name, s.Source); err != nil {
+			return WebsiteRun{}, err
+		}
+	}
+	return WebsiteRun{Conv: conv.Stats(), RIC: reuse.Stats()}, nil
+}

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ricjs"
+	"ricjs/internal/workloads"
+)
+
+// SnapshotRun compares the three startup-acceleration strategies for one
+// library: the Conventional Reuse run (code cache only), the RIC Reuse
+// run, and heap-snapshot restoration (§9's related-work technique).
+type SnapshotRun struct {
+	Name string
+
+	ConvTime time.Duration
+	RICTime  time.Duration
+	SnapTime time.Duration
+
+	SnapshotBytes int
+	RecordBytes   int
+}
+
+// MeasureSnapshotComparison measures every library under all three
+// strategies.
+func MeasureSnapshotComparison(opts Options) ([]SnapshotRun, error) {
+	var out []SnapshotRun
+	for _, p := range workloads.Profiles {
+		run, err := measureSnapshotOne(p, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		out = append(out, run)
+	}
+	return out, nil
+}
+
+func measureSnapshotOne(p workloads.Profile, opts Options) (SnapshotRun, error) {
+	src := p.Source()
+	sources := map[string]string{p.Script: src}
+	cache := ricjs.NewCodeCache()
+
+	initial := ricjs.NewEngine(ricjs.Options{Cache: cache})
+	if err := initial.Run(p.Script, src); err != nil {
+		return SnapshotRun{}, err
+	}
+	record := initial.ExtractRecord(p.Name)
+	snap, err := initial.CaptureSnapshot(p.Name)
+	if err != nil {
+		return SnapshotRun{}, err
+	}
+	encoded, err := snap.Encode()
+	if err != nil {
+		return SnapshotRun{}, err
+	}
+
+	run := SnapshotRun{
+		Name:          p.Name,
+		SnapshotBytes: len(encoded),
+		RecordBytes:   len(record.Encode()),
+	}
+
+	const warmups = 1
+	var convTimes, ricTimes, snapTimes []time.Duration
+	for i := 0; i < warmups+opts.reps(); i++ {
+		conv := ricjs.NewEngine(ricjs.Options{Cache: cache})
+		start := time.Now()
+		if err := conv.Run(p.Script, src); err != nil {
+			return SnapshotRun{}, err
+		}
+		if i >= warmups {
+			convTimes = append(convTimes, time.Since(start))
+		}
+
+		reuse := ricjs.NewEngine(ricjs.Options{Cache: cache, Record: record})
+		start = time.Now()
+		if err := reuse.Run(p.Script, src); err != nil {
+			return SnapshotRun{}, err
+		}
+		if i >= warmups {
+			ricTimes = append(ricTimes, time.Since(start))
+		}
+
+		target := ricjs.NewEngine(ricjs.Options{Cache: cache})
+		start = time.Now()
+		if err := target.RestoreSnapshot(snap, sources); err != nil {
+			return SnapshotRun{}, err
+		}
+		if i >= warmups {
+			snapTimes = append(snapTimes, time.Since(start))
+		}
+	}
+	run.ConvTime = median(convTimes)
+	run.RICTime = median(ricTimes)
+	run.SnapTime = median(snapTimes)
+	return run, nil
+}
+
+// ReportSnapshot prints the three-way comparison with the qualitative
+// trade-offs the paper's §9 describes.
+func ReportSnapshot(w io.Writer, runs []SnapshotRun) {
+	fmt.Fprintln(w, "Snapshot comparison (§9): code-cache reuse vs RIC vs heap-snapshot restore")
+	t := tw(w)
+	fmt.Fprintln(t, "Library\tConv(ms)\tRIC(ms)\tSnapshot(ms)\tSnap/Conv\tSnapshot(KB)\tRecord(KB)")
+	for _, r := range runs {
+		ratio := 0.0
+		if r.ConvTime > 0 {
+			ratio = float64(r.SnapTime) / float64(r.ConvTime)
+		}
+		fmt.Fprintf(t, "%s\t%.3f\t%.3f\t%.3f\t%.1f%%\t%.1f\t%.1f\n",
+			r.Name, ms(r.ConvTime), ms(r.RICTime), ms(r.SnapTime),
+			100*ratio, float64(r.SnapshotBytes)/1024, float64(r.RecordBytes)/1024)
+	}
+	t.Flush()
+	fmt.Fprintln(w, "snapshot restore skips execution entirely, but: it is application-specific")
+	fmt.Fprintln(w, "(no cross-app sharing, unlike per-library ICRecords), and it freezes any")
+	fmt.Fprintln(w, "nondeterminism from initialization; RIC re-executes and stays correct.")
+}

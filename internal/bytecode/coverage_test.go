@@ -1,0 +1,156 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+
+	"ricjs/internal/parser"
+)
+
+// TestCompileSnippetMatrix compiles one snippet per language construct and
+// checks the emitted code decodes cleanly and mentions the expected
+// opcodes — a breadth net over the code generator.
+func TestCompileSnippetMatrix(t *testing.T) {
+	cases := []struct {
+		name, src string
+		wantOps   []string
+	}{
+		{"number", "1.5;", []string{"LoadConst"}},
+		{"string", "'s';", []string{"LoadConst"}},
+		{"bools", "true; false;", []string{"LoadTrue", "LoadFalse"}},
+		{"null-undef", "null; undefined;", []string{"LoadNull", "LoadUndef"}},
+		{"this", "this;", []string{"LoadThis"}},
+		{"arith", "1 + 2 - 3 * 4 / 5 % 6;", []string{"Add", "Sub", "Mul", "Div", "Mod"}},
+		{"bitwise", "1 & 2 | 3 ^ 4; 1 << 2; 8 >> 1;", []string{"BitAnd", "BitOr", "BitXor", "Shl", "Shr"}},
+		{"compare", "1 < 2; 1 <= 2; 1 > 2; 1 >= 2; 1 == 2; 1 != 2; 1 === 2; 1 !== 2;",
+			[]string{"Lt", "Le", "Gt", "Ge", "Eq", "Ne", "StrictEq", "StrictNe"}},
+		{"unary", "-x; +x; !x; typeof x;", []string{"Neg", "Not", "TypeOf"}},
+		{"logic", "a && b; a || b;", []string{"JumpIfFalse", "JumpIfTrue", "Dup", "Pop"}},
+		{"ternary", "a ? 1 : 2;", []string{"JumpIfFalse", "Jump"}},
+		{"member", "o.p;", []string{"LoadNamed"}},
+		{"member-store", "o.p = 1;", []string{"StoreNamed"}},
+		{"keyed", "o[k]; o[k] = 1;", []string{"LoadKeyed", "StoreKeyed"}},
+		{"keyed-compound", "o[k] += 1;", []string{"Dup2", "LoadKeyed", "StoreKeyed"}},
+		{"member-compound", "o.p *= 2;", []string{"LoadNamed", "Mul", "StoreNamed"}},
+		{"global-compound", "g += 1;", []string{"LoadGlobal", "StoreGlobal"}},
+		{"inc-local", "function f() { var i = 0; i++; ++i; i--; --i; }", []string{"Add", "Sub", "StoreLocal"}},
+		{"inc-member", "o.n++; --o.n;", []string{"LoadNamed", "StoreNamed"}},
+		{"inc-keyed", "o[0]++;", []string{"Dup2", "StoreKeyed"}},
+		{"object-lit", "({x: 1});", []string{"NewObject", "StoreNamed"}},
+		{"array-lit", "[1, 2];", []string{"NewArray"}},
+		{"call", "f(1, 2);", []string{"Call 2", "LoadUndef"}},
+		{"method-call", "o.m(1);", []string{"Dup", "LoadNamed", "Call 1"}},
+		{"keyed-call", "o[k](1);", []string{"LoadKeyed", "Call 1"}},
+		{"new", "new F(1);", []string{"New 1"}},
+		{"closure", "(function () { return 1; });", []string{"MakeClosure"}},
+		{"delete-forms", "delete o.p; delete o[k]; delete x;", []string{"DeleteNamed", "DeleteKeyed", "LoadTrue"}},
+		{"in-instanceof", "'k' in o; o instanceof F;", []string{"In", "InstanceOf"}},
+		{"if-else", "if (a) b; else c;", []string{"JumpIfFalse", "Jump"}},
+		{"while", "while (a) b;", []string{"JumpIfFalse", "Jump"}},
+		{"do-while", "do a; while (b);", []string{"JumpIfTrue"}},
+		{"for", "for (var i = 0; i < 9; i++) x;", []string{"JumpIfFalse"}},
+		{"for-in", "for (k in o) x;", []string{"ForInKeys", "LoadKeyed"}},
+		{"switch", "switch (x) { case 1: a; break; default: b; }", []string{"StrictEq", "JumpIfTrue"}},
+		{"throw", "throw 'x';", []string{"Throw"}},
+		{"try-catch", "try { a; } catch (e) { b; }", []string{"TryPush", "TryPop"}},
+		{"try-finally", "try { a; } finally { b; }", []string{"TryPush", "Throw"}},
+		{"return-forms", "function f() { return; } function g() { return 1; }",
+			[]string{"ReturnUndef", "Return"}},
+		{"break-continue", "while (a) { if (b) break; if (c) continue; }", []string{"Jump"}},
+		{"empty-stmt", ";;;", []string{"ReturnUndef"}},
+		{"var-no-init", "var x;", []string{"DeclGlobal"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			prog, err := parser.Parse("m.js", c.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			compiled, err := Compile(prog)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			var out strings.Builder
+			compiled.Toplevel.WalkProtos(func(p *FuncProto) {
+				// Decoder must land exactly on boundaries.
+				pc := 0
+				for pc < len(p.Code) {
+					op := Op(p.Code[pc])
+					if op >= numOps {
+						t.Fatalf("bad opcode %d", op)
+					}
+					pc += 1 + op.OperandCount()
+				}
+				if pc != len(p.Code) {
+					t.Fatal("decoder overran")
+				}
+				out.WriteString(p.Disassemble())
+			})
+			text := out.String()
+			for _, want := range c.wantOps {
+				if !strings.Contains(text, want) {
+					t.Errorf("missing %q in:\n%s", want, text)
+				}
+			}
+		})
+	}
+}
+
+func TestCompileErrorsCoverTargets(t *testing.T) {
+	cases := []string{
+		"continue;",
+		"break;",
+		"function f() { break; }",
+		"switch (x) { case 1: continue; }",
+	}
+	for _, src := range cases {
+		prog, err := parser.Parse("e.js", src)
+		if err != nil {
+			continue // parse errors also acceptable
+		}
+		if _, err := Compile(prog); err == nil {
+			t.Errorf("%q must fail to compile", src)
+		}
+	}
+}
+
+func TestCompileErrorHasPosition(t *testing.T) {
+	prog, err := parser.Parse("pos.js", "function f() { break; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cerr := Compile(prog)
+	if cerr == nil || !strings.Contains(cerr.Error(), "pos.js:") {
+		t.Fatalf("error must carry position: %v", cerr)
+	}
+	var ce *CompileError
+	if !asCompileError(cerr, &ce) {
+		t.Fatalf("error type = %T", cerr)
+	}
+}
+
+func asCompileError(err error, target **CompileError) bool {
+	ce, ok := err.(*CompileError)
+	if ok {
+		*target = ce
+	}
+	return ok
+}
+
+func TestConstStringRendering(t *testing.T) {
+	c := Const{Kind: ConstString, Str: "hi"}
+	if c.String() != `"hi"` {
+		t.Fatalf("Const.String() = %q", c.String())
+	}
+	n := Const{Kind: ConstNumber, Num: 2.5}
+	if n.String() != "2.5" {
+		t.Fatalf("Const.String() = %q", n.String())
+	}
+}
+
+func TestFunctionNameFallback(t *testing.T) {
+	p := &FuncProto{}
+	if p.FunctionName() != "<anonymous>" {
+		t.Fatalf("FunctionName = %q", p.FunctionName())
+	}
+}

@@ -1,0 +1,129 @@
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+
+	"ricjs/internal/ic"
+	"ricjs/internal/source"
+)
+
+// ConstKind discriminates constant-pool entries.
+type ConstKind uint8
+
+const (
+	// ConstNumber is a numeric constant.
+	ConstNumber ConstKind = iota
+	// ConstString is a string constant.
+	ConstString
+)
+
+// Const is a constant-pool entry.
+type Const struct {
+	Kind ConstKind
+	Num  float64
+	Str  string
+}
+
+// String renders the constant for disassembly.
+func (c Const) String() string {
+	if c.Kind == ConstString {
+		return fmt.Sprintf("%q", c.Str)
+	}
+	return fmt.Sprintf("%g", c.Num)
+}
+
+// SiteInfo describes one feedback slot: the object access site it serves.
+// The VM turns the site table into the function's ICVector.
+type SiteInfo struct {
+	Site source.Site
+	Kind ic.AccessKind
+	Name string
+}
+
+// FuncProto is a compiled function: the shared, context-independent part
+// of a function (V8's SharedFunctionInfo + bytecode). FuncProtos are what
+// the code cache persists between runs.
+type FuncProto struct {
+	// Name is the function name, "" for anonymous functions,
+	// "<main>" for the script toplevel.
+	Name string
+	// Script is the owning script name.
+	Script string
+	// DeclPos is the function's declaration position; constructor initial
+	// hidden classes are keyed to it (paper Figure 2's Constructor HC).
+	DeclPos source.Pos
+
+	NumParams int
+	// NumLocals counts parameter, variable and temporary slots.
+	NumLocals int
+	// NumCtxSlots counts variables captured by nested closures; when
+	// non-zero the function allocates a Context frame on entry.
+	NumCtxSlots int
+
+	Code   []uint32
+	Consts []Const
+	Names  []string
+	Protos []*FuncProto
+	Sites  []SiteInfo
+}
+
+// FunctionName implements a human-readable identity for diagnostics.
+func (p *FuncProto) FunctionName() string {
+	if p.Name == "" {
+		return "<anonymous>"
+	}
+	return p.Name
+}
+
+// Disassemble renders the function's bytecode for tests and debugging.
+func (p *FuncProto) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "function %s params=%d locals=%d ctx=%d\n",
+		p.FunctionName(), p.NumParams, p.NumLocals, p.NumCtxSlots)
+	for pc := 0; pc < len(p.Code); {
+		op := Op(p.Code[pc])
+		fmt.Fprintf(&b, "  %4d  %s", pc, op)
+		n := op.OperandCount()
+		for i := 1; i <= n; i++ {
+			fmt.Fprintf(&b, " %d", p.Code[pc+i])
+		}
+		switch op {
+		case OpLoadConst:
+			fmt.Fprintf(&b, "  ; %s", p.Consts[p.Code[pc+1]])
+		case OpLoadNamed, OpStoreNamed, OpLoadGlobal, OpStoreGlobal:
+			fmt.Fprintf(&b, "  ; %s @%s", p.Names[p.Code[pc+1]], p.Sites[p.Code[pc+2]].Site)
+		case OpLoadKeyed, OpStoreKeyed:
+			fmt.Fprintf(&b, "  ; @%s", p.Sites[p.Code[pc+1]].Site)
+		case OpDeclGlobal, OpDeleteNamed:
+			fmt.Fprintf(&b, "  ; %s", p.Names[p.Code[pc+1]])
+		case OpMakeClosure:
+			fmt.Fprintf(&b, "  ; %s", p.Protos[p.Code[pc+1]].FunctionName())
+		}
+		b.WriteByte('\n')
+		pc += 1 + n
+	}
+	return b.String()
+}
+
+// WalkProtos visits p and every nested function proto depth-first.
+func (p *FuncProto) WalkProtos(fn func(*FuncProto)) {
+	fn(p)
+	for _, nested := range p.Protos {
+		nested.WalkProtos(fn)
+	}
+}
+
+// Program is a compiled script: its toplevel function and metadata.
+type Program struct {
+	Script   string
+	Toplevel *FuncProto
+}
+
+// CountSites returns the total number of feedback sites across all
+// functions in the program.
+func (p *Program) CountSites() int {
+	total := 0
+	p.Toplevel.WalkProtos(func(fp *FuncProto) { total += len(fp.Sites) })
+	return total
+}

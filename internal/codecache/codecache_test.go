@@ -1,0 +1,86 @@
+package codecache
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLoadCompilesOnceAndShares(t *testing.T) {
+	c := New()
+	p1, err := c.Load("a.js", "var x = 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Load("a.js", "var x = 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("identical loads must share the compiled program")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestNameParticipatesInKey(t *testing.T) {
+	c := New()
+	p1, _ := c.Load("a.js", "var x = 1;")
+	p2, _ := c.Load("b.js", "var x = 1;")
+	if p1 == p2 {
+		t.Fatal("same source under different names must compile separately")
+	}
+	if p1.Script == p2.Script {
+		t.Fatal("programs must remember their script names")
+	}
+}
+
+func TestDifferentSourceDifferentProgram(t *testing.T) {
+	c := New()
+	p1, _ := c.Load("a.js", "var x = 1;")
+	p2, _ := c.Load("a.js", "var x = 2;")
+	if p1 == p2 {
+		t.Fatal("different sources must not collide")
+	}
+}
+
+func TestLoadErrorsPropagate(t *testing.T) {
+	c := New()
+	if _, err := c.Load("bad.js", "var ;"); err == nil {
+		t.Fatal("syntax errors must propagate")
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed compiles must not be cached")
+	}
+}
+
+func TestConcurrentLoads(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	progs := make([]any, 16)
+	for i := range progs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := c.Load("x.js", "function f() { return 1; } f();")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			progs[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(progs); i++ {
+		if progs[i] != progs[0] {
+			t.Fatal("concurrent loads must converge on one program")
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}

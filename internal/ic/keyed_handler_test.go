@@ -1,0 +1,100 @@
+package ic
+
+import "testing"
+
+func TestKeyedHandlerKinds(t *testing.T) {
+	cases := []struct {
+		h    Handler
+		kind HandlerKind
+		ci   bool
+	}{
+		{LoadElement{}, KindLoadElement, true},
+		{StoreElement{}, KindStoreElement, true},
+		{KeyedNamed{Name: "x", Inner: LoadField{Offset: 1}}, KindKeyedNamed, true},
+		{KeyedNamed{Name: "x", Inner: StoreField{Offset: 0}}, KindKeyedNamed, true},
+		{KeyedNamed{Name: "x", Inner: LoadMissing{Name: "x"}}, KindKeyedNamed, false},
+	}
+	for _, c := range cases {
+		if c.h.Kind() != c.kind {
+			t.Errorf("%v.Kind() = %v, want %v", c.h, c.h.Kind(), c.kind)
+		}
+		if c.h.ContextIndependent() != c.ci {
+			t.Errorf("%v.ContextIndependent() = %v, want %v", c.h, c.h.ContextIndependent(), c.ci)
+		}
+		if c.h.String() == "" {
+			t.Errorf("%v has empty String()", c.kind)
+		}
+	}
+	if KindLoadElement.String() != "LoadElement" ||
+		KindStoreElement.String() != "StoreElement" ||
+		KindKeyedNamed.String() != "KeyedNamed" {
+		t.Error("keyed kind names wrong")
+	}
+}
+
+func TestKeyedDescribeRebuildRoundTrip(t *testing.T) {
+	handlers := []Handler{
+		LoadElement{},
+		StoreElement{},
+		KeyedNamed{Name: "prop", Inner: LoadField{Offset: 3}},
+		KeyedNamed{Name: "w", Inner: StoreField{Offset: 0}},
+		KeyedNamed{Name: "len", Inner: LoadArrayLength{}},
+	}
+	for _, h := range handlers {
+		d, ok := DescribeCI(h)
+		if !ok {
+			t.Fatalf("DescribeCI(%v) failed", h)
+		}
+		back, err := d.Rebuild()
+		if err != nil {
+			t.Fatalf("Rebuild(%+v): %v", d, err)
+		}
+		if back != h {
+			t.Fatalf("round trip %v -> %v", h, back)
+		}
+	}
+}
+
+func TestKeyedDescribeRejectsContextDependentInner(t *testing.T) {
+	if _, ok := DescribeCI(KeyedNamed{Name: "x", Inner: LoadMissing{Name: "x"}}); ok {
+		t.Fatal("CD inner must not describe")
+	}
+	// Nested keyed handlers are malformed; the descriptor must refuse.
+	if _, ok := DescribeCI(KeyedNamed{Name: "x", Inner: KeyedNamed{Name: "y", Inner: LoadField{}}}); ok {
+		t.Fatal("nested keyed must not describe")
+	}
+}
+
+func TestForceMegamorphic(t *testing.T) {
+	_, hcs := hcChain(t, 2)
+	var s Slot
+	s.Add(hcs[0], LoadElement{})
+	s.Add(hcs[1], KeyedNamed{Name: "a", Inner: LoadField{Offset: 0}})
+	s.ForceMegamorphic()
+	if s.State != Megamorphic || len(s.Entries) != 0 {
+		t.Fatalf("state = %v with %d entries", s.State, len(s.Entries))
+	}
+	// Terminal: adds and preloads are rejected afterwards.
+	s.Add(hcs[0], LoadElement{})
+	if len(s.Entries) != 0 {
+		t.Fatal("megamorphic slot accepted an entry")
+	}
+	if s.Preload(hcs[0], LoadElement{}) {
+		t.Fatal("megamorphic slot accepted a preload")
+	}
+}
+
+func TestKeyedAccessKinds(t *testing.T) {
+	if !AccessKeyedLoad.IsKeyed() || !AccessKeyedStore.IsKeyed() {
+		t.Error("keyed kinds misclassified")
+	}
+	if AccessLoad.IsKeyed() || AccessStoreGlobal.IsKeyed() {
+		t.Error("non-keyed kinds misclassified")
+	}
+	if !AccessKeyedStore.IsStore() || AccessKeyedLoad.IsStore() {
+		t.Error("keyed store classification wrong")
+	}
+	if AccessKeyedLoad.String() != "keyed-load" || AccessKeyedStore.String() != "keyed-store" {
+		t.Error("keyed access names wrong")
+	}
+}

@@ -1,0 +1,106 @@
+package ic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ricjs/internal/objects"
+	"ricjs/internal/source"
+)
+
+func TestSlotRemove(t *testing.T) {
+	_, hcs := hcChain(t, 3)
+	var s Slot
+	s.Add(hcs[0], LoadField{Offset: 0})
+	s.Add(hcs[1], LoadField{Offset: 1})
+	s.Add(hcs[2], LoadField{Offset: 2})
+
+	s.Remove(hcs[1])
+	if len(s.Entries) != 2 || s.State != Polymorphic {
+		t.Fatalf("after middle removal: %d entries, %v", len(s.Entries), s.State)
+	}
+	if _, found, _ := s.Lookup(hcs[1]); found {
+		t.Fatal("removed entry still found")
+	}
+	s.Remove(hcs[0])
+	if len(s.Entries) != 1 || s.State != Monomorphic {
+		t.Fatalf("after second removal: %d entries, %v", len(s.Entries), s.State)
+	}
+	s.Remove(hcs[2])
+	if len(s.Entries) != 0 || s.State != Uninitialized {
+		t.Fatalf("after final removal: %d entries, %v", len(s.Entries), s.State)
+	}
+	// Removing from an empty slot is a no-op.
+	s.Remove(hcs[0])
+	if s.State != Uninitialized {
+		t.Fatal("empty removal changed state")
+	}
+	// And the slot can repopulate.
+	s.Add(hcs[0], LoadField{Offset: 9})
+	if s.State != Monomorphic {
+		t.Fatal("slot cannot repopulate after removals")
+	}
+}
+
+func TestRemoveDoesNotRegressMegamorphic(t *testing.T) {
+	_, hcs := hcChain(t, MaxPolymorphic+1)
+	var s Slot
+	for i := 0; i <= MaxPolymorphic; i++ {
+		s.Add(hcs[i], LoadField{Offset: i})
+	}
+	if s.State != Megamorphic {
+		t.Fatal("setup must go megamorphic")
+	}
+	s.Remove(hcs[0])
+	if s.State != Megamorphic {
+		t.Fatal("removal must not regress megamorphic state")
+	}
+}
+
+// Property: after any interleaving of Add/Preload/Remove, the state is
+// consistent with the entry count and entries stay unique.
+func TestSlotRemoveInvariantsProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		s := objects.NewSpace(5)
+		root := s.NewRootHC(nil, objects.Creator{Builtin: "o"})
+		pool := make([]*objects.HiddenClass, 6)
+		cur := root
+		for i := range pool {
+			cur, _ = cur.Transition(s, string(rune('a'+i)), objects.Creator{Site: source.At("p.js", 2, uint32(i+1))})
+			pool[i] = cur
+		}
+		var slot Slot
+		for _, op := range ops {
+			hc := pool[int(op)%len(pool)]
+			switch op % 3 {
+			case 0:
+				slot.Add(hc, LoadField{Offset: int(op) % 3})
+			case 1:
+				slot.Preload(hc, StoreField{Offset: int(op) % 3})
+			default:
+				slot.Remove(hc)
+			}
+			seen := map[*objects.HiddenClass]bool{}
+			for _, e := range slot.Entries {
+				if seen[e.HC] {
+					return false
+				}
+				seen[e.HC] = true
+			}
+			switch {
+			case slot.State == Megamorphic && len(slot.Entries) != 0:
+				return false
+			case slot.State == Monomorphic && len(slot.Entries) != 1:
+				return false
+			case slot.State == Polymorphic && len(slot.Entries) < 2:
+				return false
+			case slot.State == Uninitialized && len(slot.Entries) != 0:
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

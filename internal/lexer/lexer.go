@@ -1,0 +1,326 @@
+// Package lexer tokenizes the engine's JavaScript subset.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"ricjs/internal/source"
+	"ricjs/internal/token"
+)
+
+// Error is a lexical error with its source position.
+type Error struct {
+	Script string
+	Pos    source.Pos
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%s: %s", e.Script, e.Pos, e.Msg)
+}
+
+// Lexer scans a script into tokens.
+type Lexer struct {
+	script string
+	src    string
+	off    int
+	line   uint32
+	col    uint32
+}
+
+// New creates a lexer for the given script name and source text.
+func New(script, src string) *Lexer {
+	return &Lexer{script: script, src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) errf(pos source.Pos, format string, args ...any) error {
+	return &Error{Script: l.script, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() source.Pos { return source.Pos{Line: l.line, Col: l.col} }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// skipSpace consumes whitespace and comments.
+func (l *Lexer) skipSpace() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (token.Token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token.Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		return l.ident(pos), nil
+	case isDigit(c):
+		return l.number(pos)
+	case c == '"' || c == '\'':
+		return l.str(pos)
+	}
+	l.advance()
+	two := func(next byte, ifTwo, ifOne token.Kind) token.Token {
+		if l.peek() == next {
+			l.advance()
+			return token.Token{Kind: ifTwo, Pos: pos}
+		}
+		return token.Token{Kind: ifOne, Pos: pos}
+	}
+	switch c {
+	case '(':
+		return token.Token{Kind: token.LParen, Pos: pos}, nil
+	case ')':
+		return token.Token{Kind: token.RParen, Pos: pos}, nil
+	case '{':
+		return token.Token{Kind: token.LBrace, Pos: pos}, nil
+	case '}':
+		return token.Token{Kind: token.RBrace, Pos: pos}, nil
+	case '[':
+		return token.Token{Kind: token.LBracket, Pos: pos}, nil
+	case ']':
+		return token.Token{Kind: token.RBracket, Pos: pos}, nil
+	case ';':
+		return token.Token{Kind: token.Semicolon, Pos: pos}, nil
+	case ',':
+		return token.Token{Kind: token.Comma, Pos: pos}, nil
+	case '.':
+		return token.Token{Kind: token.Dot, Pos: pos}, nil
+	case ':':
+		return token.Token{Kind: token.Colon, Pos: pos}, nil
+	case '?':
+		return token.Token{Kind: token.Question, Pos: pos}, nil
+	case '+':
+		if l.peek() == '+' {
+			l.advance()
+			return token.Token{Kind: token.PlusPlus, Pos: pos}, nil
+		}
+		return two('=', token.PlusAssign, token.Plus), nil
+	case '-':
+		if l.peek() == '-' {
+			l.advance()
+			return token.Token{Kind: token.MinusMinus, Pos: pos}, nil
+		}
+		return two('=', token.MinusAssign, token.Minus), nil
+	case '*':
+		return two('=', token.StarAssign, token.Star), nil
+	case '/':
+		return two('=', token.SlashAssign, token.Slash), nil
+	case '%':
+		return two('=', token.PctAssign, token.Percent), nil
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			if l.peek() == '=' {
+				l.advance()
+				return token.Token{Kind: token.StrictEq, Pos: pos}, nil
+			}
+			return token.Token{Kind: token.Eq, Pos: pos}, nil
+		}
+		return token.Token{Kind: token.Assign, Pos: pos}, nil
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			if l.peek() == '=' {
+				l.advance()
+				return token.Token{Kind: token.StrictNe, Pos: pos}, nil
+			}
+			return token.Token{Kind: token.NotEq, Pos: pos}, nil
+		}
+		return token.Token{Kind: token.Not, Pos: pos}, nil
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return token.Token{Kind: token.Shl, Pos: pos}, nil
+		}
+		return two('=', token.Le, token.Lt), nil
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return token.Token{Kind: token.Shr, Pos: pos}, nil
+		}
+		return two('=', token.Ge, token.Gt), nil
+	case '&':
+		return two('&', token.AndAnd, token.BitAnd), nil
+	case '|':
+		return two('|', token.OrOr, token.BitOr), nil
+	case '^':
+		return token.Token{Kind: token.BitXor, Pos: pos}, nil
+	}
+	return token.Token{}, l.errf(pos, "unexpected character %q", string(c))
+}
+
+func (l *Lexer) ident(pos source.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) && isIdentPart(l.peek()) {
+		l.advance()
+	}
+	lit := l.src[start:l.off]
+	if kw, ok := token.Keywords[lit]; ok {
+		return token.Token{Kind: kw, Lit: lit, Pos: pos}
+	}
+	return token.Token{Kind: token.Ident, Lit: lit, Pos: pos}
+}
+
+func (l *Lexer) number(pos source.Pos) (token.Token, error) {
+	start := l.off
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		for l.off < len(l.src) && isHex(l.peek()) {
+			l.advance()
+		}
+		return token.Token{Kind: token.Number, Lit: l.src[start:l.off], Pos: pos}, nil
+	}
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if c := l.peek(); c == 'e' || c == 'E' {
+		save := *l
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if !isDigit(l.peek()) {
+			*l = save // not an exponent after all
+		} else {
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+	}
+	return token.Token{Kind: token.Number, Lit: l.src[start:l.off], Pos: pos}, nil
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (l *Lexer) str(pos source.Pos) (token.Token, error) {
+	quote := l.advance()
+	var b strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			return token.Token{}, l.errf(pos, "unterminated string literal")
+		}
+		c := l.advance()
+		if c == quote {
+			break
+		}
+		if c == '\n' {
+			return token.Token{}, l.errf(pos, "newline in string literal")
+		}
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		if l.off >= len(l.src) {
+			return token.Token{}, l.errf(pos, "unterminated escape sequence")
+		}
+		e := l.advance()
+		switch e {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case 'r':
+			b.WriteByte('\r')
+		case '\\', '"', '\'':
+			b.WriteByte(e)
+		case '0':
+			b.WriteByte(0)
+		default:
+			b.WriteByte(e) // unknown escapes pass through, like JS
+		}
+	}
+	return token.Token{Kind: token.String, Lit: b.String(), Pos: pos}, nil
+}
+
+// All scans the remaining input and returns every token including the
+// final EOF. It is a convenience for tests and tools.
+func (l *Lexer) All() ([]token.Token, error) {
+	var out []token.Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"ricjs/internal/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, err := New("t.js", src).All()
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	out := make([]token.Kind, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.Kind
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	got := kinds(t, "var x = 1 + 2;")
+	want := []token.Kind{token.KwVar, token.Ident, token.Assign, token.Number,
+		token.Plus, token.Number, token.Semicolon, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	src := "== === != !== <= >= < > && || ! ++ -- += -= *= /= %= << >> & | ^ ? :"
+	want := []token.Kind{
+		token.Eq, token.StrictEq, token.NotEq, token.StrictNe,
+		token.Le, token.Ge, token.Lt, token.Gt,
+		token.AndAnd, token.OrOr, token.Not,
+		token.PlusPlus, token.MinusMinus,
+		token.PlusAssign, token.MinusAssign, token.StarAssign,
+		token.SlashAssign, token.PctAssign,
+		token.Shl, token.Shr, token.BitAnd, token.BitOr, token.BitXor,
+		token.Question, token.Colon, token.EOF,
+	}
+	got := kinds(t, src)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordsRecognized(t *testing.T) {
+	for word, kind := range token.Keywords {
+		toks, err := New("t.js", word).All()
+		if err != nil {
+			t.Fatalf("lex %q: %v", word, err)
+		}
+		if toks[0].Kind != kind {
+			t.Errorf("%q lexed as %v, want %v", word, toks[0].Kind, kind)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := map[string]string{
+		"0":      "0",
+		"42":     "42",
+		"3.25":   "3.25",
+		"1e3":    "1e3",
+		"2.5e-2": "2.5e-2",
+		"0x1F":   "0x1F",
+	}
+	for src, lit := range cases {
+		toks, err := New("t.js", src).All()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if toks[0].Kind != token.Number || toks[0].Lit != lit {
+			t.Errorf("lex %q = %v %q", src, toks[0].Kind, toks[0].Lit)
+		}
+	}
+}
+
+func TestNumberFollowedByIdentE(t *testing.T) {
+	// `1e` is a number 1 followed by identifier e, not a malformed literal.
+	got := kinds(t, "1e")
+	want := []token.Kind{token.Number, token.Ident, token.EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	toks, err := New("t.js", `"a\n\t\"b" 'c\'d'`).All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Lit != "a\n\t\"b" {
+		t.Errorf("double-quoted = %q", toks[0].Lit)
+	}
+	if toks[1].Lit != "c'd" {
+		t.Errorf("single-quoted = %q", toks[1].Lit)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := "a // line comment\n/* block\ncomment */ b"
+	got := kinds(t, src)
+	want := []token.Kind{token.Ident, token.Ident, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := New("t.js", "a\n  bb").All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("bb at %v", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		`"unterminated`,
+		"\"newline\nin string\"",
+		"/* unterminated block",
+		"@",
+		`"bad\`,
+	}
+	for _, src := range cases {
+		if _, err := New("t.js", src).All(); err == nil {
+			t.Errorf("lex %q: expected error", src)
+		} else if !strings.Contains(err.Error(), "t.js:") {
+			t.Errorf("error %q lacks position", err)
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, err := New("t.js", `x 5 "s" +`).All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].String() != "x" || toks[1].String() != "5" ||
+		toks[2].String() != `"s"` || toks[3].String() != "+" {
+		t.Errorf("token strings: %v %v %v %v", toks[0], toks[1], toks[2], toks[3])
+	}
+}

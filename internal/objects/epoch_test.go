@@ -1,0 +1,64 @@
+package objects
+
+import "testing"
+
+func TestProtoEpochBumpsOnPrototypeShapeChange(t *testing.T) {
+	s := NewSpace(1)
+	protoObj := s.NewObject(s.NewRootHC(nil, Creator{Builtin: "p"}))
+	before := s.ProtoEpoch()
+
+	// Not yet a prototype: shape changes do not bump.
+	protoObj.AddOwn(s, "early", Num(1), siteCreator(1, 1))
+	if s.ProtoEpoch() != before {
+		t.Fatal("non-prototype mutation must not bump the epoch")
+	}
+
+	// Becoming the prototype of a hidden class marks the object.
+	s.NewRootHC(protoObj, Creator{Builtin: "child"})
+	protoObj.AddOwn(s, "late", Num(2), siteCreator(2, 1))
+	if s.ProtoEpoch() <= before {
+		t.Fatal("prototype mutation must bump the epoch")
+	}
+
+	mid := s.ProtoEpoch()
+	// Value overwrite is not a shape change... but SetNamed on an
+	// existing property goes through SetSlot, not AddOwn.
+	protoObj.SetNamed(s, "late", Num(3), siteCreator(3, 1))
+	if s.ProtoEpoch() != mid {
+		t.Fatal("value overwrite must not bump the epoch")
+	}
+
+	// Deletion bumps.
+	protoObj.Delete(s, "late")
+	if s.ProtoEpoch() <= mid {
+		t.Fatal("prototype deletion must bump the epoch")
+	}
+}
+
+func TestTransitionMarksProtoToo(t *testing.T) {
+	s := NewSpace(1)
+	protoObj := s.NewObject(s.NewRootHC(nil, Creator{Builtin: "p"}))
+	root := s.NewRootHC(protoObj, Creator{Builtin: "c"})
+	// Transitioning from root keeps the same prototype; the proto object
+	// must already be marked, so mutating it bumps.
+	root.Transition(s, "x", siteCreator(1, 1))
+	before := s.ProtoEpoch()
+	protoObj.AddOwn(s, "m", Num(1), siteCreator(2, 1))
+	if s.ProtoEpoch() <= before {
+		t.Fatal("prototype of transitioned classes must be marked")
+	}
+}
+
+func TestDictionaryProtoMutationBumps(t *testing.T) {
+	s := NewSpace(1)
+	protoObj := s.NewObject(s.NewRootHC(nil, Creator{Builtin: "p"}))
+	s.NewRootHC(protoObj, Creator{Builtin: "c"})
+	protoObj.AddOwn(s, "a", Num(1), siteCreator(1, 1))
+	protoObj.Delete(s, "a") // demotes to dictionary, bumps
+	before := s.ProtoEpoch()
+	// Dictionary-mode prototype gaining a key still bumps.
+	protoObj.AddOwn(s, "b", Num(2), siteCreator(2, 1))
+	if s.ProtoEpoch() <= before {
+		t.Fatal("dictionary prototype mutation must bump the epoch")
+	}
+}

@@ -1,0 +1,213 @@
+package objects
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ricjs/internal/source"
+)
+
+// Creator records what caused a hidden class to be created: either a
+// builtin object (identified by a context-independent name) or a
+// triggering object access site (paper §2.4 calls these "transitioning
+// object access sites"; §4 calls them Triggering sites). The extraction
+// phase keys the TOAST by exactly this information.
+type Creator struct {
+	// Builtin is the builtin object name ("Object.prototype", "Math", ...)
+	// for hidden classes whose creation is not attributable to any object
+	// access site. Constructor initial hidden classes use the declaring
+	// function's site instead.
+	Builtin string
+	// Site is the object access site that triggered the hidden class
+	// transition, when Builtin is empty.
+	Site source.Site
+	// Global marks transitions of the global object's shape. RIC skips
+	// them by default because the global object's hidden-class history
+	// depends on script load order (paper §6).
+	Global bool
+}
+
+// IsBuiltin reports whether the creator is a builtin name.
+func (c Creator) IsBuiltin() bool { return c.Builtin != "" }
+
+// IsZero reports whether the creator is unset.
+func (c Creator) IsZero() bool { return c.Builtin == "" && c.Site.IsZero() }
+
+// String renders the creator for diagnostics.
+func (c Creator) String() string {
+	if c.IsBuiltin() {
+		return "builtin:" + c.Builtin
+	}
+	return "site:" + c.Site.String()
+}
+
+// HiddenClass describes the layout of a group of objects created the same
+// way (paper Figure 2): an object-layout table mapping property names to
+// in-object slot offsets, a transition table giving the next hidden class
+// when a property is added, and a prototype pointer.
+type HiddenClass struct {
+	id   uint32
+	addr uint64 // simulated heap address — context-dependent
+
+	fields  []string       // property names in offset order (object layout)
+	offsets map[string]int // name -> offset; nil for empty layouts
+
+	transitions map[string]*HiddenClass
+
+	proto *Object
+
+	creator Creator
+	parent  *HiddenClass // the hidden class this one transitioned from
+
+	dictionary bool // marks the shared dictionary-mode class
+}
+
+// newHC allocates a hidden class with a fresh simulated address. The
+// prototype object, if any, is marked so later shape changes to it bump
+// the prototype epoch.
+func (s *Space) newHC(proto *Object, creator Creator) *HiddenClass {
+	if proto != nil {
+		proto.isProto = true
+	}
+	return &HiddenClass{
+		id:      s.allocID(),
+		addr:    s.allocAddr(),
+		proto:   proto,
+		creator: creator,
+	}
+}
+
+// NewRootHC creates an empty-layout hidden class, the starting point for
+// objects of a new kind (the paper's HC0). creator names the builtin or the
+// function-declaration site responsible.
+func (s *Space) NewRootHC(proto *Object, creator Creator) *HiddenClass {
+	return s.newHC(proto, creator)
+}
+
+// ID returns the creation-order id of the hidden class within its space.
+func (h *HiddenClass) ID() uint32 { return h.id }
+
+// Addr returns the simulated heap address of the hidden class. Addresses
+// differ across engine instances for the same logical class.
+func (h *HiddenClass) Addr() uint64 { return h.addr }
+
+// Proto returns the prototype object shared by instances of this class.
+func (h *HiddenClass) Proto() *Object { return h.proto }
+
+// Creator returns what created this hidden class.
+func (h *HiddenClass) Creator() Creator { return h.creator }
+
+// Parent returns the hidden class this one transitioned from, or nil for
+// root classes.
+func (h *HiddenClass) Parent() *HiddenClass { return h.parent }
+
+// IsDictionary reports whether this is the shared dictionary-mode class,
+// whose objects keep properties in a hash table and are invisible to ICs.
+func (h *HiddenClass) IsDictionary() bool { return h.dictionary }
+
+// NumFields returns the number of in-object property slots.
+func (h *HiddenClass) NumFields() int { return len(h.fields) }
+
+// FieldAt returns the property name stored at the given slot offset.
+func (h *HiddenClass) FieldAt(offset int) string { return h.fields[offset] }
+
+// Fields returns the property names in offset order. The caller must not
+// modify the returned slice.
+func (h *HiddenClass) Fields() []string { return h.fields }
+
+// Offset returns the slot offset of a property in the object layout.
+func (h *HiddenClass) Offset(name string) (int, bool) {
+	if h.offsets == nil {
+		return 0, false
+	}
+	off, ok := h.offsets[name]
+	return off, ok
+}
+
+// TransitionTo returns the existing transition target for adding the named
+// property, if one was created before.
+func (h *HiddenClass) TransitionTo(name string) (*HiddenClass, bool) {
+	t, ok := h.transitions[name]
+	return t, ok
+}
+
+// Transition returns the hidden class an object moves to when the named
+// property is added, creating it (and linking the Next Hidden Class table,
+// paper Figure 2) on first use. created reports whether a new hidden class
+// was allocated — the caller charges profiling costs and notifies RIC only
+// in that case. creator identifies the object access site performing the
+// addition and is recorded on newly created classes.
+func (h *HiddenClass) Transition(s *Space, name string, creator Creator) (next *HiddenClass, created bool) {
+	if t, ok := h.transitions[name]; ok {
+		return t, false
+	}
+	next = s.newHC(h.proto, creator)
+	next.parent = h
+	next.fields = make([]string, len(h.fields)+1)
+	copy(next.fields, h.fields)
+	next.fields[len(h.fields)] = name
+	next.offsets = make(map[string]int, len(next.fields))
+	for i, f := range next.fields {
+		next.offsets[f] = i
+	}
+	if h.transitions == nil {
+		h.transitions = make(map[string]*HiddenClass, 4)
+	}
+	h.transitions[name] = next
+	return next, true
+}
+
+// TransitionCount returns the number of outgoing transitions (for tests
+// and diagnostics).
+func (h *HiddenClass) TransitionCount() int { return len(h.transitions) }
+
+// LayoutSignature renders the layout as a canonical string, used by RIC's
+// validation tests and diagnostics to compare logical shapes across runs.
+// It is context-independent: only property names, their order, and the
+// creator identity participate.
+func (h *HiddenClass) LayoutSignature() string {
+	var b strings.Builder
+	b.WriteString(h.creator.String())
+	b.WriteByte('{')
+	b.WriteString(strings.Join(h.fields, ","))
+	b.WriteByte('}')
+	return b.String()
+}
+
+// String renders the hidden class for diagnostics.
+func (h *HiddenClass) String() string {
+	return fmt.Sprintf("HC#%d@%#x%s", h.id, h.addr, h.layoutBraces())
+}
+
+func (h *HiddenClass) layoutBraces() string {
+	return "{" + strings.Join(h.fields, ",") + "}"
+}
+
+// WalkTransitions visits the transition graph rooted at h in a
+// deterministic order (property names sorted at each node), calling fn for
+// every reachable hidden class including h itself. The extraction phase
+// uses this to enumerate hidden classes in a stable order.
+func (h *HiddenClass) WalkTransitions(fn func(*HiddenClass)) {
+	seen := map[*HiddenClass]bool{}
+	var walk func(*HiddenClass)
+	walk = func(hc *HiddenClass) {
+		if hc == nil || seen[hc] {
+			return
+		}
+		seen[hc] = true
+		fn(hc)
+		if len(hc.transitions) == 0 {
+			return
+		}
+		names := make([]string, 0, len(hc.transitions))
+		for n := range hc.transitions {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			walk(hc.transitions[n])
+		}
+	}
+	walk(h)
+}

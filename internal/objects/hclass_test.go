@@ -1,0 +1,241 @@
+package objects
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ricjs/internal/source"
+)
+
+func siteCreator(line, col uint32) Creator {
+	return Creator{Site: source.At("t.js", line, col)}
+}
+
+func TestCreator(t *testing.T) {
+	b := Creator{Builtin: "Math"}
+	if !b.IsBuiltin() || b.IsZero() {
+		t.Error("builtin creator misclassified")
+	}
+	if got := b.String(); got != "builtin:Math" {
+		t.Errorf("String() = %q", got)
+	}
+	s := siteCreator(2, 3)
+	if s.IsBuiltin() || s.IsZero() {
+		t.Error("site creator misclassified")
+	}
+	if got := s.String(); got != "site:t.js:2:3" {
+		t.Errorf("String() = %q", got)
+	}
+	if !(Creator{}).IsZero() {
+		t.Error("zero creator must report IsZero")
+	}
+}
+
+func TestRootHCHasEmptyLayout(t *testing.T) {
+	s := NewSpace(1)
+	hc := s.NewRootHC(nil, Creator{Builtin: "EmptyObject"})
+	if hc.NumFields() != 0 {
+		t.Fatalf("root HC has %d fields", hc.NumFields())
+	}
+	if _, ok := hc.Offset("x"); ok {
+		t.Fatal("empty layout must not resolve offsets")
+	}
+	if hc.Parent() != nil {
+		t.Fatal("root HC must have no parent")
+	}
+	if hc.Creator().Builtin != "EmptyObject" {
+		t.Fatalf("creator = %v", hc.Creator())
+	}
+}
+
+// The paper's Figure 2: adding x then y creates HC1{x@0} and HC2{x@0,y@1},
+// linked through the Next Hidden Class (transition) table.
+func TestTransitionChainFigure2(t *testing.T) {
+	s := NewSpace(1)
+	hc0 := s.NewRootHC(nil, Creator{Builtin: "Point"})
+
+	hc1, created := hc0.Transition(s, "x", siteCreator(2, 8))
+	if !created {
+		t.Fatal("first transition must create a hidden class")
+	}
+	if off, ok := hc1.Offset("x"); !ok || off != 0 {
+		t.Fatalf("x offset = %d,%v; want 0,true", off, ok)
+	}
+
+	hc2, created := hc1.Transition(s, "y", siteCreator(3, 8))
+	if !created {
+		t.Fatal("second transition must create a hidden class")
+	}
+	if off, ok := hc2.Offset("x"); !ok || off != 0 {
+		t.Fatalf("x offset in HC2 = %d,%v", off, ok)
+	}
+	if off, ok := hc2.Offset("y"); !ok || off != 1 {
+		t.Fatalf("y offset in HC2 = %d,%v", off, ok)
+	}
+	if hc2.Parent() != hc1 || hc1.Parent() != hc0 {
+		t.Fatal("parent chain broken")
+	}
+
+	// Second object created the same way reuses the transitions (paper:
+	// "hidden classes are created only for a new transition").
+	r1, created := hc0.Transition(s, "x", siteCreator(99, 1))
+	if created || r1 != hc1 {
+		t.Fatal("transition must be reused, not recreated")
+	}
+	if next, ok := hc1.TransitionTo("y"); !ok || next != hc2 {
+		t.Fatal("TransitionTo must find the cached transition")
+	}
+	if hc0.TransitionCount() != 1 {
+		t.Fatalf("TransitionCount = %d", hc0.TransitionCount())
+	}
+}
+
+func TestTransitionBranches(t *testing.T) {
+	s := NewSpace(1)
+	hc0 := s.NewRootHC(nil, Creator{Builtin: "o"})
+	hcX, _ := hc0.Transition(s, "x", siteCreator(1, 1))
+	hcY, _ := hc0.Transition(s, "y", siteCreator(2, 1))
+	if hcX == hcY {
+		t.Fatal("different properties must branch to different classes")
+	}
+	if hc0.TransitionCount() != 2 {
+		t.Fatalf("TransitionCount = %d", hc0.TransitionCount())
+	}
+}
+
+func TestCreatorRecordedOnlyOnCreation(t *testing.T) {
+	s := NewSpace(1)
+	hc0 := s.NewRootHC(nil, Creator{Builtin: "o"})
+	first := siteCreator(5, 5)
+	hc1, _ := hc0.Transition(s, "p", first)
+	// A later transition from another site reuses hc1; the creator of hc1
+	// stays the original (triggering) site.
+	hc0.Transition(s, "p", siteCreator(9, 9))
+	if hc1.Creator() != first {
+		t.Fatalf("creator = %v, want %v", hc1.Creator(), first)
+	}
+}
+
+func TestAddressesDifferAcrossSpaces(t *testing.T) {
+	s1 := NewSpace(0)
+	s2 := NewSpace(0)
+	hc1 := s1.NewRootHC(nil, Creator{Builtin: "o"})
+	hc2 := s2.NewRootHC(nil, Creator{Builtin: "o"})
+	if hc1.Addr() == hc2.Addr() {
+		t.Fatal("the same logical hidden class must get different addresses in different spaces")
+	}
+}
+
+func TestSeededSpaceIsReproducible(t *testing.T) {
+	a := NewSpace(7)
+	b := NewSpace(7)
+	if a.Base() != b.Base() {
+		t.Fatal("equal seeds must give equal bases")
+	}
+	ha := a.NewRootHC(nil, Creator{Builtin: "o"})
+	hb := b.NewRootHC(nil, Creator{Builtin: "o"})
+	if ha.Addr() != hb.Addr() {
+		t.Fatal("equal seeds must give equal address streams")
+	}
+}
+
+func TestLayoutSignatureContextIndependent(t *testing.T) {
+	build := func() *HiddenClass {
+		s := NewSpace(0) // different addresses every call
+		hc := s.NewRootHC(nil, Creator{Builtin: "o"})
+		hc, _ = hc.Transition(s, "a", siteCreator(1, 1))
+		hc, _ = hc.Transition(s, "b", siteCreator(2, 1))
+		return hc
+	}
+	h1, h2 := build(), build()
+	if h1.Addr() == h2.Addr() {
+		t.Fatal("test needs diverging addresses")
+	}
+	if h1.LayoutSignature() != h2.LayoutSignature() {
+		t.Fatalf("signatures differ: %q vs %q", h1.LayoutSignature(), h2.LayoutSignature())
+	}
+	if !strings.Contains(h1.LayoutSignature(), "{a,b}") {
+		t.Fatalf("signature %q lacks layout", h1.LayoutSignature())
+	}
+}
+
+func TestWalkTransitionsDeterministicOrder(t *testing.T) {
+	s := NewSpace(1)
+	root := s.NewRootHC(nil, Creator{Builtin: "o"})
+	bHC, _ := root.Transition(s, "b", siteCreator(1, 1))
+	aHC, _ := root.Transition(s, "a", siteCreator(2, 1))
+	abHC, _ := aHC.Transition(s, "b", siteCreator(3, 1))
+
+	var order []*HiddenClass
+	root.WalkTransitions(func(h *HiddenClass) { order = append(order, h) })
+	want := []*HiddenClass{root, aHC, abHC, bHC}
+	if len(order) != len(want) {
+		t.Fatalf("visited %d classes, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("visit order[%d] = %v, want %v", i, order[i], want[i])
+		}
+	}
+}
+
+func TestDictHCMarked(t *testing.T) {
+	s := NewSpace(1)
+	if !s.DictHC().IsDictionary() {
+		t.Fatal("dictionary HC must be marked")
+	}
+	hc := s.NewRootHC(nil, Creator{Builtin: "o"})
+	if hc.IsDictionary() {
+		t.Fatal("normal HC must not be marked dictionary")
+	}
+}
+
+func TestHCStringIncludesLayout(t *testing.T) {
+	s := NewSpace(1)
+	hc := s.NewRootHC(nil, Creator{Builtin: "o"})
+	hc, _ = hc.Transition(s, "q", siteCreator(1, 1))
+	if got := hc.String(); !strings.Contains(got, "{q}") {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+// Property: the same insertion order always reaches the same hidden class
+// (shape sharing), and offsets equal insertion positions.
+func TestShapeSharingProperty(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	f := func(perm []uint8) bool {
+		if len(perm) == 0 {
+			return true
+		}
+		if len(perm) > 6 {
+			perm = perm[:6]
+		}
+		s := NewSpace(3)
+		root := s.NewRootHC(nil, Creator{Builtin: "o"})
+		run := func() *HiddenClass {
+			hc := root
+			seen := map[string]bool{}
+			pos := 0
+			for _, p := range perm {
+				n := names[int(p)%len(names)]
+				if seen[n] {
+					continue
+				}
+				seen[n] = true
+				hc, _ = hc.Transition(s, n, siteCreator(1, uint32(p)+1))
+				if off, ok := hc.Offset(n); !ok || off != pos {
+					return nil
+				}
+				pos++
+			}
+			return hc
+		}
+		h1 := run()
+		h2 := run()
+		return h1 != nil && h1 == h2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,284 @@
+// Package objects implements the engine's object model: JavaScript values,
+// heap objects with in-object property slots, and V8-style hidden classes
+// with object-layout tables, transition tables and prototype pointers
+// (paper §2.2). It also provides the simulated address space that makes
+// hidden-class addresses context-dependent across engine instances, which
+// is the property RIC's validation machinery exists to cope with.
+package objects
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime types of a Value.
+type Kind uint8
+
+const (
+	// KindUndefined is the JavaScript undefined value.
+	KindUndefined Kind = iota
+	// KindNull is the JavaScript null value.
+	KindNull
+	// KindBool is a boolean.
+	KindBool
+	// KindNumber is an IEEE-754 double, like every JavaScript number.
+	KindNumber
+	// KindString is an immutable string.
+	KindString
+	// KindObject is a reference to a heap Object.
+	KindObject
+)
+
+// String returns the typeof-style name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindUndefined:
+		return "undefined"
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "boolean"
+	case KindNumber:
+		return "number"
+	case KindString:
+		return "string"
+	case KindObject:
+		return "object"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is a JavaScript value. The zero Value is undefined.
+type Value struct {
+	kind Kind
+	b    bool
+	num  float64
+	str  string
+	obj  *Object
+}
+
+// Undefined returns the undefined value.
+func Undefined() Value { return Value{} }
+
+// Null returns the null value.
+func Null() Value { return Value{kind: KindNull} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Num returns a number value.
+func Num(f float64) Value { return Value{kind: KindNumber, num: f} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindString, str: s} }
+
+// Obj returns an object reference value. A nil object yields null.
+func Obj(o *Object) Value {
+	if o == nil {
+		return Null()
+	}
+	return Value{kind: KindObject, obj: o}
+}
+
+// Kind returns the runtime type tag of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsUndefined reports whether the value is undefined.
+func (v Value) IsUndefined() bool { return v.kind == KindUndefined }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// IsNullish reports whether the value is null or undefined.
+func (v Value) IsNullish() bool { return v.kind == KindUndefined || v.kind == KindNull }
+
+// IsBool reports whether the value is a boolean.
+func (v Value) IsBool() bool { return v.kind == KindBool }
+
+// IsNumber reports whether the value is a number.
+func (v Value) IsNumber() bool { return v.kind == KindNumber }
+
+// IsString reports whether the value is a string.
+func (v Value) IsString() bool { return v.kind == KindString }
+
+// IsObject reports whether the value references a heap object.
+func (v Value) IsObject() bool { return v.kind == KindObject }
+
+// Bool returns the boolean payload; valid only when IsBool.
+func (v Value) Bool() bool { return v.b }
+
+// Num returns the number payload; valid only when IsNumber.
+func (v Value) Num() float64 { return v.num }
+
+// Str returns the string payload; valid only when IsString.
+func (v Value) Str() string { return v.str }
+
+// Obj returns the object payload, or nil when the value is not an object.
+func (v Value) Obj() *Object {
+	if v.kind != KindObject {
+		return nil
+	}
+	return v.obj
+}
+
+// IsCallable reports whether the value is a function object.
+func (v Value) IsCallable() bool {
+	return v.kind == KindObject && v.obj != nil && v.obj.fn != nil
+}
+
+// Truthy implements JavaScript ToBoolean.
+func (v Value) Truthy() bool {
+	switch v.kind {
+	case KindUndefined, KindNull:
+		return false
+	case KindBool:
+		return v.b
+	case KindNumber:
+		return v.num != 0 && !math.IsNaN(v.num)
+	case KindString:
+		return v.str != ""
+	default:
+		return true
+	}
+}
+
+// TypeOf implements the JavaScript typeof operator.
+func (v Value) TypeOf() string {
+	switch v.kind {
+	case KindUndefined:
+		return "undefined"
+	case KindNull:
+		return "object" // yes, really
+	case KindBool:
+		return "boolean"
+	case KindNumber:
+		return "number"
+	case KindString:
+		return "string"
+	default:
+		if v.IsCallable() {
+			return "function"
+		}
+		return "object"
+	}
+}
+
+// ToNumber implements JavaScript ToNumber for primitive values; objects
+// convert through their string representation.
+func (v Value) ToNumber() float64 {
+	switch v.kind {
+	case KindUndefined:
+		return math.NaN()
+	case KindNull:
+		return 0
+	case KindBool:
+		if v.b {
+			return 1
+		}
+		return 0
+	case KindNumber:
+		return v.num
+	case KindString:
+		s := strings.TrimSpace(v.str)
+		if s == "" {
+			return 0
+		}
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			return f
+		}
+		if n, err := strconv.ParseInt(s, 0, 64); err == nil {
+			return float64(n)
+		}
+		return math.NaN()
+	default:
+		return Str(v.ToString()).ToNumber()
+	}
+}
+
+// FormatNumber renders a float64 the way JavaScript does for the common
+// cases: integral values without a decimal point, NaN and Infinity named.
+func FormatNumber(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "Infinity"
+	case math.IsInf(f, -1):
+		return "-Infinity"
+	case f == math.Trunc(f) && math.Abs(f) < 1e21:
+		return strconv.FormatFloat(f, 'f', -1, 64)
+	default:
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+}
+
+// ToString implements a JavaScript-flavoured ToString.
+func (v Value) ToString() string {
+	switch v.kind {
+	case KindUndefined:
+		return "undefined"
+	case KindNull:
+		return "null"
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case KindNumber:
+		return FormatNumber(v.num)
+	case KindString:
+		return v.str
+	default:
+		if v.obj != nil {
+			return v.obj.describe()
+		}
+		return "[object Object]"
+	}
+}
+
+// StrictEquals implements the === operator.
+func StrictEquals(a, b Value) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case KindUndefined, KindNull:
+		return true
+	case KindBool:
+		return a.b == b.b
+	case KindNumber:
+		return a.num == b.num // NaN !== NaN falls out naturally
+	case KindString:
+		return a.str == b.str
+	default:
+		return a.obj == b.obj
+	}
+}
+
+// LooseEquals implements the == operator for the subset of coercions the
+// engine's language supports: null==undefined, numeric string coercion,
+// boolean-to-number coercion, and object identity.
+func LooseEquals(a, b Value) bool {
+	if a.kind == b.kind {
+		return StrictEquals(a, b)
+	}
+	switch {
+	case a.IsNullish() && b.IsNullish():
+		return true
+	case a.IsNullish() || b.IsNullish():
+		return false
+	case a.kind == KindObject || b.kind == KindObject:
+		// Objects compare equal to primitives through ToString, which is
+		// enough for the workloads (e.g. "" + obj patterns are rare).
+		if a.kind == KindObject {
+			return LooseEquals(Str(a.ToString()), b)
+		}
+		return LooseEquals(a, Str(b.ToString()))
+	default:
+		// Remaining mixes are bool/number/string: compare as numbers.
+		an, bn := a.ToNumber(), b.ToNumber()
+		return an == bn
+	}
+}

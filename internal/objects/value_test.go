@@ -1,0 +1,262 @@
+package objects
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Undefined().IsUndefined() || Undefined().Kind() != KindUndefined {
+		t.Error("Undefined() broken")
+	}
+	if !Null().IsNull() || !Null().IsNullish() {
+		t.Error("Null() broken")
+	}
+	if v := Bool(true); !v.IsBool() || !v.Bool() {
+		t.Error("Bool(true) broken")
+	}
+	if v := Num(3.5); !v.IsNumber() || v.Num() != 3.5 {
+		t.Error("Num broken")
+	}
+	if v := Str("hi"); !v.IsString() || v.Str() != "hi" {
+		t.Error("Str broken")
+	}
+	s := NewSpace(1)
+	o := s.NewObject(s.NewRootHC(nil, Creator{Builtin: "t"}))
+	if v := Obj(o); !v.IsObject() || v.Obj() != o {
+		t.Error("Obj broken")
+	}
+	if !Obj(nil).IsNull() {
+		t.Error("Obj(nil) must be null")
+	}
+	if Num(1).Obj() != nil {
+		t.Error("Obj() on non-object must be nil")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindUndefined: "undefined",
+		KindNull:      "null",
+		KindBool:      "boolean",
+		KindNumber:    "number",
+		KindString:    "string",
+		KindObject:    "object",
+		Kind(99):      "invalid",
+	}
+	for k, w := range want {
+		if got := k.String(); got != w {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, w)
+		}
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	s := NewSpace(1)
+	obj := s.NewObject(s.NewRootHC(nil, Creator{Builtin: "t"}))
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{Undefined(), false},
+		{Null(), false},
+		{Bool(false), false},
+		{Bool(true), true},
+		{Num(0), false},
+		{Num(math.NaN()), false},
+		{Num(-1), true},
+		{Str(""), false},
+		{Str("0"), true},
+		{Obj(obj), true},
+	}
+	for _, c := range cases {
+		if got := c.v.Truthy(); got != c.want {
+			t.Errorf("Truthy(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestTypeOf(t *testing.T) {
+	s := NewSpace(1)
+	hc := s.NewRootHC(nil, Creator{Builtin: "t"})
+	fn := s.NewFunction(hc, &FunctionData{Name: "f"})
+	plain := s.NewObject(hc)
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Undefined(), "undefined"},
+		{Null(), "object"},
+		{Bool(true), "boolean"},
+		{Num(1), "number"},
+		{Str("x"), "string"},
+		{Obj(plain), "object"},
+		{Obj(fn), "function"},
+	}
+	for _, c := range cases {
+		if got := c.v.TypeOf(); got != c.want {
+			t.Errorf("TypeOf(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestToNumber(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want float64
+	}{
+		{Null(), 0},
+		{Bool(true), 1},
+		{Bool(false), 0},
+		{Num(2.5), 2.5},
+		{Str(""), 0},
+		{Str("  42 "), 42},
+		{Str("3.25"), 3.25},
+		{Str("0x10"), 16},
+	}
+	for _, c := range cases {
+		if got := c.v.ToNumber(); got != c.want {
+			t.Errorf("ToNumber(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+	if !math.IsNaN(Undefined().ToNumber()) {
+		t.Error("ToNumber(undefined) must be NaN")
+	}
+	if !math.IsNaN(Str("bogus").ToNumber()) {
+		t.Error("ToNumber(\"bogus\") must be NaN")
+	}
+}
+
+func TestFormatNumber(t *testing.T) {
+	cases := []struct {
+		f    float64
+		want string
+	}{
+		{0, "0"},
+		{1, "1"},
+		{-7, "-7"},
+		{2.5, "2.5"},
+		{1e21, "1e+21"},
+		{math.NaN(), "NaN"},
+		{math.Inf(1), "Infinity"},
+		{math.Inf(-1), "-Infinity"},
+	}
+	for _, c := range cases {
+		if got := FormatNumber(c.f); got != c.want {
+			t.Errorf("FormatNumber(%v) = %q, want %q", c.f, got, c.want)
+		}
+	}
+}
+
+func TestToString(t *testing.T) {
+	s := NewSpace(1)
+	hc := s.NewRootHC(nil, Creator{Builtin: "t"})
+	arr := s.NewArray(hc, []Value{Num(1), Str("x"), Null()})
+	fn := s.NewFunction(hc, &FunctionData{Name: "f"})
+	plain := s.NewObject(hc)
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Undefined(), "undefined"},
+		{Null(), "null"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Num(3), "3"},
+		{Str("s"), "s"},
+		{Obj(arr), "1,x,"},
+		{Obj(fn), "function f() { [code] }"},
+		{Obj(plain), "[object Object]"},
+	}
+	for _, c := range cases {
+		if got := c.v.ToString(); got != c.want {
+			t.Errorf("ToString(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestStrictEquals(t *testing.T) {
+	s := NewSpace(1)
+	hc := s.NewRootHC(nil, Creator{Builtin: "t"})
+	o1, o2 := s.NewObject(hc), s.NewObject(hc)
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Undefined(), Undefined(), true},
+		{Null(), Null(), true},
+		{Undefined(), Null(), false},
+		{Num(1), Num(1), true},
+		{Num(math.NaN()), Num(math.NaN()), false},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Str("b"), false},
+		{Bool(true), Bool(true), true},
+		{Num(1), Str("1"), false},
+		{Obj(o1), Obj(o1), true},
+		{Obj(o1), Obj(o2), false},
+	}
+	for _, c := range cases {
+		if got := StrictEquals(c.a, c.b); got != c.want {
+			t.Errorf("StrictEquals(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLooseEquals(t *testing.T) {
+	s := NewSpace(1)
+	hc := s.NewRootHC(nil, Creator{Builtin: "t"})
+	o := s.NewObject(hc)
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Null(), Undefined(), true},
+		{Null(), Num(0), false},
+		{Num(1), Str("1"), true},
+		{Bool(true), Num(1), true},
+		{Bool(false), Str(""), true},
+		{Obj(o), Obj(o), true},
+		{Str("[object Object]"), Obj(o), true},
+	}
+	for _, c := range cases {
+		if got := LooseEquals(c.a, c.b); got != c.want {
+			t.Errorf("LooseEquals(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: strict equality implies loose equality.
+func TestStrictImpliesLooseProperty(t *testing.T) {
+	f := func(a, b float64, s1, s2 string, which uint8) bool {
+		var x, y Value
+		switch which % 3 {
+		case 0:
+			x, y = Num(a), Num(b)
+		case 1:
+			x, y = Str(s1), Str(s2)
+		default:
+			x, y = Bool(a > 0), Bool(b > 0)
+		}
+		if StrictEquals(x, y) && !LooseEquals(x, y) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ToNumber(FormatNumber(f)) round-trips finite doubles.
+func TestNumberFormatRoundTripProperty(t *testing.T) {
+	f := func(f64 float64) bool {
+		if math.IsNaN(f64) || math.IsInf(f64, 0) || math.Abs(f64) >= 1e21 {
+			return true
+		}
+		return Str(FormatNumber(f64)).ToNumber() == f64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,337 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"ricjs/internal/ast"
+)
+
+func parse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := Parse("t.js", src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return prog
+}
+
+func parseExpr(t *testing.T, src string) ast.Expr {
+	t.Helper()
+	prog := parse(t, src)
+	if len(prog.Body) != 1 {
+		t.Fatalf("want single statement, got %d", len(prog.Body))
+	}
+	es, ok := prog.Body[0].(*ast.ExprStmt)
+	if !ok {
+		t.Fatalf("want ExprStmt, got %T", prog.Body[0])
+	}
+	return es.X
+}
+
+func TestVarDecl(t *testing.T) {
+	prog := parse(t, "var a = 1, b, c = 'x';")
+	d := prog.Body[0].(*ast.VarDecl)
+	if len(d.Names) != 3 || d.Names[0] != "a" || d.Names[2] != "c" {
+		t.Fatalf("names = %v", d.Names)
+	}
+	if d.Inits[1] != nil {
+		t.Fatal("b must have no initializer")
+	}
+	if d.Inits[0].(*ast.NumberLit).Value != 1 {
+		t.Fatal("a initializer wrong")
+	}
+	if d.Inits[2].(*ast.StringLit).Value != "x" {
+		t.Fatal("c initializer wrong")
+	}
+}
+
+func TestFunctionDecl(t *testing.T) {
+	prog := parse(t, "function add(a, b) { return a + b; }")
+	fd := prog.Body[0].(*ast.FunctionDecl)
+	if fd.Fn.Name != "add" || len(fd.Fn.Params) != 2 {
+		t.Fatalf("fn = %+v", fd.Fn)
+	}
+	ret := fd.Fn.Body[0].(*ast.ReturnStmt)
+	bin := ret.Value.(*ast.BinaryExpr)
+	if bin.Op != "+" {
+		t.Fatalf("op = %q", bin.Op)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// 1 + 2 * 3 parses as 1 + (2 * 3)
+	e := parseExpr(t, "1 + 2 * 3;").(*ast.BinaryExpr)
+	if e.Op != "+" {
+		t.Fatalf("top op = %q", e.Op)
+	}
+	r := e.R.(*ast.BinaryExpr)
+	if r.Op != "*" {
+		t.Fatalf("inner op = %q", r.Op)
+	}
+	// a || b && c parses as a || (b && c)
+	l := parseExpr(t, "a || b && c;").(*ast.LogicalExpr)
+	if l.Op != "||" || l.R.(*ast.LogicalExpr).Op != "&&" {
+		t.Fatal("logical precedence wrong")
+	}
+	// comparison binds tighter than equality
+	eq := parseExpr(t, "a == b < c;").(*ast.BinaryExpr)
+	if eq.Op != "==" || eq.R.(*ast.BinaryExpr).Op != "<" {
+		t.Fatal("relational precedence wrong")
+	}
+}
+
+func TestAssignmentRightAssociative(t *testing.T) {
+	e := parseExpr(t, "a = b = 1;").(*ast.AssignExpr)
+	if _, ok := e.Value.(*ast.AssignExpr); !ok {
+		t.Fatal("nested assignment must hang right")
+	}
+}
+
+func TestCompoundAssignToMember(t *testing.T) {
+	e := parseExpr(t, "o.n += 2;").(*ast.AssignExpr)
+	if e.Op != "+=" {
+		t.Fatalf("op = %q", e.Op)
+	}
+	m := e.Target.(*ast.MemberExpr)
+	if m.Name != "n" {
+		t.Fatalf("member = %q", m.Name)
+	}
+}
+
+func TestInvalidAssignTarget(t *testing.T) {
+	if _, err := Parse("t.js", "1 = 2;"); err == nil {
+		t.Fatal("expected error for literal assignment target")
+	}
+}
+
+func TestMemberChainsAndCalls(t *testing.T) {
+	e := parseExpr(t, "a.b.c(1)[2].d;").(*ast.MemberExpr)
+	if e.Name != "d" {
+		t.Fatalf("outer member = %q", e.Name)
+	}
+	idx := e.Obj.(*ast.IndexExpr)
+	call := idx.Obj.(*ast.CallExpr)
+	if len(call.Args) != 1 {
+		t.Fatal("call args wrong")
+	}
+	inner := call.Callee.(*ast.MemberExpr)
+	if inner.Name != "c" || inner.Obj.(*ast.MemberExpr).Name != "b" {
+		t.Fatal("member chain wrong")
+	}
+}
+
+func TestNewExpr(t *testing.T) {
+	e := parseExpr(t, "new Point(1, 2);").(*ast.NewExpr)
+	if e.Callee.(*ast.Ident).Name != "Point" || len(e.Args) != 2 {
+		t.Fatalf("new = %+v", e)
+	}
+	// new with member callee and trailing method call
+	e2 := parseExpr(t, "new ns.Point(1).scale(2);")
+	call := e2.(*ast.CallExpr)
+	m := call.Callee.(*ast.MemberExpr)
+	if m.Name != "scale" {
+		t.Fatal("method on new result wrong")
+	}
+	n := m.Obj.(*ast.NewExpr)
+	if n.Callee.(*ast.MemberExpr).Name != "Point" {
+		t.Fatal("new callee wrong")
+	}
+	// new without parens
+	e3 := parseExpr(t, "new Foo;").(*ast.NewExpr)
+	if len(e3.Args) != 0 {
+		t.Fatal("argless new wrong")
+	}
+}
+
+func TestObjectLiteral(t *testing.T) {
+	e := parseExpr(t, `({a: 1, "b c": 2, 3: x, delete: 4});`).(*ast.ObjectLit)
+	if len(e.Props) != 4 {
+		t.Fatalf("props = %d", len(e.Props))
+	}
+	if e.Props[0].Key != "a" || e.Props[1].Key != "b c" || e.Props[2].Key != "3" || e.Props[3].Key != "delete" {
+		t.Fatalf("keys = %v %v %v %v", e.Props[0].Key, e.Props[1].Key, e.Props[2].Key, e.Props[3].Key)
+	}
+}
+
+func TestArrayLiteral(t *testing.T) {
+	e := parseExpr(t, "[1, 'two', [3]];").(*ast.ArrayLit)
+	if len(e.Elems) != 3 {
+		t.Fatalf("elems = %d", len(e.Elems))
+	}
+	if _, ok := e.Elems[2].(*ast.ArrayLit); !ok {
+		t.Fatal("nested array lost")
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	prog := parse(t, `
+		if (a) { b; } else c;
+		while (x) y;
+		do { z; } while (w);
+		for (var i = 0; i < 10; i++) body;
+		for (;;) {}
+		for (k in o) use(k);
+		for (var k2 in o) use(k2);
+	`)
+	if len(prog.Body) != 7 {
+		t.Fatalf("statements = %d", len(prog.Body))
+	}
+	ifs := prog.Body[0].(*ast.IfStmt)
+	if ifs.Else == nil {
+		t.Fatal("else lost")
+	}
+	f := prog.Body[3].(*ast.ForStmt)
+	if f.Init == nil || f.Cond == nil || f.Post == nil {
+		t.Fatal("for clauses lost")
+	}
+	empty := prog.Body[4].(*ast.ForStmt)
+	if empty.Init != nil || empty.Cond != nil || empty.Post != nil {
+		t.Fatal("empty for clauses must be nil")
+	}
+	fin := prog.Body[5].(*ast.ForInStmt)
+	if fin.Name != "k" || fin.Decl {
+		t.Fatalf("for-in = %+v", fin)
+	}
+	fin2 := prog.Body[6].(*ast.ForInStmt)
+	if fin2.Name != "k2" || !fin2.Decl {
+		t.Fatalf("for-in var = %+v", fin2)
+	}
+}
+
+func TestBreakContinueThrow(t *testing.T) {
+	prog := parse(t, "while (1) { break; continue; } throw err;")
+	w := prog.Body[0].(*ast.WhileStmt)
+	body := w.Body.(*ast.BlockStmt)
+	if _, ok := body.Body[0].(*ast.BreakStmt); !ok {
+		t.Fatal("break lost")
+	}
+	if _, ok := body.Body[1].(*ast.ContinueStmt); !ok {
+		t.Fatal("continue lost")
+	}
+	if _, ok := prog.Body[1].(*ast.ThrowStmt); !ok {
+		t.Fatal("throw lost")
+	}
+}
+
+func TestTryCatchFinally(t *testing.T) {
+	prog := parse(t, "try { a; } catch (e) { b; } finally { c; }")
+	ts := prog.Body[0].(*ast.TryStmt)
+	if ts.CatchName != "e" || len(ts.Body) != 1 || len(ts.Catch) != 1 || len(ts.Finally) != 1 {
+		t.Fatalf("try = %+v", ts)
+	}
+	if _, err := Parse("t.js", "try { a; }"); err == nil {
+		t.Fatal("try without catch/finally must error")
+	}
+	// Regression: empty catch and finally bodies are valid clauses.
+	for _, src := range []string{
+		"try { a(); } catch (e) { }",
+		"try { } catch (e) { b; }",
+		"try { a; } finally { }",
+	} {
+		if _, err := Parse("t.js", src); err != nil {
+			t.Errorf("%q: %v", src, err)
+		}
+	}
+}
+
+func TestTernaryAndUnary(t *testing.T) {
+	e := parseExpr(t, "a ? b : c;").(*ast.CondExpr)
+	if e.Cond.(*ast.Ident).Name != "a" {
+		t.Fatal("ternary wrong")
+	}
+	u := parseExpr(t, "typeof !x;").(*ast.UnaryExpr)
+	if u.Op != "typeof" || u.Operand.(*ast.UnaryExpr).Op != "!" {
+		t.Fatal("unary nesting wrong")
+	}
+	d := parseExpr(t, "delete o.p;").(*ast.UnaryExpr)
+	if d.Op != "delete" {
+		t.Fatal("delete wrong")
+	}
+	pp := parseExpr(t, "++i;").(*ast.UnaryExpr)
+	if pp.Op != "++" {
+		t.Fatal("prefix ++ wrong")
+	}
+	post := parseExpr(t, "i--;").(*ast.PostfixExpr)
+	if post.Op != "--" {
+		t.Fatal("postfix -- wrong")
+	}
+}
+
+func TestFunctionExpressionAndClosures(t *testing.T) {
+	e := parseExpr(t, "(function (x) { return function () { return x; }; });").(*ast.FunctionLit)
+	if e.Name != "" || len(e.Params) != 1 {
+		t.Fatalf("outer fn = %+v", e)
+	}
+	inner := e.Body[0].(*ast.ReturnStmt).Value.(*ast.FunctionLit)
+	if len(inner.Params) != 0 {
+		t.Fatal("inner fn wrong")
+	}
+}
+
+func TestThisAndLiterals(t *testing.T) {
+	prog := parse(t, "this.x = null; y = undefined; z = true;")
+	a := prog.Body[0].(*ast.ExprStmt).X.(*ast.AssignExpr)
+	m := a.Target.(*ast.MemberExpr)
+	if _, ok := m.Obj.(*ast.ThisExpr); !ok {
+		t.Fatal("this lost")
+	}
+	if _, ok := a.Value.(*ast.NullLit); !ok {
+		t.Fatal("null lost")
+	}
+}
+
+func TestInAndInstanceof(t *testing.T) {
+	e := parseExpr(t, "('x' in o);").(*ast.BinaryExpr)
+	if e.Op != "in" {
+		t.Fatalf("op = %q", e.Op)
+	}
+	e2 := parseExpr(t, "(o instanceof C);").(*ast.BinaryExpr)
+	if e2.Op != "instanceof" {
+		t.Fatalf("op = %q", e2.Op)
+	}
+}
+
+func TestMemberSitePositions(t *testing.T) {
+	// Two accesses to the same property on different lines must have
+	// different site positions — sites identify program points, not names.
+	prog := parse(t, "o.x;\no.x;")
+	m1 := prog.Body[0].(*ast.ExprStmt).X.(*ast.MemberExpr)
+	m2 := prog.Body[1].(*ast.ExprStmt).X.(*ast.MemberExpr)
+	if m1.P == m2.P {
+		t.Fatal("distinct sites must have distinct positions")
+	}
+	if m1.P.Line != 1 || m2.P.Line != 2 {
+		t.Fatalf("positions = %v %v", m1.P, m2.P)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"var ;",
+		"function () {}",
+		"function f(",
+		"function f() {",
+		"if (a",
+		"o.;",
+		"{ a;",
+		"a b +;",
+		"({a 1});",
+		"[1 2];",
+		"for (var x in) {}",
+	}
+	for _, src := range cases {
+		if _, err := Parse("t.js", src); err == nil {
+			t.Errorf("parse %q: expected error", src)
+		} else if !strings.Contains(err.Error(), "t.js:") {
+			t.Errorf("error %q lacks position", err)
+		}
+	}
+}
+
+func TestKeywordPropertyAccess(t *testing.T) {
+	e := parseExpr(t, "o.in;").(*ast.MemberExpr)
+	if e.Name != "in" {
+		t.Fatalf("keyword member = %q", e.Name)
+	}
+}

@@ -1,0 +1,66 @@
+package parser
+
+import "testing"
+
+const robustSource = `
+var lib = {version: 1, flags: [true, false]};
+function Ctor(a, b) {
+	this.a = a;
+	this.b = b + lib.version;
+}
+Ctor.prototype.sum = function () { return this.a + this.b; };
+var items = [new Ctor(1, 2), new Ctor(3, 4)];
+for (var i = 0; i < items.length; i++) {
+	switch (i % 3) {
+	case 0: lib.flags[0] = !lib.flags[0]; break;
+	case 1: continue;
+	default: delete lib.version;
+	}
+	try { throw items[i].sum(); } catch (e) { lib.last = e; } finally { lib.done = true; }
+}
+do { i--; } while (i > 0 && typeof i === 'number');
+var pick = i ? 'yes' : 'no';
+print(pick in lib, lib instanceof Object, -i, +i, i++, --i);
+`
+
+// Every prefix of a valid program must either parse or produce a
+// positioned error — never panic. This drags the parser through all of
+// its unexpected-EOF paths.
+func TestEveryPrefixParsesOrErrors(t *testing.T) {
+	for i := 0; i <= len(robustSource); i++ {
+		prefix := robustSource[:i]
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic at prefix length %d: %v\nprefix: %q", i, r, prefix)
+				}
+			}()
+			_, _ = Parse("prefix.js", prefix)
+		}()
+	}
+}
+
+// Injecting an illegal character at every position must surface a lexer
+// error through whatever parser state is active — never a panic.
+func TestLexErrorPropagatesFromEveryPosition(t *testing.T) {
+	for i := 0; i < len(robustSource); i += 3 {
+		mutated := robustSource[:i] + "@" + robustSource[i:]
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic with @ at %d: %v", i, r)
+				}
+			}()
+			if _, err := Parse("mut.js", mutated); err == nil {
+				// The @ may land inside a string or comment, which is fine.
+				return
+			}
+		}()
+	}
+}
+
+func TestFullRobustSourceParses(t *testing.T) {
+	if _, err := Parse("robust.js", robustSource); err != nil {
+		t.Fatalf("reference source must parse: %v", err)
+	}
+}

@@ -1,0 +1,372 @@
+package ric
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"ricjs/internal/ic"
+	"ricjs/internal/source"
+)
+
+// Record wire format (all integers are unsigned/zigzag varints):
+//
+//	magic "RICREC\x01"
+//	label string
+//	flags (bit 0: includes globals)
+//	script string table (count, strings)
+//	hidden class count
+//	deps: per HCID: count × (siteRef, handlerKind, offset, name, innerKind)
+//	site TOAST: count × (siteRef, pairCount × (in+1, out))
+//	builtin TOAST: count × (name, id)
+//	rejected sites: count × siteRef
+//
+// A siteRef is (scriptIdx, line, col). Map-ordered sections are sorted so
+// encoding is deterministic.
+var recordMagic = []byte("RICREC\x02")
+
+type encoder struct {
+	buf     bytes.Buffer
+	scripts map[string]uint64
+	names   []string
+}
+
+func (e *encoder) uvarint(v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	e.buf.Write(tmp[:n])
+}
+
+func (e *encoder) varint(v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	e.buf.Write(tmp[:n])
+}
+
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf.WriteString(s)
+}
+
+func (e *encoder) scriptIdx(s string) uint64 {
+	if i, ok := e.scripts[s]; ok {
+		return i
+	}
+	i := uint64(len(e.names))
+	e.scripts[s] = i
+	e.names = append(e.names, s)
+	return i
+}
+
+func (e *encoder) site(s source.Site) {
+	e.uvarint(e.scriptIdx(s.Script))
+	e.uvarint(uint64(s.Pos.Line))
+	e.uvarint(uint64(s.Pos.Col))
+}
+
+// sortedSites returns map keys in a stable order.
+func sortedSites[V any](m map[source.Site]V) []source.Site {
+	keys := make([]source.Site, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Script != b.Script {
+			return a.Script < b.Script
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Col < b.Pos.Col
+	})
+	return keys
+}
+
+// Encode serializes the record into a compact, deterministic byte form.
+// Its length is the record's memory overhead (paper §7.3 reports 11–118 KB
+// per library for V8).
+func (r *Record) Encode() []byte {
+	// Pre-register scripts so the string table can be emitted first: walk
+	// everything once with a throwaway encoder body.
+	e := &encoder{scripts: make(map[string]uint64)}
+	collect := func(s source.Site) { e.scriptIdx(s.Script) }
+	for _, deps := range r.Deps {
+		for _, d := range deps {
+			collect(d.Site)
+		}
+	}
+	for _, s := range sortedSites(r.SiteTOAST) {
+		collect(s)
+	}
+	for _, s := range sortedSites(r.RejectedSites) {
+		collect(s)
+	}
+
+	e.buf.Write(recordMagic)
+	e.str(r.Script)
+	flags := uint64(0)
+	if r.IncludesGlobals {
+		flags |= 1
+	}
+	e.uvarint(flags)
+
+	e.uvarint(uint64(len(e.names)))
+	for _, n := range e.names {
+		e.str(n)
+	}
+
+	e.uvarint(uint64(r.HCCount))
+	for _, deps := range r.Deps {
+		e.uvarint(uint64(len(deps)))
+		for _, d := range deps {
+			e.site(d.Site)
+			e.uvarint(uint64(d.Kind))
+			e.str(d.Name)
+			e.uvarint(uint64(d.Desc.Kind))
+			e.varint(int64(d.Desc.Offset))
+			e.str(d.Desc.Name)
+			e.uvarint(uint64(d.Desc.Inner))
+		}
+	}
+
+	siteKeys := sortedSites(r.SiteTOAST)
+	e.uvarint(uint64(len(siteKeys)))
+	for _, s := range siteKeys {
+		e.site(s)
+		pairs := r.SiteTOAST[s]
+		e.uvarint(uint64(len(pairs)))
+		for _, p := range pairs {
+			e.varint(int64(p.In))
+			e.varint(int64(p.Out))
+		}
+	}
+
+	builtinNames := make([]string, 0, len(r.BuiltinTOAST))
+	for n := range r.BuiltinTOAST {
+		builtinNames = append(builtinNames, n)
+	}
+	sort.Strings(builtinNames)
+	e.uvarint(uint64(len(builtinNames)))
+	for _, n := range builtinNames {
+		e.str(n)
+		e.uvarint(uint64(r.BuiltinTOAST[n]))
+	}
+
+	rejected := sortedSites(r.RejectedSites)
+	e.uvarint(uint64(len(rejected)))
+	for _, s := range rejected {
+		e.site(s)
+	}
+	return e.buf.Bytes()
+}
+
+type decoder struct {
+	buf   *bytes.Reader
+	names []string
+}
+
+func (d *decoder) uvarint() (uint64, error) { return binary.ReadUvarint(d.buf) }
+func (d *decoder) varint() (int64, error)   { return binary.ReadVarint(d.buf) }
+
+func (d *decoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(d.buf.Len()) {
+		return "", fmt.Errorf("ric: string length %d exceeds remaining input", n)
+	}
+	b := make([]byte, n)
+	if _, err := d.buf.Read(b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (d *decoder) site() (source.Site, error) {
+	idx, err := d.uvarint()
+	if err != nil {
+		return source.Site{}, err
+	}
+	if idx >= uint64(len(d.names)) {
+		return source.Site{}, fmt.Errorf("ric: script index %d out of range", idx)
+	}
+	line, err := d.uvarint()
+	if err != nil {
+		return source.Site{}, err
+	}
+	col, err := d.uvarint()
+	if err != nil {
+		return source.Site{}, err
+	}
+	return source.At(d.names[idx], uint32(line), uint32(col)), nil
+}
+
+// Decode parses an encoded record, validating structure so corrupt input
+// is rejected rather than reused.
+func Decode(data []byte) (*Record, error) {
+	if len(data) < len(recordMagic) || !bytes.Equal(data[:len(recordMagic)], recordMagic) {
+		return nil, fmt.Errorf("ric: bad record magic")
+	}
+	d := &decoder{buf: bytes.NewReader(data[len(recordMagic):])}
+	r := &Record{
+		SiteTOAST:     make(map[source.Site][]Pair),
+		BuiltinTOAST:  make(map[string]int32),
+		RejectedSites: make(map[source.Site]bool),
+	}
+	var err error
+	if r.Script, err = d.str(); err != nil {
+		return nil, fmt.Errorf("ric: label: %w", err)
+	}
+	flags, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("ric: flags: %w", err)
+	}
+	r.IncludesGlobals = flags&1 != 0
+
+	nScripts, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("ric: script table: %w", err)
+	}
+	for i := uint64(0); i < nScripts; i++ {
+		s, err := d.str()
+		if err != nil {
+			return nil, fmt.Errorf("ric: script table: %w", err)
+		}
+		d.names = append(d.names, s)
+	}
+
+	hcCount, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("ric: hc count: %w", err)
+	}
+	const maxHCs = 1 << 24
+	if hcCount > maxHCs {
+		return nil, fmt.Errorf("ric: implausible hidden class count %d", hcCount)
+	}
+	r.HCCount = int32(hcCount)
+	r.Deps = make([][]DepEntry, hcCount)
+	for i := range r.Deps {
+		n, err := d.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("ric: deps[%d]: %w", i, err)
+		}
+		for j := uint64(0); j < n; j++ {
+			site, err := d.site()
+			if err != nil {
+				return nil, fmt.Errorf("ric: deps[%d]: %w", i, err)
+			}
+			accessKind, err := d.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("ric: deps[%d]: %w", i, err)
+			}
+			siteName, err := d.str()
+			if err != nil {
+				return nil, fmt.Errorf("ric: deps[%d]: %w", i, err)
+			}
+			kind, err := d.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("ric: deps[%d]: %w", i, err)
+			}
+			off, err := d.varint()
+			if err != nil {
+				return nil, fmt.Errorf("ric: deps[%d]: %w", i, err)
+			}
+			name, err := d.str()
+			if err != nil {
+				return nil, fmt.Errorf("ric: deps[%d]: %w", i, err)
+			}
+			inner, err := d.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("ric: deps[%d]: %w", i, err)
+			}
+			r.Deps[i] = append(r.Deps[i], DepEntry{
+				Site: site,
+				Kind: ic.AccessKind(accessKind),
+				Name: siteName,
+				Desc: ic.CIDescriptor{
+					Kind:   ic.HandlerKind(kind),
+					Offset: int32(off),
+					Name:   name,
+					Inner:  ic.HandlerKind(inner),
+				},
+			})
+		}
+	}
+
+	nSites, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("ric: site TOAST: %w", err)
+	}
+	for i := uint64(0); i < nSites; i++ {
+		site, err := d.site()
+		if err != nil {
+			return nil, fmt.Errorf("ric: site TOAST: %w", err)
+		}
+		nPairs, err := d.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("ric: site TOAST: %w", err)
+		}
+		var pairs []Pair
+		for j := uint64(0); j < nPairs; j++ {
+			in, err := d.varint()
+			if err != nil {
+				return nil, fmt.Errorf("ric: site TOAST: %w", err)
+			}
+			out, err := d.varint()
+			if err != nil {
+				return nil, fmt.Errorf("ric: site TOAST: %w", err)
+			}
+			pairs = append(pairs, Pair{In: int32(in), Out: int32(out)})
+		}
+		r.SiteTOAST[site] = pairs
+	}
+
+	nBuiltins, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("ric: builtin TOAST: %w", err)
+	}
+	for i := uint64(0); i < nBuiltins; i++ {
+		name, err := d.str()
+		if err != nil {
+			return nil, fmt.Errorf("ric: builtin TOAST: %w", err)
+		}
+		id, err := d.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("ric: builtin TOAST: %w", err)
+		}
+		r.BuiltinTOAST[name] = int32(id)
+	}
+
+	nRejected, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("ric: rejected sites: %w", err)
+	}
+	for i := uint64(0); i < nRejected; i++ {
+		site, err := d.site()
+		if err != nil {
+			return nil, fmt.Errorf("ric: rejected sites: %w", err)
+		}
+		r.RejectedSites[site] = true
+	}
+
+	if d.buf.Len() != 0 {
+		return nil, fmt.Errorf("ric: %d trailing bytes", d.buf.Len())
+	}
+	if err := r.validateShape(); err != nil {
+		return nil, err
+	}
+	r.Stats = Stats{
+		HiddenClasses:   int(r.HCCount),
+		TriggeringSites: len(r.SiteTOAST),
+		BuiltinEntries:  len(r.BuiltinTOAST),
+		RejectedSites:   len(r.RejectedSites),
+	}
+	for _, deps := range r.Deps {
+		r.Stats.DependentSlots += len(deps)
+	}
+	r.Stats.ContextIndependentHandlers = r.Stats.DependentSlots
+	return r, nil
+}

@@ -1,0 +1,158 @@
+package ric
+
+import (
+	"fmt"
+	"sort"
+
+	"ricjs/internal/source"
+)
+
+// Merge combines records extracted from different runs into one. The
+// paper's §9 contrasts RIC with heap snapshots precisely on this ability:
+// "the information is maintained for each JavaScript file; therefore, the
+// IC information for a library can be shared by different applications".
+// Merging per-library records builds the record of an application that
+// loads those libraries together.
+//
+// Hidden-class IDs are per-record, so Merge renumbers them: builtin TOAST
+// entries with the same name are unified (they describe the same logical
+// hidden class — the builtins' creation is deterministic), and all other
+// rows are appended. Site-keyed TOAST entries and dependent lists are
+// concatenated and deduplicated; on a triggering-site collision between
+// records (two records claiming different transitions for one site, which
+// can only happen for records of *different versions* of a script), the
+// earlier record wins for conflicting pairs.
+//
+// All inputs must agree on IncludesGlobals.
+func Merge(records ...*Record) (*Record, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("ric: nothing to merge")
+	}
+	if len(records) == 1 {
+		return records[0], nil
+	}
+	for _, r := range records[1:] {
+		if r.IncludesGlobals != records[0].IncludesGlobals {
+			return nil, fmt.Errorf("ric: cannot merge records with different IncludesGlobals settings")
+		}
+	}
+
+	out := &Record{
+		Script:          mergedLabel(records),
+		SiteTOAST:       make(map[source.Site][]Pair),
+		BuiltinTOAST:    make(map[string]int32),
+		RejectedSites:   make(map[source.Site]bool),
+		IncludesGlobals: records[0].IncludesGlobals,
+	}
+
+	// Pass 1: assign merged IDs. Builtin-keyed rows unify by name; every
+	// other row is appended. remap[i][oldID] = newID for record i.
+	remap := make([][]int32, len(records))
+	next := int32(0)
+	builtinID := make(map[string]int32)
+	for i, r := range records {
+		remap[i] = make([]int32, r.HCCount)
+		for j := range remap[i] {
+			remap[i][j] = -1
+		}
+		// Builtin rows first, sorted for determinism.
+		names := make([]string, 0, len(r.BuiltinTOAST))
+		for name := range r.BuiltinTOAST {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			old := r.BuiltinTOAST[name]
+			if unified, ok := builtinID[name]; ok {
+				if remap[i][old] == -1 {
+					remap[i][old] = unified
+				}
+				continue
+			}
+			if remap[i][old] == -1 {
+				remap[i][old] = next
+				next++
+			}
+			builtinID[name] = remap[i][old]
+		}
+		// Remaining rows append.
+		for old := int32(0); old < r.HCCount; old++ {
+			if remap[i][old] == -1 {
+				remap[i][old] = next
+				next++
+			}
+		}
+	}
+	out.HCCount = next
+	out.Deps = make([][]DepEntry, next)
+
+	// Pass 2: rebuild the tables under the merged numbering.
+	type pairKey struct{ in, out int32 }
+	seenPairs := make(map[source.Site]map[pairKey]bool)
+	seenDeps := make(map[int32]map[DepEntry]bool)
+	for i, r := range records {
+		for name, old := range r.BuiltinTOAST {
+			if _, ok := out.BuiltinTOAST[name]; !ok {
+				out.BuiltinTOAST[name] = remap[i][old]
+			}
+		}
+		for site, pairs := range r.SiteTOAST {
+			if seenPairs[site] == nil {
+				seenPairs[site] = make(map[pairKey]bool)
+			}
+			for _, p := range pairs {
+				in := p.In
+				if in >= 0 {
+					in = remap[i][in]
+				}
+				mp := Pair{In: in, Out: remap[i][p.Out]}
+				k := pairKey{mp.In, mp.Out}
+				if seenPairs[site][k] {
+					continue
+				}
+				seenPairs[site][k] = true
+				out.SiteTOAST[site] = append(out.SiteTOAST[site], mp)
+			}
+		}
+		for old, deps := range r.Deps {
+			id := remap[i][int32(old)]
+			if seenDeps[id] == nil {
+				seenDeps[id] = make(map[DepEntry]bool)
+			}
+			for _, d := range deps {
+				if seenDeps[id][d] {
+					continue
+				}
+				seenDeps[id][d] = true
+				out.Deps[id] = append(out.Deps[id], d)
+			}
+		}
+		for site := range r.RejectedSites {
+			out.RejectedSites[site] = true
+		}
+	}
+
+	out.Stats = Stats{
+		HiddenClasses:   int(out.HCCount),
+		TriggeringSites: len(out.SiteTOAST),
+		BuiltinEntries:  len(out.BuiltinTOAST),
+		RejectedSites:   len(out.RejectedSites),
+	}
+	for _, deps := range out.Deps {
+		out.Stats.DependentSlots += len(deps)
+	}
+	out.Stats.ContextIndependentHandlers = out.Stats.DependentSlots
+
+	if err := out.validateShape(); err != nil {
+		return nil, fmt.Errorf("ric: merge produced invalid record: %w", err)
+	}
+	return out, nil
+}
+
+func mergedLabel(records []*Record) string {
+	label := records[0].Script
+	for _, r := range records[1:] {
+		label += "+" + r.Script
+	}
+	return label
+}

@@ -1,0 +1,137 @@
+// Package ric implements Reusable Inline Caching — the paper's core
+// contribution (§4, §5).
+//
+// After an Initial run, the extraction phase (Extract) analyzes the
+// ICVectors and hidden-class graph the program produced and builds an
+// ICRecord holding only context-independent information:
+//
+//   - the Hidden Class Validation Table (HCVT): one row per hidden class,
+//     carrying the dependent sites to preload once the class validates;
+//   - the Triggering Object Access Site Table (TOAST): keyed by access-site
+//     identity (script:line:col) or builtin name, giving the
+//     (incoming, outgoing) hidden-class-ID pairs of each triggering site;
+//   - the context-independent handlers of the dependent sites, as
+//     rebuildable descriptors.
+//
+// During a Reuse run, a Reuser (installed as the VM's hooks) incrementally
+// validates hidden classes — builtins at startup, then transition targets
+// whose incoming class already validated — and preloads the ICVector slots
+// of dependent sites, averting their IC misses.
+package ric
+
+import (
+	"fmt"
+
+	"ricjs/internal/ic"
+	"ricjs/internal/source"
+)
+
+// Pair is one (incoming, outgoing) hidden-class-ID pair of a TOAST entry.
+// In is -1 for rootless creations (constructor hidden classes and builtin
+// roots have no incoming class).
+type Pair struct {
+	In  int32
+	Out int32
+}
+
+// DepEntry is one dependent site of an HCVT row: when the row's hidden
+// class validates, Site's ICVector slot is preloaded with the handler
+// described by Desc (which is context-independent by construction).
+// Kind and Name pin the access the Initial run saw at the site; preloading
+// verifies the live slot matches, so a record from a different program
+// version whose site positions coincidentally collide can never install a
+// handler for the wrong property.
+type DepEntry struct {
+	Site source.Site
+	Kind ic.AccessKind
+	Name string
+	Desc ic.CIDescriptor
+}
+
+// Stats summarizes an extraction for the §7.3 overhead analysis.
+type Stats struct {
+	// HiddenClasses is the number of HCVT rows.
+	HiddenClasses int
+	// TriggeringSites is the number of site-keyed TOAST entries.
+	TriggeringSites int
+	// BuiltinEntries is the number of name-keyed TOAST entries.
+	BuiltinEntries int
+	// DependentSlots is the total number of (hidden class, site) preload
+	// opportunities recorded.
+	DependentSlots int
+	// RejectedSites is the number of sites excluded because their handler
+	// was context-dependent.
+	RejectedSites int
+	// ContextIndependentHandlers counts the saved handler descriptors
+	// (equal to DependentSlots; kept for reporting symmetry).
+	ContextIndependentHandlers int
+}
+
+// Record is the ICRecord (paper Figure 6): the persistent,
+// context-independent extract of one execution's IC state.
+type Record struct {
+	// Script names the workload the record was extracted from (several
+	// scripts may contribute; this is the label of the run).
+	Script string
+
+	// HCCount is the number of hidden classes enumerated; valid HCIDs are
+	// [0, HCCount).
+	HCCount int32
+
+	// Deps[hcid] lists the dependent sites to preload when hcid validates
+	// (the HCVT's "List of (Dependent Site, Handler)" column).
+	Deps [][]DepEntry
+
+	// SiteTOAST maps triggering-site identities to their transition pairs.
+	SiteTOAST map[source.Site][]Pair
+
+	// BuiltinTOAST maps builtin names to the outgoing HCID created for
+	// them (entries "have no incoming hidden class and only one outgoing
+	// hidden class", §5.1).
+	BuiltinTOAST map[string]int32
+
+	// RejectedSites lists sites whose Initial-run handlers were
+	// context-dependent; the Reuse run classifies their misses as
+	// "Handler" misses in the Table 4 breakdown.
+	RejectedSites map[source.Site]bool
+
+	// IncludesGlobals records whether global-object state was extracted
+	// (off by default, paper §6).
+	IncludesGlobals bool
+
+	Stats Stats
+}
+
+// validateShape checks internal consistency; the decoder and tests use it
+// to reject corrupt records before they reach a Reuser.
+func (r *Record) validateShape() error {
+	if r.HCCount < 0 {
+		return fmt.Errorf("ric: negative hidden class count %d", r.HCCount)
+	}
+	if len(r.Deps) != int(r.HCCount) {
+		return fmt.Errorf("ric: %d dep rows for %d hidden classes", len(r.Deps), r.HCCount)
+	}
+	for site, pairs := range r.SiteTOAST {
+		for _, p := range pairs {
+			if p.Out < 0 || p.Out >= r.HCCount {
+				return fmt.Errorf("ric: TOAST %s: outgoing id %d out of range", site, p.Out)
+			}
+			if p.In < -1 || p.In >= r.HCCount {
+				return fmt.Errorf("ric: TOAST %s: incoming id %d out of range", site, p.In)
+			}
+		}
+	}
+	for name, id := range r.BuiltinTOAST {
+		if id < 0 || id >= r.HCCount {
+			return fmt.Errorf("ric: builtin %q: id %d out of range", name, id)
+		}
+	}
+	for hcid, deps := range r.Deps {
+		for _, d := range deps {
+			if _, err := d.Desc.Rebuild(); err != nil {
+				return fmt.Errorf("ric: HCID %d dependent %s: %v", hcid, d.Site, err)
+			}
+		}
+	}
+	return nil
+}

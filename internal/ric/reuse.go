@@ -1,0 +1,235 @@
+package ric
+
+import (
+	"ricjs/internal/ic"
+	"ricjs/internal/objects"
+	"ricjs/internal/profiler"
+	"ricjs/internal/source"
+	"ricjs/internal/vm"
+)
+
+// Reuser is the Reuse-run half of RIC (paper §5.2.2). It implements
+// vm.Hooks: on every hidden-class creation it consults the TOAST,
+// incrementally validates the outgoing class when the incoming class is
+// already validated (or when the creation is a rootless builtin/ctor
+// event), and preloads the ICVector slots of the class's dependent sites.
+//
+// Validation never affects correctness: a failed validation simply means
+// the affected dependent sites take ordinary IC misses, exactly as in a
+// conventional run.
+type Reuser struct {
+	rec     *Record
+	prof    *profiler.Counters
+	slotFor func(source.Site) *ic.Slot
+
+	// Runtime HCVT columns: the Reuse-run address and Validated bit per
+	// HCID (the record itself stays immutable and shareable), plus the
+	// live hidden class each validated row corresponds to.
+	addr  []uint64
+	valid []bool
+	hcs   []*objects.HiddenClass
+	// done[id][j] marks dependent j of HCID id as applied (preloaded or
+	// permanently rejected), so ReplayPreloads after later script loads
+	// only retries dependents whose sites were not yet registered.
+	done [][]bool
+}
+
+var _ vm.Hooks = (*Reuser)(nil)
+
+// NewReuser prepares the reuse state for one run. slotFor resolves site
+// identities to live ICVector slots; wire it to the VM's SlotFor after
+// constructing the VM (see ricjs.NewEngine).
+func NewReuser(rec *Record, prof *profiler.Counters, slotFor func(source.Site) *ic.Slot) *Reuser {
+	return &Reuser{
+		rec:     rec,
+		prof:    prof,
+		slotFor: slotFor,
+		addr:    make([]uint64, rec.HCCount),
+		valid:   make([]bool, rec.HCCount),
+		hcs:     make([]*objects.HiddenClass, rec.HCCount),
+		done:    make([][]bool, rec.HCCount),
+	}
+}
+
+// SetSlotResolver installs the site-to-slot resolver; needed because the
+// VM and its hooks reference each other.
+func (r *Reuser) SetSlotResolver(fn func(source.Site) *ic.Slot) { r.slotFor = fn }
+
+// Attach completes the circular wiring between a VM and its Reuser: the
+// Reuser is passed as the VM's hooks at construction, then attached to the
+// VM's profiler and slot index once the VM exists.
+func (r *Reuser) Attach(v *vm.VM) {
+	r.prof = v.Prof
+	r.slotFor = v.SlotFor
+}
+
+// Validated reports whether an HCID has been validated in this run (for
+// tests and diagnostics).
+func (r *Reuser) Validated(id int32) bool {
+	return id >= 0 && int(id) < len(r.valid) && r.valid[id]
+}
+
+// ValidatedCount returns the number of validated hidden classes.
+func (r *Reuser) ValidatedCount() int {
+	n := 0
+	for _, v := range r.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// OnHCCreated implements vm.Hooks. creator identifies the triggering event;
+// incoming is nil for rootless creations (builtins, constructor hidden
+// classes, Object.create roots).
+func (r *Reuser) OnHCCreated(creator objects.Creator, incoming, outgoing *objects.HiddenClass) {
+	if creator.Global && !r.rec.IncludesGlobals {
+		return
+	}
+	if creator.IsBuiltin() {
+		if id, ok := r.rec.BuiltinTOAST[creator.Builtin]; ok {
+			r.validate(id, outgoing)
+		}
+		// Builtins absent from the record are not failures: the record may
+		// simply predate them (e.g. a different script set).
+		return
+	}
+
+	pairs, ok := r.rec.SiteTOAST[creator.Site]
+	if !ok {
+		// The Initial run never saw this site create a class: the Reuse
+		// run diverged here (paper Figure 7(e)).
+		if r.prof != nil {
+			r.prof.ValidateFail()
+		}
+		return
+	}
+	for _, p := range pairs {
+		if p.In < 0 {
+			if incoming == nil {
+				r.validate(p.Out, outgoing)
+				return
+			}
+			continue
+		}
+		if incoming != nil && r.valid[p.In] && r.addr[p.In] == incoming.Addr() {
+			r.validate(p.Out, outgoing)
+			return
+		}
+	}
+	// No pair matched the incoming class: divergence; the outgoing class
+	// cannot be certified and its dependents will miss normally.
+	if r.prof != nil {
+		r.prof.ValidateFail()
+	}
+}
+
+// validate certifies that a Reuse-run hidden class corresponds to an
+// Initial-run HCID, then preloads every dependent site recorded for it.
+func (r *Reuser) validate(id int32, hc *objects.HiddenClass) {
+	if id < 0 || int(id) >= len(r.valid) {
+		return
+	}
+	r.addr[id] = hc.Addr()
+	r.valid[id] = true
+	r.hcs[id] = hc
+	if r.prof != nil {
+		r.prof.Validate()
+	}
+	r.preloadDeps(id, hc)
+}
+
+// preloadDeps fills the ICVector slots of an HCID's dependent sites.
+func (r *Reuser) preloadDeps(id int32, hc *objects.HiddenClass) {
+	deps := r.rec.Deps[id]
+	if len(deps) == 0 {
+		return
+	}
+	if r.done[id] == nil {
+		r.done[id] = make([]bool, len(deps))
+	}
+	preloaded := 0
+	for j, dep := range deps {
+		if r.done[id][j] {
+			continue
+		}
+		var slot *ic.Slot
+		if r.slotFor != nil {
+			slot = r.slotFor(dep.Site)
+		}
+		if slot == nil {
+			// The site's script is not loaded (yet) in this run;
+			// ReplayPreloads retries after later script loads.
+			continue
+		}
+		if slot.Kind != dep.Kind || slot.Name != dep.Name {
+			// The live site accesses a different property (or through a
+			// different access kind) than the record saw: the record is
+			// from a different program version. Never preload.
+			r.done[id][j] = true
+			continue
+		}
+		h, err := dep.Desc.Rebuild()
+		if err != nil || !handlerFits(h, hc) {
+			// Defensive: a corrupt or mismatched record must degrade to
+			// conventional behaviour, never to a wrong preload.
+			r.done[id][j] = true
+			continue
+		}
+		r.done[id][j] = true
+		if slot.Preload(hc, h) {
+			preloaded++
+		}
+	}
+	if preloaded > 0 && r.prof != nil {
+		r.prof.Preload(preloaded)
+	}
+}
+
+// ReplayPreloads retries dependent-site preloading for every validated
+// hidden class. Call it after registering a new script's ICVectors:
+// hidden classes validated earlier (builtins at startup, classes created
+// by previously loaded scripts) may have dependents in the new script.
+func (r *Reuser) ReplayPreloads() {
+	for id, ok := range r.valid {
+		if ok {
+			r.preloadDeps(int32(id), r.hcs[id])
+		}
+	}
+}
+
+// handlerFits sanity-checks a rebuilt handler against the live hidden
+// class it is being preloaded for.
+func handlerFits(h ic.Handler, hc *objects.HiddenClass) bool {
+	switch t := h.(type) {
+	case ic.LoadField:
+		return t.Offset >= 0 && t.Offset < hc.NumFields()
+	case ic.StoreField:
+		return t.Offset >= 0 && t.Offset < hc.NumFields()
+	case ic.LoadArrayLength, ic.LoadElement, ic.StoreElement:
+		return true
+	case ic.KeyedNamed:
+		return handlerFits(t.Inner, hc)
+	default:
+		return false
+	}
+}
+
+// ClassifyMiss implements vm.Hooks: the Table 4 miss breakdown. Misses at
+// triggering sites are "Other" (RIC does not avert them by construction,
+// §7.1: "Many of these misses occur in Triggering sites"); misses at sites
+// rejected for context-dependent handlers are "Handler"; global-object
+// misses are "Global" while RIC-for-globals is off.
+func (r *Reuser) ClassifyMiss(site source.Site, receiverIsGlobal bool) profiler.MissKind {
+	if receiverIsGlobal && !r.rec.IncludesGlobals {
+		return profiler.MissGlobal
+	}
+	if _, triggering := r.rec.SiteTOAST[site]; triggering {
+		return profiler.MissOther
+	}
+	if r.rec.RejectedSites[site] {
+		return profiler.MissHandler
+	}
+	return profiler.MissOther
+}

@@ -1,0 +1,109 @@
+package snapshot
+
+import (
+	"testing"
+
+	"ricjs/internal/vm"
+)
+
+// Corrupt or adversarial snapshots must fail with errors, never panic or
+// half-restore silently wrong state.
+func TestRestoreRejectsMalformedSnapshots(t *testing.T) {
+	prog := compileSrc(t, "lib.js", "var x = {p: 1};")
+
+	cases := []struct {
+		name string
+		snap *Snapshot
+	}{
+		{"bad value kind", &Snapshot{
+			Globals: []GlobalEntry{{Name: "x", Val: Value{K: "mystery"}}},
+		}},
+		{"object id out of range", &Snapshot{
+			Globals: []GlobalEntry{{Name: "x", Val: Value{K: "obj", I: 99}}},
+		}},
+		{"negative object id", &Snapshot{
+			Globals: []GlobalEntry{{Name: "x", Val: Value{K: "obj", I: -1}}},
+		}},
+		{"unknown builtin", &Snapshot{
+			Globals: []GlobalEntry{{Name: "x", Val: Value{K: "builtin", S: "NotABuiltin"}}},
+		}},
+		{"bad object kind", &Snapshot{
+			Objects: []Object{{Kind: "mystery", Proto: Value{K: "null"}}},
+			Globals: []GlobalEntry{{Name: "x", Val: Value{K: "obj", I: 0}}},
+		}},
+		{"bad proto kind", &Snapshot{
+			Objects: []Object{{Kind: "plain", Proto: Value{K: "num"}}},
+			Globals: []GlobalEntry{{Name: "x", Val: Value{K: "obj", I: 0}}},
+		}},
+		{"unknown builtin proto", &Snapshot{
+			Objects: []Object{{Kind: "plain", Proto: Value{K: "builtin", S: "Nope"}}},
+			Globals: []GlobalEntry{{Name: "x", Val: Value{K: "obj", I: 0}}},
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			v := vm.New(vm.Options{})
+			v.RegisterProgram(prog)
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic: %v", r)
+				}
+			}()
+			if err := Restore(v, c.snap); err == nil {
+				t.Fatal("malformed snapshot must be rejected")
+			}
+		})
+	}
+}
+
+func TestRestoreEmptySnapshotIsNoop(t *testing.T) {
+	v := vm.New(vm.Options{})
+	if err := Restore(v, &Snapshot{Label: "empty"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNullPrototypeObjectsRoundTrip(t *testing.T) {
+	src := `
+		var bare = Object.create(null);
+		bare.only = 'value';
+		var normal = {}; // Object.prototype chain
+	`
+	prog := compileSrc(t, "np.js", src)
+	_, snap := captureAfterRun(t, prog)
+	restored := restoreFresh(t, prog, snap)
+
+	bare, _ := restored.Global().GetNamed("bare")
+	if bare.Obj().Proto() != nil {
+		t.Fatal("null prototype must stay null")
+	}
+	if v, ok := bare.Obj().GetNamed("only"); !ok || v.Str() != "value" {
+		t.Fatal("bare object property lost")
+	}
+	normal, _ := restored.Global().GetNamed("normal")
+	if normal.Obj().Proto() == nil {
+		t.Fatal("ordinary object must keep Object.prototype")
+	}
+}
+
+func TestFunctionPrototypePropertySurvives(t *testing.T) {
+	// A function's .prototype object (with methods) must survive the
+	// round trip so `new` after restore builds the right instances.
+	src := `
+		function Animal(name) { this.name = name; }
+		Animal.prototype.speak = function () { return this.name + '!'; };
+		var sample = new Animal('rex');
+		var sound = sample.speak();
+	`
+	prog := compileSrc(t, "animal.js", src)
+	_, snap := captureAfterRun(t, prog)
+	restored := restoreFresh(t, prog, snap)
+
+	if _, err := restored.RunProgram(compileSrc(t, "probe.js",
+		"var fresh = new Animal('dog'); print(fresh.speak(), sound, fresh instanceof Animal);")); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Output() != "dog! rex! true\n" {
+		t.Fatalf("output = %q", restored.Output())
+	}
+}

@@ -1,0 +1,487 @@
+// Package snapshot implements heap-snapshot startup acceleration, the
+// related-work technique the paper's §9 contrasts RIC with (Oh and Moon's
+// snapshot loading, V8's custom startup snapshots): after a library
+// initializes, serialize the script-created heap; later sessions restore
+// the objects instead of re-executing the initialization code.
+//
+// The package exists as a comparator. It reproduces the trade-offs the
+// paper describes:
+//
+//   - restore skips execution entirely, so it is faster than both
+//     Conventional and RIC Reuse runs when it applies;
+//   - a snapshot is application-specific: it captures one exact heap, so
+//     it cannot be shared across applications the way per-library
+//     ICRecords can (ricjs.MergeRecords), and it is invalid if the script
+//     set changes;
+//   - a snapshot freezes nondeterminism: values computed from
+//     Math.random (or dates, or I/O) during initialization are baked in,
+//     whereas RIC re-executes the code and stays correct (§9: "It
+//     produces correct results even if the initialization has
+//     non-deterministic behavior").
+//
+// Functions are captured by their declaration-site identity — the same
+// context-independent naming RIC uses — plus their captured context
+// chains; builtin objects are captured as stable qualified names.
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ricjs/internal/bytecode"
+	"ricjs/internal/objects"
+	"ricjs/internal/source"
+	"ricjs/internal/vm"
+)
+
+// Value is one serialized JavaScript value.
+type Value struct {
+	// K is the kind tag: "undef", "null", "bool", "num", "str", "obj"
+	// (index into Objects), or "builtin" (qualified name).
+	K string  `json:"k"`
+	B bool    `json:"b,omitempty"`
+	F float64 `json:"f,omitempty"`
+	S string  `json:"s,omitempty"`
+	I int32   `json:"i,omitempty"`
+}
+
+// Fn identifies a captured closure: the declaration site of its code and
+// the context chain it closed over.
+type Fn struct {
+	Script string `json:"script"`
+	Line   uint32 `json:"line"`
+	Col    uint32 `json:"col"`
+	Name   string `json:"name,omitempty"`
+	Ctx    int32  `json:"ctx"` // index into Contexts, -1 for none
+}
+
+// Object is one serialized heap object.
+type Object struct {
+	// Kind is "plain", "array" or "function".
+	Kind string `json:"kind"`
+	// Proto is the prototype reference ("obj"/"builtin"/"null" kinds).
+	Proto Value `json:"proto"`
+	// Keys/Vals carry own named properties in insertion order, so
+	// restoration rebuilds the same hidden-class transitions.
+	Keys []string `json:"keys,omitempty"`
+	Vals []Value  `json:"vals,omitempty"`
+	// Elems carries array elements.
+	Elems []Value `json:"elems,omitempty"`
+	// Dict marks objects that were in dictionary mode.
+	Dict bool `json:"dict,omitempty"`
+	// Fn is set for function objects.
+	Fn *Fn `json:"fn,omitempty"`
+}
+
+// Context is one serialized closure environment frame.
+type Context struct {
+	Parent int32   `json:"parent"` // index into Contexts, -1 for none
+	Slots  []Value `json:"slots"`
+}
+
+// GlobalEntry is one script-created global property.
+type GlobalEntry struct {
+	Name string `json:"name"`
+	Val  Value  `json:"val"`
+}
+
+// Snapshot is the serialized script-created heap of one engine run.
+type Snapshot struct {
+	Label    string        `json:"label"`
+	Scripts  []string      `json:"scripts"`
+	Objects  []Object      `json:"objects"`
+	Contexts []Context     `json:"contexts"`
+	Globals  []GlobalEntry `json:"globals"`
+}
+
+// Encode serializes the snapshot.
+func (s *Snapshot) Encode() ([]byte, error) { return json.Marshal(s) }
+
+// Decode parses a serialized snapshot.
+func Decode(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// ---- Capture ----
+
+type capturer struct {
+	v       *vm.VM
+	snap    *Snapshot
+	objIDs  map[*objects.Object]int32
+	ctxIDs  map[*objects.Context]int32
+	scripts map[string]bool
+	pending []*objects.Object
+}
+
+// Capture serializes every script-created global and the object graph
+// reachable from them. It fails cleanly on objects it cannot represent
+// (native closures such as bound functions), mirroring the rigidity of
+// real snapshot systems.
+func Capture(v *vm.VM, label string) (*Snapshot, error) {
+	c := &capturer{
+		v:       v,
+		snap:    &Snapshot{Label: label},
+		objIDs:  make(map[*objects.Object]int32),
+		ctxIDs:  make(map[*objects.Context]int32),
+		scripts: make(map[string]bool),
+	}
+	for _, name := range v.Global().OwnNamedKeys() {
+		if v.IsBaselineGlobal(name) {
+			continue
+		}
+		val, ok := v.Global().GetNamed(name)
+		if !ok {
+			continue
+		}
+		enc, err := c.value(val)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: global %q: %w", name, err)
+		}
+		c.snap.Globals = append(c.snap.Globals, GlobalEntry{Name: name, Val: enc})
+	}
+	// Drain the object queue (objects discovered during encoding enqueue
+	// more objects).
+	for len(c.pending) > 0 {
+		o := c.pending[0]
+		c.pending = c.pending[1:]
+		if err := c.fill(o); err != nil {
+			return nil, err
+		}
+	}
+	for script := range c.scripts {
+		c.snap.Scripts = append(c.snap.Scripts, script)
+	}
+	sortStrings(c.snap.Scripts)
+	return c.snap, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func (c *capturer) value(v objects.Value) (Value, error) {
+	switch v.Kind() {
+	case objects.KindUndefined:
+		return Value{K: "undef"}, nil
+	case objects.KindNull:
+		return Value{K: "null"}, nil
+	case objects.KindBool:
+		return Value{K: "bool", B: v.Bool()}, nil
+	case objects.KindNumber:
+		return Value{K: "num", F: v.Num()}, nil
+	case objects.KindString:
+		return Value{K: "str", S: v.Str()}, nil
+	default:
+		return c.object(v.Obj())
+	}
+}
+
+func (c *capturer) object(o *objects.Object) (Value, error) {
+	if name := c.v.BuiltinObjectName(o); name != "" {
+		return Value{K: "builtin", S: name}, nil
+	}
+	if id, seen := c.objIDs[o]; seen {
+		return Value{K: "obj", I: id}, nil
+	}
+	id := int32(len(c.snap.Objects))
+	c.objIDs[o] = id
+	c.snap.Objects = append(c.snap.Objects, Object{}) // placeholder
+	c.pending = append(c.pending, o)
+	return Value{K: "obj", I: id}, nil
+}
+
+// fill encodes an object's body into its reserved slot.
+func (c *capturer) fill(o *objects.Object) error {
+	id := c.objIDs[o]
+	enc := Object{Kind: "plain", Dict: o.IsDictionary()}
+
+	switch {
+	case o.IsArray():
+		enc.Kind = "array"
+		for i := 0; i < o.Len(); i++ {
+			ev, err := c.value(o.Elem(i))
+			if err != nil {
+				return err
+			}
+			enc.Elems = append(enc.Elems, ev)
+		}
+	case o.Func() != nil:
+		fd := o.Func()
+		if fd.Native != nil {
+			return fmt.Errorf("cannot capture native closure %q (e.g. a bound function)", fd.Name)
+		}
+		fn, err := c.function(fd)
+		if err != nil {
+			return err
+		}
+		enc.Kind = "function"
+		enc.Fn = fn
+	}
+
+	// Prototype reference.
+	protoVal := Value{K: "null"}
+	if p := o.Proto(); p != nil {
+		pv, err := c.object(p)
+		if err != nil {
+			return err
+		}
+		protoVal = pv
+	}
+	enc.Proto = protoVal
+
+	// Own named properties in insertion order.
+	for _, key := range o.OwnNamedKeys() {
+		val, ok, _ := o.GetOwn(key)
+		if !ok {
+			continue
+		}
+		ev, err := c.value(val)
+		if err != nil {
+			return fmt.Errorf("property %q: %w", key, err)
+		}
+		enc.Keys = append(enc.Keys, key)
+		enc.Vals = append(enc.Vals, ev)
+	}
+
+	c.snap.Objects[id] = enc
+	return nil
+}
+
+func (c *capturer) function(fd *objects.FunctionData) (*Fn, error) {
+	bp, ok := fd.Code.(*bytecode.FuncProto)
+	if !ok {
+		return nil, fmt.Errorf("function %q has no compiled form", fd.Name)
+	}
+	if bp.DeclPos.IsZero() {
+		return nil, fmt.Errorf("function %q has no declaration site", fd.Name)
+	}
+	c.scripts[bp.Script] = true
+	ctxID, err := c.context(fd.Ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Fn{
+		Script: bp.Script,
+		Line:   bp.DeclPos.Line,
+		Col:    bp.DeclPos.Col,
+		Name:   fd.Name,
+		Ctx:    ctxID,
+	}, nil
+}
+
+func (c *capturer) context(ctx *objects.Context) (int32, error) {
+	if ctx == nil {
+		return -1, nil
+	}
+	if id, seen := c.ctxIDs[ctx]; seen {
+		return id, nil
+	}
+	id := int32(len(c.snap.Contexts))
+	c.ctxIDs[ctx] = id
+	c.snap.Contexts = append(c.snap.Contexts, Context{Parent: -1}) // placeholder
+
+	parent, err := c.context(ctx.Parent)
+	if err != nil {
+		return 0, err
+	}
+	frame := Context{Parent: parent}
+	for _, slot := range ctx.Slots {
+		ev, err := c.value(slot)
+		if err != nil {
+			return 0, err
+		}
+		frame.Slots = append(frame.Slots, ev)
+	}
+	c.snap.Contexts[id] = frame
+	return id, nil
+}
+
+// ---- Restore ----
+
+// Restore materializes the snapshot into a fresh engine. The engine must
+// have the snapshot's scripts' compiled code registered (load them
+// through the same code cache) so function references resolve; Restore
+// reports which scripts are missing otherwise. The script code is NOT
+// executed — that is the whole point of the technique.
+func Restore(v *vm.VM, s *Snapshot) error {
+	for _, o := range s.Objects {
+		if o.Fn == nil {
+			continue
+		}
+		site := source.At(o.Fn.Script, o.Fn.Line, o.Fn.Col)
+		if v.FuncProtoAt(site) == nil {
+			return fmt.Errorf("snapshot: script %q not loaded (function at %s unresolved)", o.Fn.Script, site)
+		}
+	}
+
+	r := &restorer{v: v, snap: s}
+	// Phase 1: allocate every context frame (slots zeroed) so closures
+	// can link them before slot values exist.
+	r.ctxs = make([]*objects.Context, len(s.Contexts))
+	for i := range s.Contexts {
+		r.ctxs[i] = objects.NewContext(nil, len(s.Contexts[i].Slots))
+	}
+	for i, c := range s.Contexts {
+		if c.Parent >= 0 {
+			r.ctxs[i].Parent = r.ctxs[c.Parent]
+		}
+	}
+	// Phase 2: allocate objects. Prototype edges are acyclic, so a
+	// memoized depth-first allocation over them terminates.
+	r.objs = make([]*objects.Object, len(s.Objects))
+	for i := range s.Objects {
+		if _, err := r.allocate(int32(i)); err != nil {
+			return err
+		}
+	}
+	// Phase 3: fill properties, elements and context slots.
+	for i, c := range s.Contexts {
+		for j, sv := range c.Slots {
+			val, err := r.value(sv)
+			if err != nil {
+				return err
+			}
+			r.ctxs[i].Slots[j] = val
+		}
+	}
+	for i, enc := range s.Objects {
+		if err := r.fill(int32(i), enc); err != nil {
+			return err
+		}
+	}
+	// Phase 4: script-created globals.
+	for _, g := range s.Globals {
+		val, err := r.value(g.Val)
+		if err != nil {
+			return err
+		}
+		v.SetGlobalDirect(g.Name, val)
+	}
+	return nil
+}
+
+type restorer struct {
+	v    *vm.VM
+	snap *Snapshot
+	objs []*objects.Object
+	ctxs []*objects.Context
+}
+
+func (r *restorer) allocate(id int32) (*objects.Object, error) {
+	if r.objs[id] != nil {
+		return r.objs[id], nil
+	}
+	enc := r.snap.Objects[id]
+
+	// Resolve the prototype first (acyclic).
+	var proto *objects.Object
+	switch enc.Proto.K {
+	case "null":
+		proto = nil
+	case "builtin":
+		proto = r.v.BuiltinObjectByName(enc.Proto.S)
+		if proto == nil {
+			return nil, fmt.Errorf("snapshot: unknown builtin %q", enc.Proto.S)
+		}
+	case "obj":
+		p, err := r.allocate(enc.Proto.I)
+		if err != nil {
+			return nil, err
+		}
+		proto = p
+	default:
+		return nil, fmt.Errorf("snapshot: bad prototype kind %q", enc.Proto.K)
+	}
+
+	var o *objects.Object
+	switch enc.Kind {
+	case "array":
+		o = r.v.NewArrayObject(make([]objects.Value, 0, len(enc.Elems)))
+	case "function":
+		site := source.At(enc.Fn.Script, enc.Fn.Line, enc.Fn.Col)
+		bp := r.v.FuncProtoAt(site)
+		var ctx *objects.Context
+		if enc.Fn.Ctx >= 0 {
+			ctx = r.ctxs[enc.Fn.Ctx]
+		}
+		o = r.v.NewClosureObject(bp, ctx)
+	case "plain":
+		o = r.v.NewObjectWithProto(protoOrDefault(r.v, proto, enc.Proto.K))
+	default:
+		return nil, fmt.Errorf("snapshot: bad object kind %q", enc.Kind)
+	}
+	r.objs[id] = o
+	return o, nil
+}
+
+// protoOrDefault maps a nil prototype reference: "null" kind means a
+// genuinely null prototype (Object.create(null)); anything else defaults
+// to Object.prototype.
+func protoOrDefault(v *vm.VM, proto *objects.Object, kind string) *objects.Object {
+	if proto == nil && kind != "null" {
+		return v.ObjectProto()
+	}
+	return proto
+}
+
+func (r *restorer) fill(id int32, enc Object) error {
+	o := r.objs[id]
+	for i, key := range enc.Keys {
+		val, err := r.value(enc.Vals[i])
+		if err != nil {
+			return err
+		}
+		o.AddOwn(r.v.Space, key, val, objects.Creator{})
+	}
+	for i := range enc.Elems {
+		val, err := r.value(enc.Elems[i])
+		if err != nil {
+			return err
+		}
+		o.SetElem(i, val)
+	}
+	if enc.Dict {
+		o.ConvertToDictionary(r.v.Space)
+	}
+	return nil
+}
+
+func (r *restorer) value(enc Value) (objects.Value, error) {
+	switch enc.K {
+	case "undef":
+		return objects.Undefined(), nil
+	case "null":
+		return objects.Null(), nil
+	case "bool":
+		return objects.Bool(enc.B), nil
+	case "num":
+		return objects.Num(enc.F), nil
+	case "str":
+		return objects.Str(enc.S), nil
+	case "obj":
+		if enc.I < 0 || int(enc.I) >= len(r.objs) {
+			return objects.Undefined(), fmt.Errorf("snapshot: object id %d out of range", enc.I)
+		}
+		o, err := r.allocate(enc.I)
+		if err != nil {
+			return objects.Undefined(), err
+		}
+		return objects.Obj(o), nil
+	case "builtin":
+		o := r.v.BuiltinObjectByName(enc.S)
+		if o == nil {
+			return objects.Undefined(), fmt.Errorf("snapshot: unknown builtin %q", enc.S)
+		}
+		return objects.Obj(o), nil
+	default:
+		return objects.Undefined(), fmt.Errorf("snapshot: bad value kind %q", enc.K)
+	}
+}

@@ -1,0 +1,326 @@
+package snapshot
+
+import (
+	"strings"
+	"testing"
+
+	"ricjs/internal/bytecode"
+	"ricjs/internal/objects"
+	"ricjs/internal/parser"
+	"ricjs/internal/vm"
+)
+
+func compileSrc(t *testing.T, name, src string) *bytecode.Program {
+	t.Helper()
+	prog, err := parser.Parse(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := bytecode.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bc
+}
+
+// captureAfterRun runs src and captures the snapshot.
+func captureAfterRun(t *testing.T, prog *bytecode.Program) (*vm.VM, *Snapshot) {
+	t.Helper()
+	v := vm.New(vm.Options{})
+	if _, err := v.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Capture(v, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, snap
+}
+
+// restoreFresh registers the program (without executing it) and restores.
+func restoreFresh(t *testing.T, prog *bytecode.Program, snap *Snapshot) *vm.VM {
+	t.Helper()
+	v := vm.New(vm.Options{})
+	v.RegisterProgram(prog)
+	if err := Restore(v, snap); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// globalNum reads a numeric global.
+func globalNum(t *testing.T, v *vm.VM, name string) float64 {
+	t.Helper()
+	val, ok := v.Global().GetNamed(name)
+	if !ok {
+		t.Fatalf("global %q missing", name)
+	}
+	return val.ToNumber()
+}
+
+const initLib = `
+	function Point(x, y) { this.x = x; this.y = y; }
+	Point.prototype.norm2 = function () { return this.x * this.x + this.y * this.y; };
+	var registry = {points: [], count: 0};
+	function addPoint(x, y) {
+		registry.points.push(new Point(x, y));
+		registry.count++;
+	}
+	addPoint(3, 4);
+	addPoint(6, 8);
+	var total = registry.points[0].norm2() + registry.points[1].norm2();
+	var meta = {name: 'pointlib', nested: {deep: {value: 42}}, tags: ['a', 'b']};
+`
+
+func TestCaptureRestoreRoundTrip(t *testing.T) {
+	prog := compileSrc(t, "lib.js", initLib)
+	original, snap := captureAfterRun(t, prog)
+	if len(snap.Objects) == 0 || len(snap.Globals) == 0 {
+		t.Fatalf("snapshot looks empty: %d objects, %d globals", len(snap.Objects), len(snap.Globals))
+	}
+	if len(snap.Scripts) != 1 || snap.Scripts[0] != "lib.js" {
+		t.Fatalf("scripts = %v", snap.Scripts)
+	}
+
+	restored := restoreFresh(t, prog, snap)
+	if got := globalNum(t, restored, "total"); got != 125 {
+		t.Fatalf("total = %v, want 125", got)
+	}
+	// Structures survive: registry.count, nested literals, arrays.
+	reg, _ := restored.Global().GetNamed("registry")
+	count, _ := reg.Obj().GetNamed("count")
+	if count.ToNumber() != 2 {
+		t.Fatalf("registry.count = %v", count)
+	}
+	meta, _ := restored.Global().GetNamed("meta")
+	nested, _ := meta.Obj().GetNamed("nested")
+	deep, _ := nested.Obj().GetNamed("deep")
+	value, _ := deep.Obj().GetNamed("value")
+	if value.ToNumber() != 42 {
+		t.Fatalf("meta.nested.deep.value = %v", value)
+	}
+	tags, _ := meta.Obj().GetNamed("tags")
+	if !tags.Obj().IsArray() || tags.Obj().Len() != 2 || tags.Obj().Elem(1).Str() != "b" {
+		t.Fatal("array restoration broken")
+	}
+	// Baseline globals are not duplicated into the snapshot.
+	for _, g := range snap.Globals {
+		if g.Name == "print" || g.Name == "Math" {
+			t.Fatalf("baseline global %q captured", g.Name)
+		}
+	}
+	_ = original
+}
+
+func TestRestoredFunctionsAreCallable(t *testing.T) {
+	prog := compileSrc(t, "lib.js", initLib)
+	_, snap := captureAfterRun(t, prog)
+	restored := restoreFresh(t, prog, snap)
+
+	// Call the restored addPoint: it must mutate the restored registry
+	// through the captured closure/prototype structure.
+	addPoint, _ := restored.Global().GetNamed("addPoint")
+	if !addPoint.IsCallable() {
+		t.Fatal("addPoint not callable after restore")
+	}
+	if _, err := restored.CallFunction(addPoint, objects.Undefined(),
+		[]objects.Value{objects.Num(1), objects.Num(2)}); err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := restored.Global().GetNamed("registry")
+	count, _ := reg.Obj().GetNamed("count")
+	if count.ToNumber() != 3 {
+		t.Fatalf("count after call = %v", count)
+	}
+	// Prototype methods on restored instances still dispatch.
+	pts, _ := reg.Obj().GetNamed("points")
+	p0 := pts.Obj().Elem(0)
+	norm2, _ := p0.Obj().GetNamed("norm2")
+	res, err := restored.CallFunction(norm2, p0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ToNumber() != 25 {
+		t.Fatalf("norm2 = %v", res)
+	}
+}
+
+func TestClosureStateSurvives(t *testing.T) {
+	src := `
+		function counter(start) {
+			return function () { start = start + 1; return start; };
+		}
+		var c = counter(100);
+		c(); c(); // advance to 102
+		var observed = c();
+	`
+	prog := compileSrc(t, "closure.js", src)
+	_, snap := captureAfterRun(t, prog)
+	restored := restoreFresh(t, prog, snap)
+
+	if got := globalNum(t, restored, "observed"); got != 103 {
+		t.Fatalf("observed = %v", got)
+	}
+	// The restored closure continues from the captured state.
+	c, _ := restored.Global().GetNamed("c")
+	res, err := restored.CallFunction(c, objects.Undefined(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ToNumber() != 104 {
+		t.Fatalf("restored counter yielded %v, want 104", res)
+	}
+}
+
+func TestSharedObjectsStaySharedAndCyclesSurvive(t *testing.T) {
+	src := `
+		var shared = {hits: 0};
+		var a = {ref: shared};
+		var b = {ref: shared};
+		a.loop = b;
+		b.loop = a; // cycle
+	`
+	prog := compileSrc(t, "shared.js", src)
+	_, snap := captureAfterRun(t, prog)
+	restored := restoreFresh(t, prog, snap)
+
+	aV, _ := restored.Global().GetNamed("a")
+	bV, _ := restored.Global().GetNamed("b")
+	aRef, _ := aV.Obj().GetNamed("ref")
+	bRef, _ := bV.Obj().GetNamed("ref")
+	if aRef.Obj() != bRef.Obj() {
+		t.Fatal("shared object identity lost")
+	}
+	aLoop, _ := aV.Obj().GetNamed("loop")
+	bLoop, _ := bV.Obj().GetNamed("loop")
+	if aLoop.Obj() != bV.Obj() || bLoop.Obj() != aV.Obj() {
+		t.Fatal("cycle broken")
+	}
+}
+
+func TestDictionaryObjectsSurvive(t *testing.T) {
+	src := `
+		var d = {a: 1, b: 2, c: 3};
+		delete d.b;
+	`
+	prog := compileSrc(t, "dict.js", src)
+	_, snap := captureAfterRun(t, prog)
+	restored := restoreFresh(t, prog, snap)
+	dV, _ := restored.Global().GetNamed("d")
+	if !dV.Obj().IsDictionary() {
+		t.Fatal("dictionary mode lost")
+	}
+	if _, ok := dV.Obj().GetNamed("b"); ok {
+		t.Fatal("deleted property resurrected")
+	}
+	if c, _ := dV.Obj().GetNamed("c"); c.ToNumber() != 3 {
+		t.Fatal("dictionary property lost")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	prog := compileSrc(t, "lib.js", initLib)
+	_, snap := captureAfterRun(t, prog)
+	data, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := restoreFresh(t, prog, back)
+	if got := globalNum(t, restored, "total"); got != 125 {
+		t.Fatalf("total = %v after codec round trip", got)
+	}
+	if _, err := Decode([]byte("not json")); err == nil {
+		t.Fatal("garbage must not decode")
+	}
+}
+
+func TestBoundFunctionsCannotBeCaptured(t *testing.T) {
+	src := `
+		function f() { return this.v; }
+		var bound = f.bind({v: 1});
+	`
+	prog := compileSrc(t, "bound.js", src)
+	v := vm.New(vm.Options{})
+	if _, err := v.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Capture(v, "bound"); err == nil ||
+		!strings.Contains(err.Error(), "native closure") {
+		t.Fatalf("bound functions must be rejected: %v", err)
+	}
+}
+
+func TestRestoreFailsWhenScriptNotLoaded(t *testing.T) {
+	prog := compileSrc(t, "lib.js", initLib)
+	_, snap := captureAfterRun(t, prog)
+	fresh := vm.New(vm.Options{}) // program NOT registered
+	err := Restore(fresh, snap)
+	if err == nil || !strings.Contains(err.Error(), "not loaded") {
+		t.Fatalf("restore without code must fail cleanly: %v", err)
+	}
+}
+
+// The nondeterminism hazard the paper describes (§9): a snapshot bakes in
+// values from the capture-time environment; re-execution (conventional or
+// RIC) recomputes them.
+func TestSnapshotFreezesNondeterminism(t *testing.T) {
+	src := "var lucky = Math.random();"
+	prog := compileSrc(t, "rng.js", src)
+
+	capEngine := vm.New(vm.Options{RandSeed: 111})
+	if _, err := capEngine.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Capture(capEngine, "rng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	capturedLucky, _ := capEngine.Global().GetNamed("lucky")
+
+	// An engine with a different environment (seed) re-executes and gets
+	// its own value...
+	reexec := vm.New(vm.Options{RandSeed: 222})
+	if _, err := reexec.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	reexecLucky, _ := reexec.Global().GetNamed("lucky")
+	if reexecLucky.Num() == capturedLucky.Num() {
+		t.Fatal("test needs diverging environments")
+	}
+
+	// ...while snapshot restoration into the same environment serves the
+	// stale capture-time value.
+	restored := vm.New(vm.Options{RandSeed: 222})
+	restored.RegisterProgram(prog)
+	if err := Restore(restored, snap); err != nil {
+		t.Fatal(err)
+	}
+	restoredLucky, _ := restored.Global().GetNamed("lucky")
+	if restoredLucky.Num() != capturedLucky.Num() {
+		t.Fatal("snapshot must serve the frozen value")
+	}
+	if restoredLucky.Num() == reexecLucky.Num() {
+		t.Fatal("frozen value must differ from re-execution")
+	}
+}
+
+func TestBuiltinReferencesResolveByName(t *testing.T) {
+	src := "var m = Math; var logger = console.log; var proto = Object.prototype;"
+	prog := compileSrc(t, "refs.js", src)
+	_, snap := captureAfterRun(t, prog)
+	restored := restoreFresh(t, prog, snap)
+
+	m, _ := restored.Global().GetNamed("m")
+	mathObj, _ := restored.Global().GetNamed("Math")
+	if m.Obj() != mathObj.Obj() {
+		t.Fatal("Math reference must resolve to the fresh engine's Math")
+	}
+	logger, _ := restored.Global().GetNamed("logger")
+	if !logger.IsCallable() {
+		t.Fatal("builtin function reference lost")
+	}
+}

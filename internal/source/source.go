@@ -1,0 +1,49 @@
+// Package source defines source positions and object-access-site identity.
+//
+// The paper keys its Triggering Object Access Site Table (TOAST) by "file
+// name, line number and position in the line" (§5.1), because that triple
+// is invariant across executions while code and heap addresses are not.
+// Site is that triple.
+package source
+
+import "fmt"
+
+// Pos is a position within a script: 1-based line and column.
+type Pos struct {
+	Line uint32
+	Col  uint32
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsZero reports whether the position is unset.
+func (p Pos) IsZero() bool { return p.Line == 0 && p.Col == 0 }
+
+// Before reports whether p precedes q in source order.
+func (p Pos) Before(q Pos) bool {
+	if p.Line != q.Line {
+		return p.Line < q.Line
+	}
+	return p.Col < q.Col
+}
+
+// Site identifies an object access site (or any other program point)
+// context-independently. It is comparable and usable as a map key.
+type Site struct {
+	Script string
+	Pos    Pos
+}
+
+// String formats the site as "script:line:col".
+func (s Site) String() string {
+	return fmt.Sprintf("%s:%s", s.Script, s.Pos)
+}
+
+// IsZero reports whether the site is unset.
+func (s Site) IsZero() bool { return s.Script == "" && s.Pos.IsZero() }
+
+// At constructs a Site.
+func At(script string, line, col uint32) Site {
+	return Site{Script: script, Pos: Pos{Line: line, Col: col}}
+}

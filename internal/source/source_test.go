@@ -1,0 +1,63 @@
+package source
+
+import "testing"
+
+func TestPosString(t *testing.T) {
+	p := Pos{Line: 3, Col: 14}
+	if got := p.String(); got != "3:14" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestPosIsZero(t *testing.T) {
+	if !(Pos{}).IsZero() {
+		t.Error("zero Pos must report IsZero")
+	}
+	if (Pos{Line: 1}).IsZero() {
+		t.Error("non-zero Pos must not report IsZero")
+	}
+}
+
+func TestPosBefore(t *testing.T) {
+	cases := []struct {
+		p, q Pos
+		want bool
+	}{
+		{Pos{1, 1}, Pos{1, 2}, true},
+		{Pos{1, 2}, Pos{1, 1}, false},
+		{Pos{1, 9}, Pos{2, 1}, true},
+		{Pos{2, 1}, Pos{1, 9}, false},
+		{Pos{1, 1}, Pos{1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Before(c.q); got != c.want {
+			t.Errorf("%v.Before(%v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestSiteStringAndAt(t *testing.T) {
+	s := At("lib.js", 10, 4)
+	if got := s.String(); got != "lib.js:10:4" {
+		t.Fatalf("String() = %q", got)
+	}
+	if s.IsZero() {
+		t.Error("constructed site must not be zero")
+	}
+	if !(Site{}).IsZero() {
+		t.Error("zero site must report IsZero")
+	}
+}
+
+func TestSiteComparable(t *testing.T) {
+	m := map[Site]int{}
+	m[At("a.js", 1, 2)] = 1
+	m[At("a.js", 1, 2)] = 2
+	m[At("a.js", 1, 3)] = 3
+	if len(m) != 2 {
+		t.Fatalf("map has %d entries, want 2", len(m))
+	}
+	if m[At("a.js", 1, 2)] != 2 {
+		t.Fatal("equal sites must collide as map keys")
+	}
+}

@@ -1,0 +1,159 @@
+// Package token defines the lexical tokens of the engine's JavaScript
+// subset.
+package token
+
+import "ricjs/internal/source"
+
+// Kind enumerates token kinds.
+type Kind uint8
+
+const (
+	// Special tokens.
+	EOF Kind = iota
+	Ident
+	Number
+	String
+
+	// Keywords.
+	KwVar
+	KwFunction
+	KwReturn
+	KwIf
+	KwElse
+	KwFor
+	KwWhile
+	KwDo
+	KwBreak
+	KwContinue
+	KwNew
+	KwDelete
+	KwTypeof
+	KwThis
+	KwTrue
+	KwFalse
+	KwNull
+	KwUndefined
+	KwIn
+	KwInstanceof
+	KwThrow
+	KwTry
+	KwCatch
+	KwFinally
+	KwSwitch
+	KwCase
+	KwDefault
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Semicolon
+	Comma
+	Dot
+	Colon
+	Question
+
+	Assign      // =
+	PlusAssign  // +=
+	MinusAssign // -=
+	StarAssign  // *=
+	SlashAssign // /=
+	PctAssign   // %=
+
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	PlusPlus
+	MinusMinus
+
+	Eq       // ==
+	StrictEq // ===
+	NotEq    // !=
+	StrictNe // !==
+	Lt
+	Le
+	Gt
+	Ge
+
+	Not    // !
+	AndAnd // &&
+	OrOr   // ||
+
+	BitAnd // &
+	BitOr  // |
+	BitXor // ^
+	Shl    // <<
+	Shr    // >>
+)
+
+var names = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", Number: "number", String: "string",
+	KwVar: "var", KwFunction: "function", KwReturn: "return", KwIf: "if",
+	KwElse: "else", KwFor: "for", KwWhile: "while", KwDo: "do",
+	KwBreak: "break", KwContinue: "continue", KwNew: "new",
+	KwDelete: "delete", KwTypeof: "typeof", KwThis: "this",
+	KwTrue: "true", KwFalse: "false", KwNull: "null",
+	KwUndefined: "undefined", KwIn: "in", KwInstanceof: "instanceof",
+	KwThrow: "throw", KwTry: "try", KwCatch: "catch", KwFinally: "finally",
+	KwSwitch: "switch", KwCase: "case", KwDefault: "default",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Semicolon: ";", Comma: ",",
+	Dot: ".", Colon: ":", Question: "?",
+	Assign: "=", PlusAssign: "+=", MinusAssign: "-=", StarAssign: "*=",
+	SlashAssign: "/=", PctAssign: "%=",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	PlusPlus: "++", MinusMinus: "--",
+	Eq: "==", StrictEq: "===", NotEq: "!=", StrictNe: "!==",
+	Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	Not: "!", AndAnd: "&&", OrOr: "||",
+	BitAnd: "&", BitOr: "|", BitXor: "^", Shl: "<<", Shr: ">>",
+}
+
+// String returns the token kind's source spelling or descriptive name.
+func (k Kind) String() string {
+	if n, ok := names[k]; ok {
+		return n
+	}
+	return "token(?)"
+}
+
+// Keywords maps identifier spellings to keyword kinds.
+var Keywords = map[string]Kind{
+	"var": KwVar, "function": KwFunction, "return": KwReturn,
+	"if": KwIf, "else": KwElse, "for": KwFor, "while": KwWhile,
+	"do": KwDo, "break": KwBreak, "continue": KwContinue,
+	"new": KwNew, "delete": KwDelete, "typeof": KwTypeof,
+	"this": KwThis, "true": KwTrue, "false": KwFalse, "null": KwNull,
+	"undefined": KwUndefined, "in": KwIn, "instanceof": KwInstanceof,
+	"throw": KwThrow, "try": KwTry, "catch": KwCatch, "finally": KwFinally,
+	"switch": KwSwitch, "case": KwCase, "default": KwDefault,
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind Kind
+	// Lit is the literal text for Ident, Number and String tokens (for
+	// strings, the decoded value).
+	Lit string
+	Pos source.Pos
+}
+
+// Is reports whether the token has the given kind.
+func (t Token) Is(k Kind) bool { return t.Kind == k }
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, Number:
+		return t.Lit
+	case String:
+		return "\"" + t.Lit + "\""
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,57 @@
+package token
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		EOF:       "EOF",
+		Ident:     "identifier",
+		Number:    "number",
+		String:    "string",
+		KwVar:     "var",
+		KwSwitch:  "switch",
+		KwDefault: "default",
+		LParen:    "(",
+		StrictEq:  "===",
+		Shr:       ">>",
+		OrOr:      "||",
+		Kind(250): "token(?)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestKeywordsBijective(t *testing.T) {
+	seen := map[Kind]string{}
+	for word, kind := range Keywords {
+		if prev, dup := seen[kind]; dup {
+			t.Errorf("kind %v claimed by both %q and %q", kind, prev, word)
+		}
+		seen[kind] = word
+		if kind.String() != word {
+			t.Errorf("keyword %q stringifies as %q", word, kind)
+		}
+	}
+	if len(Keywords) < 20 {
+		t.Errorf("suspiciously few keywords: %d", len(Keywords))
+	}
+}
+
+func TestTokenIsAndString(t *testing.T) {
+	tok := Token{Kind: Ident, Lit: "name"}
+	if !tok.Is(Ident) || tok.Is(Number) {
+		t.Fatal("Is broken")
+	}
+	if tok.String() != "name" {
+		t.Fatalf("ident String = %q", tok.String())
+	}
+	if (Token{Kind: String, Lit: "s"}).String() != `"s"` {
+		t.Fatal("string token String broken")
+	}
+	if (Token{Kind: Comma}).String() != "," {
+		t.Fatal("punct token String broken")
+	}
+}

@@ -1,0 +1,155 @@
+package vm
+
+import "testing"
+
+func TestSwitchStatement(t *testing.T) {
+	expectOut(t, `
+		function classify(x) {
+			switch (x) {
+			case 1: return 'one';
+			case 2:
+			case 3: return 'few';
+			default: return 'many';
+			}
+		}
+		print(classify(1), classify(2), classify(3), classify(9));
+	`, "one few few many\n")
+	// Fallthrough without break.
+	expectOut(t, `
+		var log = '';
+		switch (2) {
+		case 1: log += 'a';
+		case 2: log += 'b';
+		case 3: log += 'c'; break;
+		case 4: log += 'd';
+		}
+		print(log);
+	`, "bc\n")
+	// Strict-equality dispatch: '2' does not match 2.
+	expectOut(t, `
+		var r = 'none';
+		switch ('2') { case 2: r = 'num'; break; default: r = 'dflt'; }
+		print(r);
+	`, "dflt\n")
+	// No default, no match: nothing runs.
+	expectOut(t, `
+		var ran = false;
+		switch (5) { case 1: ran = true; }
+		print(ran);
+	`, "false\n")
+}
+
+func TestSwitchInsideLoopContinueBindsToLoop(t *testing.T) {
+	expectOut(t, `
+		var s = '';
+		for (var i = 0; i < 5; i++) {
+			switch (i) {
+			case 1: continue;
+			case 3: break;
+			default: s += '.';
+			}
+			s += i;
+		}
+		print(s);
+	`, ".0.23.4\n")
+}
+
+func TestSwitchWithFunctionDeclInCase(t *testing.T) {
+	expectOut(t, `
+		switch (1) {
+		case 1:
+			print(helper());
+			function helper() { return 'hoisted'; }
+		}
+	`, "hoisted\n")
+}
+
+func TestSwitchParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"switch (x) { default: 1; default: 2; }",
+		"switch (x) { 5; }",
+		"switch (x) { case 1 }",
+	} {
+		if _, _, err := tryRun(src); err == nil {
+			t.Errorf("%q must fail", src)
+		}
+	}
+}
+
+func TestArrayFilterReduceSomeEvery(t *testing.T) {
+	expectOut(t, `
+		var a = [1, 2, 3, 4, 5];
+		print(a.filter(function (x) { return x % 2 === 0; }).join(','));
+		print(a.reduce(function (acc, x) { return acc + x; }, 100));
+		print(a.reduce(function (acc, x) { return acc * x; }));
+		print(a.some(function (x) { return x > 4; }), a.some(function (x) { return x > 9; }));
+		print(a.every(function (x) { return x > 0; }), a.every(function (x) { return x > 1; }));
+	`, "2,4\n115\n120\ntrue false\ntrue false\n")
+	if _, _, err := tryRun("[].reduce(function (a, b) { return a; });"); err == nil {
+		t.Fatal("reduce of empty array without seed must throw")
+	}
+}
+
+func TestArrayReverseShiftUnshiftSort(t *testing.T) {
+	expectOut(t, `
+		var a = [3, 1, 2];
+		print(a.reverse().join(','));
+		print(a.shift(), a.join(','));
+		print(a.unshift(9, 8), a.join(','));
+		print([10, 2, 33, 4].sort().join(','));
+		print([10, 2, 33, 4].sort(function (x, y) { return x - y; }).join(','));
+		print([].shift());
+	`, "2,1,3\n2 1,3\n4 9,8,1,3\n10,2,33,4\n2,4,10,33\nundefined\n")
+}
+
+func TestArraySortComparatorErrorPropagates(t *testing.T) {
+	_, _, err := tryRun("[2, 1].sort(function () { throw 'cmp'; });")
+	if err == nil {
+		t.Fatal("comparator errors must propagate")
+	}
+}
+
+func TestFunctionBind(t *testing.T) {
+	expectOut(t, `
+		function who(greeting, punct) { return greeting + ' ' + this.name + punct; }
+		var bound = who.bind({name: 'world'}, 'hello');
+		print(bound('!'), bound('?'));
+		var rebound = bound.bind({name: 'ignored'});
+		print(rebound('.'));
+	`, "hello world! hello world?\nhello world.\n")
+	if _, _, err := tryRun("var f = {}.hasOwnProperty; f.bind; ({}).bind;"); err != nil {
+		t.Fatalf("unexpected: %v", err)
+	}
+}
+
+func TestObjectGetPrototypeOf(t *testing.T) {
+	expectOut(t, `
+		function C() {}
+		var c = new C();
+		print(Object.getPrototypeOf(c) === C.prototype);
+		var o = Object.create(null);
+		print(Object.getPrototypeOf(o) === null);
+	`, "true\ntrue\n")
+	if _, _, err := tryRun("Object.getPrototypeOf(1);"); err == nil {
+		t.Fatal("getPrototypeOf of a primitive must throw")
+	}
+}
+
+func TestStringLastIndexOfAndConcat(t *testing.T) {
+	expectOut(t, `
+		print('abcabc'.lastIndexOf('b'), 'abc'.lastIndexOf('z'));
+		print('a'.concat('b', 1, true));
+	`, "4 -1\nab1true\n")
+}
+
+func TestSwitchCapturedSubject(t *testing.T) {
+	// Switch inside a closure with captured variables.
+	expectOut(t, `
+		function pick(n) {
+			return function () {
+				switch (n) { case 0: return 'zero'; default: return 'other'; }
+			};
+		}
+		print(pick(0)(), pick(7)());
+	`, "zero other\n")
+}

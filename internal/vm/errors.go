@@ -1,0 +1,52 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+
+	"ricjs/internal/objects"
+)
+
+// Thrown is a JavaScript exception unwinding through the interpreter. It
+// carries the thrown value; try/catch handlers intercept it, and an
+// uncaught Thrown surfaces as the error of the run, annotated with the
+// JavaScript call stack at the throw point.
+type Thrown struct {
+	Value objects.Value
+	// Stack holds "name (script)" frames, innermost first, captured where
+	// the exception originated.
+	Stack []string
+}
+
+// Error implements the error interface.
+func (t *Thrown) Error() string {
+	msg := fmt.Sprintf("uncaught exception: %s", t.Value.ToString())
+	if len(t.Stack) == 0 {
+		return msg
+	}
+	var b strings.Builder
+	b.WriteString(msg)
+	for _, fr := range t.Stack {
+		b.WriteString("\n    at ")
+		b.WriteString(fr)
+	}
+	return b.String()
+}
+
+// LimitError reports that a resource limit was exceeded. Unlike Thrown it
+// is not catchable by JavaScript try/catch: a runaway script must not be
+// able to swallow its own termination.
+type LimitError struct {
+	Limit string
+}
+
+// Error implements the error interface.
+func (e *LimitError) Error() string {
+	return "execution aborted: " + e.Limit + " exceeded"
+}
+
+// throwf raises a catchable runtime error carrying a message string, the
+// engine's stand-in for TypeError and friends.
+func throwf(format string, args ...any) error {
+	return &Thrown{Value: objects.Str(fmt.Sprintf(format, args...))}
+}

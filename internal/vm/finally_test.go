@@ -1,0 +1,81 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFinallyRunsOnNormalPath(t *testing.T) {
+	expectOut(t, `
+		try { print('body'); } finally { print('fin'); }
+		print('after');
+	`, "body\nfin\nafter\n")
+}
+
+func TestFinallyRunsOnEscapingException(t *testing.T) {
+	// finally-only try: the exception escapes, but finally must run first.
+	_, out, err := tryRun(`
+		function f() {
+			try { throw 'oops'; } finally { print('cleanup'); }
+		}
+		f();
+	`)
+	if err == nil || !strings.Contains(err.Error(), "oops") {
+		t.Fatalf("exception must escape: %v", err)
+	}
+	if out != "cleanup\n" {
+		t.Fatalf("output = %q, finally did not run on the throw path", out)
+	}
+}
+
+func TestFinallyRunsWhenCatchThrows(t *testing.T) {
+	_, out, err := tryRun(`
+		try {
+			throw 'first';
+		} catch (e) {
+			print('caught', e);
+			throw 'second';
+		} finally {
+			print('fin');
+		}
+	`)
+	if err == nil || !strings.Contains(err.Error(), "second") {
+		t.Fatalf("rethrow must escape with the catch-clause value: %v", err)
+	}
+	if out != "caught first\nfin\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestFinallyWithCaughtExceptionContinues(t *testing.T) {
+	expectOut(t, `
+		try { throw 1; } catch (e) { print('c', e); } finally { print('f'); }
+		print('done');
+	`, "c 1\nf\ndone\n")
+}
+
+func TestNestedFinallyOrdering(t *testing.T) {
+	_, out, err := tryRun(`
+		try {
+			try { throw 'x'; } finally { print('inner'); }
+		} catch (e) {
+			print('outer caught', e);
+		} finally {
+			print('outer fin');
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "inner\nouter caught x\nouter fin\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestFinallyEscapesThroughCallFrames(t *testing.T) {
+	expectOut(t, `
+		function inner() { try { throw 'deep'; } finally { print('fin-inner'); } }
+		function outer() { try { inner(); } catch (e) { print('got', e); } }
+		outer();
+	`, "fin-inner\ngot deep\n")
+}

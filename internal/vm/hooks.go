@@ -1,0 +1,23 @@
+package vm
+
+import (
+	"ricjs/internal/objects"
+	"ricjs/internal/profiler"
+	"ricjs/internal/source"
+)
+
+// Hooks is the interface RIC plugs into the VM with during a Reuse run
+// (paper §5.2.2). A nil Hooks means plain V8-style behaviour.
+type Hooks interface {
+	// OnHCCreated fires whenever a triggering event creates a hidden
+	// class: a store-site transition (incoming non-nil), a constructor or
+	// builtin root creation (incoming nil). creator identifies the
+	// triggering site or builtin name. The hook validates the outgoing
+	// hidden class against the ICRecord and preloads dependent sites.
+	OnHCCreated(creator objects.Creator, incoming, outgoing *objects.HiddenClass)
+
+	// ClassifyMiss labels an IC miss for the Table 4 breakdown.
+	// receiverIsGlobal reports whether the incoming object is the global
+	// object (RIC is disabled for globals by default, paper §6).
+	ClassifyMiss(site source.Site, receiverIsGlobal bool) profiler.MissKind
+}

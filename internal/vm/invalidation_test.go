@@ -1,0 +1,116 @@
+package vm
+
+import "testing"
+
+// These tests pin the prototype-epoch invalidation scheme: cached
+// prototype-chain handlers must never serve stale values after a chain
+// object changes shape (the engine's analogue of V8's validity cells).
+
+func TestPrototypeShadowingInvalidatesChainHandlers(t *testing.T) {
+	expectOut(t, `
+		var grand = {m: 'grand'};
+		var mid = Object.create(grand);
+		var leafProto = Object.create(mid);
+		function C() {}
+		C.prototype = leafProto;
+		var o = new C();
+
+		function read(x) { return x.m; }
+		// Populate the IC: the handler holds grand as the holder.
+		print(read(o), read(o));
+		// Shadow m on an intermediate prototype. The receiver's hidden
+		// class does not change, so only epoch invalidation can catch it.
+		mid.m = 'mid';
+		print(read(o));
+		// Shadow again closer to the receiver.
+		leafProto.m = 'leaf';
+		print(read(o));
+	`, "grand grand\nmid\nleaf\n")
+}
+
+func TestLoadMissingInvalidatedByLateProtoAddition(t *testing.T) {
+	expectOut(t, `
+		var proto = {present: 1};
+		var o = Object.create(proto);
+		function read(x) { return x.late; }
+		// Cache the negative lookup.
+		print(read(o), read(o));
+		// The property appears on the prototype afterwards.
+		proto.late = 'now';
+		print(read(o));
+	`, "undefined undefined\nnow\n")
+}
+
+func TestProtoDeletionInvalidatesChainHandlers(t *testing.T) {
+	expectOut(t, `
+		var proto = {gone: 'yes'};
+		var o = Object.create(proto);
+		function read(x) { return x.gone; }
+		print(read(o), read(o));
+		delete proto.gone;
+		print(read(o));
+	`, "yes yes\nundefined\n")
+}
+
+func TestOwnPropertyHandlersSurviveProtoMutation(t *testing.T) {
+	// LoadField/StoreField handlers do not depend on the chain; epoch
+	// bumps must not evict them (no extra misses).
+	vm, _ := run(t, `
+		var proto = {};
+		var o = Object.create(proto);
+		o.own = 1;
+		function read(x) { return x.own; }
+		read(o); read(o);
+		var missesBeforeTouch = 0;
+		proto.unrelated = true; // bump the epoch
+		var s = 0;
+		for (var i = 0; i < 10; i++) s += read(o);
+		print(s);
+	`)
+	s := vm.Prof.Snapshot()
+	// The read site must have missed at most twice (initial + none after
+	// the epoch bump); generous bound guards regressions.
+	if s.ICMisses > 40 {
+		t.Fatalf("suspiciously many misses: %d", s.ICMisses)
+	}
+	if out := vm.Output(); out != "10\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestEpochInvalidationCountsAsMiss(t *testing.T) {
+	before, _ := run(t, `
+		var proto = {m: 1};
+		var o = Object.create(proto);
+		function read(x) { return x.m; }
+		read(o); read(o); read(o);
+	`)
+	after, _ := run(t, `
+		var proto = {m: 1};
+		var o = Object.create(proto);
+		function read(x) { return x.m; }
+		read(o); read(o);
+		proto.shadow = 1; // epoch bump
+		read(o);          // re-resolves: one extra miss
+	`)
+	if after.Prof.Snapshot().ICMisses <= before.Prof.Snapshot().ICMisses {
+		t.Fatalf("epoch invalidation must surface as a miss: %d vs %d",
+			after.Prof.Snapshot().ICMisses, before.Prof.Snapshot().ICMisses)
+	}
+}
+
+func TestMethodShadowingAfterInstanceCreation(t *testing.T) {
+	// The classic monkey-patching pattern: replace a prototype method
+	// after call sites went monomorphic. Value overwrite (not shape
+	// change) keeps the handler valid — the handler reads the holder slot
+	// fresh — and shape-changing additions invalidate.
+	expectOut(t, `
+		function C() {}
+		C.prototype.greet = function () { return 'v1'; };
+		var c = new C();
+		function call(x) { return x.greet(); }
+		print(call(c), call(c));
+		C.prototype.greet = function () { return 'v2'; };
+		print(call(c));
+	`, "v1 v1\nv2\n")
+}

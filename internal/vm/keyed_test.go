@@ -1,0 +1,158 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"ricjs/internal/ic"
+	"ricjs/internal/objects"
+)
+
+// keyedSlots collects the keyed feedback slots of all vectors.
+func keyedSlots(v *VM) []*ic.Slot {
+	var out []*ic.Slot
+	for _, vec := range v.Vectors() {
+		for i := range vec.Slots {
+			if vec.Slots[i].Kind.IsKeyed() {
+				out = append(out, &vec.Slots[i])
+			}
+		}
+	}
+	return out
+}
+
+func TestElementAccessesCacheLoadStoreElement(t *testing.T) {
+	v, _ := run(t, `
+		var a = [0, 0, 0, 0];
+		var s = 0;
+		for (var i = 0; i < 4; i++) a[i] = i * 2;
+		for (var j = 0; j < 4; j++) s += a[j];
+		print(s);
+	`)
+	if !strings.Contains(v.Output(), "12") {
+		t.Fatalf("output = %q", v.Output())
+	}
+	var loads, stores int
+	for _, s := range keyedSlots(v) {
+		for _, e := range s.Entries {
+			switch e.H.(type) {
+			case ic.LoadElement:
+				loads++
+			case ic.StoreElement:
+				stores++
+			}
+		}
+	}
+	if loads == 0 || stores == 0 {
+		t.Fatalf("element handlers missing: %d loads, %d stores", loads, stores)
+	}
+}
+
+func TestKeyedNamedCachesPerName(t *testing.T) {
+	// A keyed site accessed with ONE constant name over one shape stays
+	// monomorphic with a KeyedNamed handler, and repeated access hits.
+	v, _ := run(t, `
+		var o = {alpha: 1};
+		var key = 'alpha';
+		var s = 0;
+		for (var i = 0; i < 20; i++) s += o[key];
+		print(s);
+	`)
+	if !strings.Contains(v.Output(), "20") {
+		t.Fatalf("output = %q", v.Output())
+	}
+	found := false
+	for _, s := range keyedSlots(v) {
+		for _, e := range s.Entries {
+			if kn, ok := e.H.(ic.KeyedNamed); ok && kn.Name == "alpha" {
+				found = true
+				if _, isLF := kn.Inner.(ic.LoadField); !isLF {
+					t.Fatalf("inner handler = %T", kn.Inner)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("KeyedNamed handler not cached")
+	}
+	st := v.Prof.Snapshot()
+	if st.ICHits < 18 {
+		t.Fatalf("keyed hits = %d, expected near 19", st.ICHits)
+	}
+}
+
+func TestKeyedVaryingNamesGoMegamorphic(t *testing.T) {
+	v, _ := run(t, `
+		var o = {a: 1, b: 2, c: 3};
+		var keys = ['a', 'b', 'c'];
+		var s = 0;
+		for (var r = 0; r < 5; r++)
+			for (var i = 0; i < keys.length; i++)
+				s += o[keys[i]];
+		print(s);
+	`)
+	if !strings.Contains(v.Output(), "30") {
+		t.Fatalf("output = %q", v.Output())
+	}
+	mega := false
+	for _, s := range keyedSlots(v) {
+		if s.State == ic.Megamorphic {
+			mega = true
+		}
+	}
+	if !mega {
+		t.Fatal("varying-name keyed site must go megamorphic")
+	}
+}
+
+func TestKeyedStoreTransitionAnnounced(t *testing.T) {
+	// Keyed stores that add properties are triggering events now (they
+	// carry a real site), so RIC can validate their hidden classes.
+	v, _ := run(t, `
+		var o = {};
+		var k = 'dyn';
+		o[k] = 1;
+	`)
+	s := v.Prof.Snapshot()
+	if s.HCCreated == 0 {
+		t.Fatal("keyed store must create a hidden class")
+	}
+	// The new class's creator is the keyed site itself, so it has a
+	// context-independent identity RIC can key the TOAST by.
+	found := false
+	for _, root := range v.Roots() {
+		root.WalkTransitions(func(hc *objects.HiddenClass) {
+			c := hc.Creator()
+			if !c.IsBuiltin() && c.Site.Script == "test.js" {
+				if _, ok := hc.Offset("dyn"); ok {
+					found = true
+				}
+			}
+		})
+	}
+	if !found {
+		t.Fatal("keyed-store transition must carry its site as creator")
+	}
+}
+
+func TestKeyedMixedElementAndNamedOnArray(t *testing.T) {
+	expectOut(t, `
+		var a = [9];
+		var idx = 0;
+		var name = 'extra';
+		print(a[idx]);
+		a[name] = 'n';
+		print(a[name], a[idx]);
+	`, "9\nn 9\n")
+}
+
+func TestKeyedOnDictionaryObject(t *testing.T) {
+	expectOut(t, `
+		var o = {x: 1, y: 2};
+		delete o.x;
+		var k = 'y';
+		print(o[k], o['x']);
+		o[k] = 5;
+		print(o.y);
+	`, "2 undefined\n5\n")
+}

@@ -1,0 +1,135 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"ricjs/internal/bytecode"
+	"ricjs/internal/parser"
+)
+
+func runWithOptions(t *testing.T, src string, opts Options) (*VM, error) {
+	t.Helper()
+	prog, err := parser.Parse("test.js", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := bytecode.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(opts)
+	_, err = v.RunProgram(bc)
+	return v, err
+}
+
+func TestMaxStepsAbortsRunawayScript(t *testing.T) {
+	_, err := runWithOptions(t, "while (true) {}", Options{MaxSteps: 10000})
+	le, ok := err.(*LimitError)
+	if !ok {
+		t.Fatalf("err = %v, want LimitError", err)
+	}
+	if !strings.Contains(le.Error(), "step budget") {
+		t.Fatalf("message = %q", le.Error())
+	}
+}
+
+func TestMaxStepsNotCatchableByScript(t *testing.T) {
+	_, err := runWithOptions(t,
+		"try { while (true) {} } catch (e) { print('swallowed'); }",
+		Options{MaxSteps: 10000})
+	if _, ok := err.(*LimitError); !ok {
+		t.Fatalf("limit abort must not be catchable; err = %v", err)
+	}
+}
+
+func TestMaxStepsSpansCalls(t *testing.T) {
+	// The budget is per-VM, not per-frame: mutual recursion burns it too.
+	_, err := runWithOptions(t, `
+		function a() { return b(); }
+		function b() { return a(); }
+		try { a(); } catch (e) { /* call-depth throw is catchable */ }
+		while (1) {}
+	`, Options{MaxSteps: 200000})
+	if _, ok := err.(*LimitError); !ok {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestZeroMaxStepsIsUnlimited(t *testing.T) {
+	v, err := runWithOptions(t, `
+		var n = 0;
+		for (var i = 0; i < 10000; i++) n += i;
+		print(n);
+	`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v.Output(), "49995000") {
+		t.Fatalf("output = %q", v.Output())
+	}
+}
+
+func TestThrownCarriesJSStack(t *testing.T) {
+	_, err := runWithOptions(t, `
+		function inner() { throw 'deep'; }
+		function middle() { return inner(); }
+		function outer() { return middle(); }
+		outer();
+	`, Options{})
+	thrown, ok := err.(*Thrown)
+	if !ok {
+		t.Fatalf("err = %T", err)
+	}
+	msg := thrown.Error()
+	for _, frame := range []string{"inner (test.js)", "middle (test.js)", "outer (test.js)", "<main> (test.js)"} {
+		if !strings.Contains(msg, frame) {
+			t.Errorf("stack missing %q:\n%s", frame, msg)
+		}
+	}
+	// Innermost frame first.
+	if strings.Index(msg, "inner") > strings.Index(msg, "outer") {
+		t.Errorf("stack order wrong:\n%s", msg)
+	}
+}
+
+func TestRuntimeErrorCarriesStack(t *testing.T) {
+	_, err := runWithOptions(t, `
+		function reader(o) { return o.field; }
+		reader(null);
+	`, Options{})
+	thrown, ok := err.(*Thrown)
+	if !ok {
+		t.Fatalf("err = %T (%v)", err, err)
+	}
+	if !strings.Contains(thrown.Error(), "reader (test.js)") {
+		t.Errorf("runtime error missing frame:\n%s", thrown.Error())
+	}
+}
+
+func TestStackCappedOnDeepRecursion(t *testing.T) {
+	_, err := runWithOptions(t, `
+		function spin(n) { if (n === 0) throw 'bottom'; return spin(n - 1); }
+		spin(100);
+	`, Options{})
+	thrown, ok := err.(*Thrown)
+	if !ok {
+		t.Fatalf("err = %T", err)
+	}
+	if got := strings.Count(thrown.Error(), "\n    at "); got > 21 {
+		t.Fatalf("stack not capped: %d frames", got)
+	}
+}
+
+func TestCaughtExceptionDoesNotLeakStack(t *testing.T) {
+	v, err := runWithOptions(t, `
+		function f() { throw 'x'; }
+		try { f(); } catch (e) { print('ok', e); }
+	`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Output() != "ok x\n" {
+		t.Fatalf("output = %q", v.Output())
+	}
+}

@@ -1,0 +1,251 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"ricjs/internal/bytecode"
+	"ricjs/internal/parser"
+)
+
+func TestKeyedAccessEdgeCases(t *testing.T) {
+	expectOut(t, `
+		var a = [10, 20, 30];
+		print(a[1], a['1'], a[1.0], a[-1], a[99]);
+		a['2'] = 99;
+		print(a[2]);
+		a['tag'] = 'named';
+		print(a.tag, a['tag']);
+	`, "20 20 20 undefined undefined\n99\nnamed named\n")
+	expectOut(t, `
+		var o = {k1: 'v'};
+		var key = 'k1';
+		print(o[key], o['missing']);
+		o['k' + 2] = 'w';
+		print(o.k2);
+	`, "v undefined\nw\n")
+	// Numeric keys on plain objects become named properties.
+	expectOut(t, `
+		var o = {};
+		o[5] = 'five';
+		print(o[5], o['5']);
+	`, "five five\n")
+}
+
+func TestKeyedOnStrings(t *testing.T) {
+	expectOut(t, `
+		var s = 'abc';
+		print(s[0], s[2], s[3], s['length']);
+	`, "a c undefined 3\n")
+}
+
+func TestKeyedErrors(t *testing.T) {
+	for _, src := range []string{
+		"var u; u[0];",
+		"var u; u[0] = 1;",
+		"null[1];",
+	} {
+		if _, _, err := tryRun(src); err == nil {
+			t.Errorf("%q must throw", src)
+		}
+	}
+	// Keyed stores on primitives are silently dropped, like named ones.
+	expectOut(t, "var n = 5; n[0] = 1; print('ok');", "ok\n")
+}
+
+func TestPrimitiveReceivers(t *testing.T) {
+	expectOut(t, `
+		var n = 42;
+		print(n.anything);
+		n.prop = 1; // dropped
+		print(true.x, false.y);
+	`, "undefined\nundefined undefined\n")
+}
+
+func TestInOperatorForms(t *testing.T) {
+	expectOut(t, `
+		var a = [1, 2];
+		print(0 in a, 1 in a, 2 in a, 'length' in a);
+		var proto = {inherited: 1};
+		var o = Object.create(proto);
+		o.own = 2;
+		print('own' in o, 'inherited' in o, 'nope' in o);
+	`, "true true false false\ntrue true false\n")
+	if _, _, err := tryRun("'x' in 5;"); err == nil {
+		t.Fatal("in on a primitive must throw")
+	}
+}
+
+func TestInstanceofEdgeCases(t *testing.T) {
+	expectOut(t, `
+		function F() {}
+		print(1 instanceof F, 'x' instanceof F, null instanceof F);
+		var noProto = function () {};
+		noProto.prototype = null;
+		print({} instanceof noProto);
+	`, "false false false\nfalse\n")
+	if _, _, err := tryRun("({}) instanceof 5;"); err == nil {
+		t.Fatal("instanceof non-callable must throw")
+	}
+}
+
+func TestMegamorphicSiteStaysCorrect(t *testing.T) {
+	// More shapes than MaxPolymorphic through one site: results stay
+	// correct after the slot goes megamorphic.
+	expectOut(t, `
+		function get(o) { return o.v; }
+		var shapes = [];
+		shapes.push({v: 1});
+		shapes.push({a: 0, v: 2});
+		shapes.push({b: 0, v: 3});
+		shapes.push({c: 0, v: 4});
+		shapes.push({d: 0, v: 5});
+		shapes.push({e: 0, v: 6});
+		var total = 0;
+		for (var round = 0; round < 3; round++)
+			for (var i = 0; i < shapes.length; i++)
+				total += get(shapes[i]);
+		print(total);
+	`, "63\n")
+}
+
+func TestICStateDump(t *testing.T) {
+	v, _ := run(t, `
+		function get(o) { return o.field; }
+		var x = {field: 1};
+		get(x); get(x);
+	`)
+	dump := v.DumpICState()
+	for _, want := range []string{"ICVector", "monomorphic", "LoadField", "field"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+	// A fresh engine has nothing populated.
+	fresh := New(Options{AddressSeed: 1})
+	if fresh.DumpICState() != "" {
+		t.Error("fresh engine must dump empty IC state")
+	}
+}
+
+func TestCallErrors(t *testing.T) {
+	for _, src := range []string{
+		"var notFn = 5; notFn();",
+		"var u; u();",
+		"new 5;",
+		"var o = {}; o.missing();",
+	} {
+		if _, _, err := tryRun(src); err == nil {
+			t.Errorf("%q must throw", src)
+		}
+	}
+}
+
+func TestNativeConstructors(t *testing.T) {
+	expectOut(t, `
+		var o = new Object();
+		o.x = 1;
+		var a = new Array(1, 2, 3);
+		print(o.x, a.length, a[2]);
+		print(Object(a) === a);
+	`, "1 3 3\ntrue\n")
+}
+
+func TestGlobalICGrowsWithLibraries(t *testing.T) {
+	// Each DeclGlobal extends the global object's hidden-class chain; the
+	// chain depends on declaration order, which is why RIC disables
+	// global reuse by default.
+	v1, _ := run(t, "var a = 1; var b = 2; print(a + b);")
+	v2, _ := run(t, "var b = 1; var a = 2; print(a + b);")
+	g1, g2 := v1.Global().HC(), v2.Global().HC()
+	f1, f2 := g1.Fields(), g2.Fields()
+	if len(f1) != len(f2) {
+		t.Fatalf("field counts differ: %d vs %d", len(f1), len(f2))
+	}
+	same := true
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("declaration order must shape the global hidden class differently")
+	}
+}
+
+func TestForInOverDictionaryAndArray(t *testing.T) {
+	expectOut(t, `
+		var d = {x: 1, y: 2, z: 3};
+		delete d.y;
+		var ks = '';
+		for (var k in d) ks += k;
+		print(ks);
+		var arr = ['a', 'b'];
+		arr.tag = 1;
+		var all = '';
+		for (var j in arr) all += j + ',';
+		print(all);
+	`, "xz\n0,1,tag,\n")
+}
+
+func TestStoreHitOnTransitionHandler(t *testing.T) {
+	// The same store site performs the same transition on many objects:
+	// the first is a miss (generates the StoreTransition handler), the
+	// rest are hits executing it.
+	v, _ := run(t, `
+		function tag(o) { o.stamp = 7; }
+		var objs = [];
+		for (var i = 0; i < 10; i++) objs.push({});
+		for (var j = 0; j < 10; j++) tag(objs[j]);
+		var total = 0;
+		for (var k = 0; k < 10; k++) total += objs[k].stamp;
+		print(total);
+	`)
+	if !strings.Contains(v.Output(), "70") {
+		t.Fatalf("output = %q", v.Output())
+	}
+	s := v.Prof.Snapshot()
+	if s.ICHits < 15 {
+		t.Fatalf("expected transition-handler hits, got %d hits", s.ICHits)
+	}
+}
+
+func TestOutputAndStdout(t *testing.T) {
+	var sb strings.Builder
+	v := New(Options{Stdout: &sb, AddressSeed: 1})
+	prog := mustCompile(t, "print('to writer');")
+	if _, err := v.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "to writer\n" || v.Output() != "" {
+		t.Fatalf("writer routing broken: %q / %q", sb.String(), v.Output())
+	}
+}
+
+func TestRegisterProgramIdempotent(t *testing.T) {
+	v := New(Options{AddressSeed: 1})
+	prog := mustCompile(t, "var o = {q: 1}; print(o.q);")
+	v.RegisterProgram(prog)
+	nVectors := len(v.Vectors())
+	v.RegisterProgram(prog)
+	if len(v.Vectors()) != nVectors {
+		t.Fatal("double registration must not duplicate vectors")
+	}
+	if _, err := v.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mustCompile compiles source or fails the test.
+func mustCompile(t *testing.T, src string) *bytecode.Program {
+	t.Helper()
+	ast, err := parser.Parse("test.js", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := bytecode.Compile(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}

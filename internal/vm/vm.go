@@ -1,0 +1,720 @@
+// Package vm implements the bytecode interpreter, the IC fast path, the
+// runtime slow path that handles IC misses (generic lookup, handler
+// generation, ICVector update — the work the paper's Figure 5 measures),
+// and the builtin environment.
+package vm
+
+import (
+	"bytes"
+	"io"
+	"math"
+
+	"ricjs/internal/bytecode"
+	"ricjs/internal/ic"
+	"ricjs/internal/objects"
+	"ricjs/internal/profiler"
+	"ricjs/internal/source"
+)
+
+// maxCallDepth bounds recursion, standing in for a JavaScript stack limit.
+const maxCallDepth = 800
+
+// Options configures a VM.
+type Options struct {
+	// AddressSeed seeds the simulated heap address space; 0 draws a fresh
+	// process-unique base so every VM sees different addresses.
+	AddressSeed uint64
+	// Hooks receives RIC events; nil disables reuse behaviour.
+	Hooks Hooks
+	// Stdout receives print/console.log output; nil collects into an
+	// internal buffer readable via Output.
+	Stdout io.Writer
+	// RandSeed seeds Math.random deterministically.
+	RandSeed uint64
+	// MaxSteps aborts execution after this many bytecode operations
+	// (0 = unlimited). The abort is a LimitError, not catchable by
+	// JavaScript code.
+	MaxSteps uint64
+}
+
+// VM is one engine execution context: heap, globals, feedback vectors,
+// and profiling counters. It corresponds to one "run" in the paper's
+// terminology and is single-threaded, like a JavaScript isolate.
+type VM struct {
+	Space *objects.Space
+	Prof  *profiler.Counters
+
+	global *objects.Object
+	hooks  Hooks
+
+	// Shared root hidden classes (paper §2.2's HC0s for each object kind).
+	emptyObjectHC *objects.HiddenClass
+	arrayHC       *objects.HiddenClass
+	functionHC    *objects.HiddenClass
+	fnProtoRootHC *objects.HiddenClass
+
+	objectProto   *objects.Object
+	functionProto *objects.Object
+	arrayProto    *objects.Object
+
+	// feedback maps each compiled function to its ICVector (out-of-line
+	// IC, paper Figure 3). Per-VM so code can be shared across VMs.
+	feedback map[*bytecode.FuncProto]*ic.Vector
+	// slotIndex locates a feedback slot by its context-independent site
+	// identity; RIC preloads through it.
+	slotIndex map[source.Site]*ic.Slot
+
+	// roots lists every root hidden class in creation order, for the
+	// extraction phase's deterministic walk.
+	roots []*objects.HiddenClass
+	// builtinFinal maps builtin names to the hidden class each builtin
+	// object has once startup completes; these validate unconditionally
+	// at the start of a Reuse run (paper §4: "Built-in objects are
+	// immediately marked as validated at the startup").
+	builtinFinal []BuiltinHC
+
+	vectorOrder   []*ic.Vector
+	extraBuiltins []namedBuiltin
+	stringMethods map[string]*objects.Object
+	createHCs     map[*objects.Object]*objects.HiddenClass
+	createSeq     int
+
+	out      io.Writer
+	buf      bytes.Buffer
+	depth    int
+	rng      uint64
+	burnSink uint64
+
+	maxSteps  uint64
+	steps     uint64
+	callStack []string
+
+	// Builtin identity maps: every object installed during startup is
+	// registered under a stable qualified name, in both directions. The
+	// snapshot subsystem uses them to encode references to builtins by
+	// name instead of by graph walk.
+	builtinObjByName map[string]*objects.Object
+	builtinNameByObj map[*objects.Object]string
+	// globalBaseline lists the global object's own properties at the end
+	// of startup; script-created globals are everything after these.
+	globalBaseline map[string]bool
+	// protoIndex resolves compiled functions by declaration site, for
+	// snapshot restoration.
+	protoIndex map[source.Site]*bytecode.FuncProto
+	// restoreHCs caches per-prototype root hidden classes used by
+	// snapshot restoration.
+	restoreHCs map[*objects.Object]*objects.HiddenClass
+}
+
+// BuiltinHC pairs a builtin object name with its post-startup hidden class.
+type BuiltinHC struct {
+	Name string
+	HC   *objects.HiddenClass
+}
+
+// New creates a VM with a fresh heap and the builtin environment
+// installed. Profiling counters are reset after startup so measurements
+// cover script execution only, matching the paper's focus on library
+// initialization.
+func New(opts Options) *VM {
+	vm := &VM{
+		Space:            objects.NewSpace(opts.AddressSeed),
+		Prof:             &profiler.Counters{},
+		hooks:            opts.Hooks,
+		feedback:         make(map[*bytecode.FuncProto]*ic.Vector),
+		slotIndex:        make(map[source.Site]*ic.Slot),
+		out:              opts.Stdout,
+		rng:              opts.RandSeed,
+		maxSteps:         opts.MaxSteps,
+		builtinObjByName: make(map[string]*objects.Object),
+		builtinNameByObj: make(map[*objects.Object]string),
+	}
+	if vm.out == nil {
+		vm.out = &vm.buf
+	}
+	if vm.rng == 0 {
+		vm.rng = 0x9E3779B97F4A7C15
+	}
+	vm.setupBuiltins()
+	vm.finishStartup()
+	vm.globalBaseline = make(map[string]bool)
+	for _, name := range vm.global.OwnKeys() {
+		vm.globalBaseline[name] = true
+	}
+	vm.Prof.Reset()
+	return vm
+}
+
+// RegisterBuiltinObject records a builtin object under a stable qualified
+// name in both identity directions.
+func (vm *VM) registerBuiltinObject(name string, o *objects.Object) {
+	if o == nil {
+		return
+	}
+	if _, taken := vm.builtinObjByName[name]; taken {
+		return
+	}
+	if _, known := vm.builtinNameByObj[o]; known {
+		return
+	}
+	vm.builtinObjByName[name] = o
+	vm.builtinNameByObj[o] = name
+}
+
+// BuiltinObjectName returns the qualified name of a builtin object, if o
+// is one ("" otherwise). Startup is deterministic, so names resolve to
+// equivalent objects across engine instances.
+func (vm *VM) BuiltinObjectName(o *objects.Object) string {
+	return vm.builtinNameByObj[o]
+}
+
+// BuiltinObjectByName resolves a qualified builtin name in this engine.
+func (vm *VM) BuiltinObjectByName(name string) *objects.Object {
+	return vm.builtinObjByName[name]
+}
+
+// IsBaselineGlobal reports whether a global property existed at the end of
+// engine startup (i.e. was not created by script code).
+func (vm *VM) IsBaselineGlobal(name string) bool { return vm.globalBaseline[name] }
+
+// Output returns everything printed so far when no Stdout was provided.
+func (vm *VM) Output() string { return vm.buf.String() }
+
+// Global returns the global object.
+func (vm *VM) Global() *objects.Object { return vm.global }
+
+// Roots returns every root hidden class in creation order.
+func (vm *VM) Roots() []*objects.HiddenClass { return vm.roots }
+
+// Builtins returns the builtin-name → post-startup hidden class table.
+func (vm *VM) Builtins() []BuiltinHC { return vm.builtinFinal }
+
+// Vectors returns the ICVectors of all registered functions, in
+// registration order (deterministic given deterministic execution).
+func (vm *VM) Vectors() []*ic.Vector {
+	out := make([]*ic.Vector, 0, len(vm.vectorOrder))
+	out = append(out, vm.vectorOrder...)
+	return out
+}
+
+// DumpICState renders every registered ICVector's current state — slot
+// sites, access kinds, feedback states, and cached (hidden class, handler)
+// entries — for debugging and tooling. Vectors with no populated slots are
+// skipped.
+func (vm *VM) DumpICState() string {
+	var b bytes.Buffer
+	for _, v := range vm.vectorOrder {
+		populated := false
+		for i := range v.Slots {
+			if v.Slots[i].State != 0 {
+				populated = true
+				break
+			}
+		}
+		if !populated {
+			continue
+		}
+		b.WriteString(v.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SlotFor returns the feedback slot registered for a site, or nil. RIC's
+// dependent-site preloading resolves sites through it.
+func (vm *VM) SlotFor(site source.Site) *ic.Slot { return vm.slotIndex[site] }
+
+// newRootHC creates a root hidden class and records it for extraction.
+func (vm *VM) newRootHC(proto *objects.Object, creator objects.Creator) *objects.HiddenClass {
+	hc := vm.Space.NewRootHC(proto, creator)
+	vm.roots = append(vm.roots, hc)
+	return hc
+}
+
+// finishStartup registers the post-startup hidden classes of the builtin
+// objects and announces them to the hooks, which validates them in a
+// Reuse run.
+func (vm *VM) finishStartup() {
+	reg := func(name string, hc *objects.HiddenClass) {
+		vm.builtinFinal = append(vm.builtinFinal, BuiltinHC{Name: name, HC: hc})
+	}
+	reg("(global)", vm.global.HC())
+	reg("Object.prototype", vm.objectProto.HC())
+	reg("Function.prototype", vm.functionProto.HC())
+	reg("Array.prototype", vm.arrayProto.HC())
+	reg("EmptyObject", vm.emptyObjectHC)
+	reg("Array", vm.arrayHC)
+	reg("Function", vm.functionHC)
+	reg("FunctionPrototype", vm.fnProtoRootHC)
+	for _, extra := range vm.extraBuiltins {
+		reg(extra.Name, extra.Obj.HC())
+	}
+	if vm.hooks != nil {
+		for _, b := range vm.builtinFinal {
+			vm.hooks.OnHCCreated(objects.Creator{Builtin: b.Name}, nil, b.HC)
+		}
+	}
+}
+
+// namedBuiltin tracks builtin namespace objects (Math, console, ...) for
+// post-startup registration.
+type namedBuiltin struct {
+	Name string
+	Obj  *objects.Object
+}
+
+// RegisterProgram materializes ICVectors for every function in a compiled
+// program and indexes their slots by site. Loading the same program twice
+// into one VM is a no-op for already-registered functions.
+func (vm *VM) RegisterProgram(prog *bytecode.Program) {
+	prog.Toplevel.WalkProtos(func(p *bytecode.FuncProto) {
+		if _, ok := vm.feedback[p]; ok {
+			return
+		}
+		slots := make([]ic.Slot, len(p.Sites))
+		for i, si := range p.Sites {
+			slots[i] = ic.Slot{Site: si.Site, Kind: si.Kind, Name: si.Name}
+		}
+		v := ic.NewVector(p.FunctionName(), slots)
+		vm.feedback[p] = v
+		vm.vectorOrder = append(vm.vectorOrder, v)
+		for i := range v.Slots {
+			vm.slotIndex[v.Slots[i].Site] = &v.Slots[i]
+		}
+		if !p.DeclPos.IsZero() {
+			if vm.protoIndex == nil {
+				vm.protoIndex = make(map[source.Site]*bytecode.FuncProto)
+			}
+			vm.protoIndex[source.Site{Script: p.Script, Pos: p.DeclPos}] = p
+		}
+	})
+}
+
+// RunProgram executes a compiled script's toplevel with the global object
+// as `this`.
+func (vm *VM) RunProgram(prog *bytecode.Program) (objects.Value, error) {
+	vm.RegisterProgram(prog)
+	return vm.runFunction(prog.Toplevel, nil, objects.Obj(vm.global), nil)
+}
+
+// CallFunction invokes a callable value with an explicit receiver, for
+// builtins like call/apply/forEach and for embedders.
+func (vm *VM) CallFunction(fn objects.Value, this objects.Value, args []objects.Value) (objects.Value, error) {
+	if !fn.IsCallable() {
+		return objects.Undefined(), throwf("%s is not a function", fn.ToString())
+	}
+	fd := fn.Obj().Func()
+	vm.Prof.Charge(profiler.CostCall)
+	if fd.Native != nil {
+		return fd.Native(this, args)
+	}
+	proto := fd.Code.(*bytecode.FuncProto)
+	return vm.runFunction(proto, fd.Ctx, this, args)
+}
+
+// frame is one activation record.
+type frame struct {
+	proto  *bytecode.FuncProto
+	vec    *ic.Vector
+	locals []objects.Value
+	stack  []objects.Value
+	ctx    *objects.Context
+	this   objects.Value
+	tries  []tryEntry
+}
+
+type tryEntry struct {
+	catchPC    int
+	catchSlot  int
+	stackDepth int
+}
+
+// runFunction sets up a frame and interprets the function's bytecode.
+func (vm *VM) runFunction(proto *bytecode.FuncProto, closure *objects.Context, this objects.Value, args []objects.Value) (objects.Value, error) {
+	if vm.depth >= maxCallDepth {
+		return objects.Undefined(), throwf("maximum call depth exceeded")
+	}
+	vm.depth++
+	vm.callStack = append(vm.callStack, proto.FunctionName()+" ("+proto.Script+")")
+	defer func() {
+		vm.depth--
+		vm.callStack = vm.callStack[:len(vm.callStack)-1]
+	}()
+
+	vec := vm.feedback[proto]
+	if vec == nil {
+		// Function compiled outside a registered program (tests); build
+		// its vector on demand.
+		vm.RegisterProgram(&bytecode.Program{Script: proto.Script, Toplevel: proto})
+		vec = vm.feedback[proto]
+	}
+	f := &frame{
+		proto:  proto,
+		vec:    vec,
+		locals: make([]objects.Value, proto.NumLocals),
+		this:   this,
+		ctx:    closure,
+	}
+	for i := 0; i < proto.NumParams && i < len(args); i++ {
+		f.locals[i] = args[i]
+	}
+	if proto.NumCtxSlots > 0 {
+		f.ctx = objects.NewContext(closure, proto.NumCtxSlots)
+	}
+	return vm.exec(f)
+}
+
+func (f *frame) push(v objects.Value) { f.stack = append(f.stack, v) }
+
+func (f *frame) pop() objects.Value {
+	v := f.stack[len(f.stack)-1]
+	f.stack = f.stack[:len(f.stack)-1]
+	return v
+}
+
+func (f *frame) peek() objects.Value { return f.stack[len(f.stack)-1] }
+
+// exec is the interpreter loop. Every dispatched instruction charges
+// CostOp; runtime helpers charge their own costs.
+func (vm *VM) exec(f *frame) (objects.Value, error) {
+	code := f.proto.Code
+	consts := f.proto.Consts
+	names := f.proto.Names
+	pc := 0
+	for pc < len(code) {
+		op := bytecode.Op(code[pc])
+		vm.Prof.Charge(profiler.CostOp)
+		if vm.maxSteps > 0 {
+			vm.steps++
+			if vm.steps > vm.maxSteps {
+				return objects.Undefined(), &LimitError{Limit: "step budget"}
+			}
+		}
+		var err error
+		switch op {
+		case bytecode.OpLoadConst:
+			c := consts[code[pc+1]]
+			if c.Kind == bytecode.ConstString {
+				f.push(objects.Str(c.Str))
+			} else {
+				f.push(objects.Num(c.Num))
+			}
+		case bytecode.OpLoadUndef:
+			f.push(objects.Undefined())
+		case bytecode.OpLoadNull:
+			f.push(objects.Null())
+		case bytecode.OpLoadTrue:
+			f.push(objects.Bool(true))
+		case bytecode.OpLoadFalse:
+			f.push(objects.Bool(false))
+		case bytecode.OpLoadThis:
+			f.push(f.this)
+
+		case bytecode.OpLoadLocal:
+			f.push(f.locals[code[pc+1]])
+		case bytecode.OpStoreLocal:
+			f.locals[code[pc+1]] = f.peek()
+		case bytecode.OpLoadCtx:
+			f.push(f.ctx.At(int(code[pc+1])).Slots[code[pc+2]])
+		case bytecode.OpStoreCtx:
+			f.ctx.At(int(code[pc+1])).Slots[code[pc+2]] = f.peek()
+
+		case bytecode.OpLoadGlobal:
+			var v objects.Value
+			v, err = vm.loadNamed(objects.Obj(vm.global), names[code[pc+1]], f.vec.Slot(int(code[pc+2])))
+			if err == nil {
+				f.push(v)
+			}
+		case bytecode.OpStoreGlobal:
+			v := f.peek()
+			err = vm.storeNamed(objects.Obj(vm.global), names[code[pc+1]], v, f.vec.Slot(int(code[pc+2])))
+		case bytecode.OpDeclGlobal:
+			vm.declGlobal(names[code[pc+1]])
+
+		case bytecode.OpLoadNamed:
+			obj := f.pop()
+			var v objects.Value
+			v, err = vm.loadNamed(obj, names[code[pc+1]], f.vec.Slot(int(code[pc+2])))
+			if err == nil {
+				f.push(v)
+			}
+		case bytecode.OpStoreNamed:
+			v := f.pop()
+			obj := f.pop()
+			err = vm.storeNamed(obj, names[code[pc+1]], v, f.vec.Slot(int(code[pc+2])))
+			if err == nil {
+				f.push(v)
+			}
+		case bytecode.OpLoadKeyed:
+			key := f.pop()
+			obj := f.pop()
+			var v objects.Value
+			v, err = vm.loadKeyed(obj, key, f.vec.Slot(int(code[pc+1])))
+			if err == nil {
+				f.push(v)
+			}
+		case bytecode.OpStoreKeyed:
+			v := f.pop()
+			key := f.pop()
+			obj := f.pop()
+			err = vm.storeKeyed(obj, key, v, f.vec.Slot(int(code[pc+1])))
+			if err == nil {
+				f.push(v)
+			}
+		case bytecode.OpDeleteNamed:
+			obj := f.pop()
+			var ok bool
+			ok, err = vm.deleteNamed(obj, names[code[pc+1]])
+			if err == nil {
+				f.push(objects.Bool(ok))
+			}
+		case bytecode.OpDeleteKeyed:
+			key := f.pop()
+			obj := f.pop()
+			var ok bool
+			ok, err = vm.deleteNamed(obj, key.ToString())
+			if err == nil {
+				f.push(objects.Bool(ok))
+			}
+
+		case bytecode.OpNewObject:
+			vm.Prof.Alloc()
+			f.push(objects.Obj(vm.Space.NewObject(vm.emptyObjectHC)))
+		case bytecode.OpNewArray:
+			n := int(code[pc+1])
+			elems := make([]objects.Value, n)
+			copy(elems, f.stack[len(f.stack)-n:])
+			f.stack = f.stack[:len(f.stack)-n]
+			vm.Prof.Alloc()
+			f.push(objects.Obj(vm.Space.NewArray(vm.arrayHC, elems)))
+		case bytecode.OpMakeClosure:
+			nested := f.proto.Protos[code[pc+1]]
+			vm.Prof.Alloc()
+			fd := &objects.FunctionData{Name: nested.Name, Code: nested, Ctx: f.ctx}
+			f.push(objects.Obj(vm.Space.NewFunction(vm.functionHC, fd)))
+
+		case bytecode.OpAdd:
+			b, a := f.pop(), f.pop()
+			// Objects convert through ToString (our ToPrimitive), so any
+			// string or object operand makes + a concatenation.
+			if a.IsString() || b.IsString() || a.IsObject() || b.IsObject() {
+				f.push(objects.Str(a.ToString() + b.ToString()))
+			} else {
+				f.push(objects.Num(a.ToNumber() + b.ToNumber()))
+			}
+		case bytecode.OpSub:
+			b, a := f.pop(), f.pop()
+			f.push(objects.Num(a.ToNumber() - b.ToNumber()))
+		case bytecode.OpMul:
+			b, a := f.pop(), f.pop()
+			f.push(objects.Num(a.ToNumber() * b.ToNumber()))
+		case bytecode.OpDiv:
+			b, a := f.pop(), f.pop()
+			f.push(objects.Num(a.ToNumber() / b.ToNumber()))
+		case bytecode.OpMod:
+			b, a := f.pop(), f.pop()
+			f.push(objects.Num(math.Mod(a.ToNumber(), b.ToNumber())))
+		case bytecode.OpNeg:
+			f.push(objects.Num(-f.pop().ToNumber()))
+		case bytecode.OpNot:
+			f.push(objects.Bool(!f.pop().Truthy()))
+		case bytecode.OpTypeOf:
+			f.push(objects.Str(f.pop().TypeOf()))
+		case bytecode.OpBitAnd:
+			b, a := f.pop(), f.pop()
+			f.push(objects.Num(float64(toInt32(a) & toInt32(b))))
+		case bytecode.OpBitOr:
+			b, a := f.pop(), f.pop()
+			f.push(objects.Num(float64(toInt32(a) | toInt32(b))))
+		case bytecode.OpBitXor:
+			b, a := f.pop(), f.pop()
+			f.push(objects.Num(float64(toInt32(a) ^ toInt32(b))))
+		case bytecode.OpShl:
+			b, a := f.pop(), f.pop()
+			f.push(objects.Num(float64(toInt32(a) << (uint32(toInt32(b)) & 31))))
+		case bytecode.OpShr:
+			b, a := f.pop(), f.pop()
+			f.push(objects.Num(float64(toInt32(a) >> (uint32(toInt32(b)) & 31))))
+
+		case bytecode.OpEq:
+			b, a := f.pop(), f.pop()
+			f.push(objects.Bool(objects.LooseEquals(a, b)))
+		case bytecode.OpNe:
+			b, a := f.pop(), f.pop()
+			f.push(objects.Bool(!objects.LooseEquals(a, b)))
+		case bytecode.OpStrictEq:
+			b, a := f.pop(), f.pop()
+			f.push(objects.Bool(objects.StrictEquals(a, b)))
+		case bytecode.OpStrictNe:
+			b, a := f.pop(), f.pop()
+			f.push(objects.Bool(!objects.StrictEquals(a, b)))
+		case bytecode.OpLt:
+			b, a := f.pop(), f.pop()
+			f.push(compare(a, b, func(x, y float64) bool { return x < y }, func(x, y string) bool { return x < y }))
+		case bytecode.OpLe:
+			b, a := f.pop(), f.pop()
+			f.push(compare(a, b, func(x, y float64) bool { return x <= y }, func(x, y string) bool { return x <= y }))
+		case bytecode.OpGt:
+			b, a := f.pop(), f.pop()
+			f.push(compare(a, b, func(x, y float64) bool { return x > y }, func(x, y string) bool { return x > y }))
+		case bytecode.OpGe:
+			b, a := f.pop(), f.pop()
+			f.push(compare(a, b, func(x, y float64) bool { return x >= y }, func(x, y string) bool { return x >= y }))
+		case bytecode.OpIn:
+			obj, key := f.pop(), f.pop()
+			var ok bool
+			ok, err = vm.hasProperty(obj, key)
+			if err == nil {
+				f.push(objects.Bool(ok))
+			}
+		case bytecode.OpInstanceOf:
+			ctor, obj := f.pop(), f.pop()
+			var ok bool
+			ok, err = vm.instanceOf(obj, ctor)
+			if err == nil {
+				f.push(objects.Bool(ok))
+			}
+
+		case bytecode.OpPop:
+			f.pop()
+		case bytecode.OpDup:
+			f.push(f.peek())
+		case bytecode.OpDup2:
+			n := len(f.stack)
+			f.push(f.stack[n-2])
+			f.push(f.stack[n-1])
+		case bytecode.OpSwap:
+			n := len(f.stack)
+			f.stack[n-1], f.stack[n-2] = f.stack[n-2], f.stack[n-1]
+
+		case bytecode.OpJump:
+			pc = int(code[pc+1])
+			continue
+		case bytecode.OpJumpIfFalse:
+			if !f.pop().Truthy() {
+				pc = int(code[pc+1])
+				continue
+			}
+		case bytecode.OpJumpIfTrue:
+			if f.pop().Truthy() {
+				pc = int(code[pc+1])
+				continue
+			}
+
+		case bytecode.OpCall:
+			argc := int(code[pc+1])
+			args := make([]objects.Value, argc)
+			copy(args, f.stack[len(f.stack)-argc:])
+			f.stack = f.stack[:len(f.stack)-argc]
+			fn := f.pop()
+			this := f.pop()
+			var v objects.Value
+			v, err = vm.CallFunction(fn, this, args)
+			if err == nil {
+				f.push(v)
+			}
+		case bytecode.OpNew:
+			argc := int(code[pc+1])
+			args := make([]objects.Value, argc)
+			copy(args, f.stack[len(f.stack)-argc:])
+			f.stack = f.stack[:len(f.stack)-argc]
+			ctor := f.pop()
+			var v objects.Value
+			v, err = vm.construct(ctor, args)
+			if err == nil {
+				f.push(v)
+			}
+
+		case bytecode.OpReturn:
+			return f.pop(), nil
+		case bytecode.OpReturnUndef:
+			return objects.Undefined(), nil
+
+		case bytecode.OpForInKeys:
+			subject := f.pop()
+			var keys []objects.Value
+			if o := subject.Obj(); o != nil {
+				for _, k := range o.OwnKeys() {
+					keys = append(keys, objects.Str(k))
+				}
+			}
+			vm.Prof.Alloc()
+			f.push(objects.Obj(vm.Space.NewArray(vm.arrayHC, keys)))
+
+		case bytecode.OpThrow:
+			err = &Thrown{Value: f.pop()}
+		case bytecode.OpTryPush:
+			f.tries = append(f.tries, tryEntry{
+				catchPC:    int(code[pc+1]),
+				catchSlot:  int(code[pc+2]),
+				stackDepth: len(f.stack),
+			})
+		case bytecode.OpTryPop:
+			f.tries = f.tries[:len(f.tries)-1]
+
+		default:
+			return objects.Undefined(), throwf("bad opcode %v at %d", op, pc)
+		}
+
+		if err != nil {
+			thrown, ok := err.(*Thrown)
+			if ok && thrown.Stack == nil {
+				// First frame to see the exception: capture the
+				// JavaScript call stack at the throw point.
+				thrown.Stack = vm.captureStack()
+			}
+			if !ok || len(f.tries) == 0 {
+				return objects.Undefined(), err
+			}
+			h := f.tries[len(f.tries)-1]
+			f.tries = f.tries[:len(f.tries)-1]
+			f.stack = f.stack[:h.stackDepth]
+			f.locals[h.catchSlot] = thrown.Value
+			pc = h.catchPC
+			continue
+		}
+		pc += 1 + op.OperandCount()
+	}
+	return objects.Undefined(), nil
+}
+
+// captureStack snapshots the JavaScript call stack, innermost first,
+// capped to keep pathological recursion readable.
+func (vm *VM) captureStack() []string {
+	const maxFrames = 20
+	n := len(vm.callStack)
+	frames := make([]string, 0, min(n, maxFrames))
+	for i := n - 1; i >= 0 && len(frames) < maxFrames; i-- {
+		frames = append(frames, vm.callStack[i])
+	}
+	return frames
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// compare implements the relational operators: string/string compares
+// lexicographically, anything else numerically (NaN compares false).
+func compare(a, b objects.Value, nf func(x, y float64) bool, sf func(x, y string) bool) objects.Value {
+	if a.IsString() && b.IsString() {
+		return objects.Bool(sf(a.Str(), b.Str()))
+	}
+	x, y := a.ToNumber(), b.ToNumber()
+	if math.IsNaN(x) || math.IsNaN(y) {
+		return objects.Bool(false)
+	}
+	return objects.Bool(nf(x, y))
+}
+
+// toInt32 implements JavaScript ToInt32.
+func toInt32(v objects.Value) int32 {
+	f := v.ToNumber()
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return int32(int64(f))
+}

@@ -1,0 +1,184 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"ricjs/internal/bytecode"
+	"ricjs/internal/parser"
+	"ricjs/internal/vm"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	if len(Profiles) != 7 {
+		t.Fatalf("Table 3 lists 7 libraries, got %d", len(Profiles))
+	}
+	seen := map[string]bool{}
+	for _, p := range Profiles {
+		if p.Name == "" || p.Script == "" || p.Domain == "" {
+			t.Errorf("incomplete profile %+v", p)
+		}
+		if seen[p.Name] || seen[p.Script] {
+			t.Errorf("duplicate profile identity %s/%s", p.Name, p.Script)
+		}
+		seen[p.Name] = true
+		seen[p.Script] = true
+		if p.Constructors <= 0 || p.MinProps <= 0 || p.MaxProps < p.MinProps {
+			t.Errorf("%s: bad constructor knobs", p.Name)
+		}
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	p, ok := ByName("jQuery")
+	if !ok || p.Script != "jquery.js" {
+		t.Fatalf("ByName(jQuery) = %+v, %v", p, ok)
+	}
+	if _, ok := ByName("NotALib"); ok {
+		t.Fatal("unknown name must not resolve")
+	}
+	names := Names()
+	if len(names) != 7 || names[0] != "AngularJS" || names[6] != "Underscore" {
+		t.Fatalf("Names() = %v", names)
+	}
+}
+
+func TestSourcesDeterministic(t *testing.T) {
+	for _, p := range Profiles {
+		a := p.Source()
+		b := p.Source()
+		if a != b {
+			t.Fatalf("%s: source not deterministic", p.Name)
+		}
+		if len(a) < 1000 {
+			t.Fatalf("%s: suspiciously small source (%d bytes)", p.Name, len(a))
+		}
+	}
+}
+
+func TestAllLibrariesParseCompileAndRun(t *testing.T) {
+	for _, p := range Profiles {
+		src := p.Source()
+		prog, err := parser.Parse(p.Script, src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", p.Name, err)
+		}
+		bc, err := bytecode.Compile(prog)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", p.Name, err)
+		}
+		v := vm.New(vm.Options{})
+		if _, err := v.RunProgram(bc); err != nil {
+			t.Fatalf("%s: run: %v", p.Name, err)
+		}
+		out := v.Output()
+		if !strings.HasPrefix(out, p.Name+" ") {
+			t.Fatalf("%s: checksum line missing: %q", p.Name, out)
+		}
+		s := v.Prof.Snapshot()
+		if s.ICMisses == 0 || s.ICHits == 0 || s.HCCreated == 0 {
+			t.Fatalf("%s: degenerate IC activity %+v", p.Name, s)
+		}
+	}
+}
+
+func TestLibraryProfilesDiffer(t *testing.T) {
+	// React must create the most hidden classes; Handlebars the fewest
+	// misses per HC among... just assert orderings the paper's Table 1
+	// establishes and the generator targets.
+	stats := map[string]struct {
+		hcs    uint64
+		misses uint64
+		rate   float64
+	}{}
+	for _, p := range Profiles {
+		prog, _ := parser.Parse(p.Script, p.Source())
+		bc, err := bytecode.Compile(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := vm.New(vm.Options{})
+		if _, err := v.RunProgram(bc); err != nil {
+			t.Fatal(err)
+		}
+		s := v.Prof.Snapshot()
+		stats[p.Name] = struct {
+			hcs    uint64
+			misses uint64
+			rate   float64
+		}{s.HCCreated, s.ICMisses, s.MissRate()}
+	}
+	if stats["React"].hcs <= stats["Handlebars"].hcs {
+		t.Errorf("React (%d HCs) must exceed Handlebars (%d)", stats["React"].hcs, stats["Handlebars"].hcs)
+	}
+	if stats["React"].misses <= stats["Underscore"].misses {
+		t.Errorf("React (%d misses) must exceed Underscore (%d)", stats["React"].misses, stats["Underscore"].misses)
+	}
+	// Loop-heavy libraries have lower initial miss rates (paper Table 4:
+	// JSFeat 18.96%, React 18.67% vs CamanJS 87.64%).
+	if stats["JSFeat"].rate >= stats["CamanJS"].rate {
+		t.Errorf("JSFeat rate (%.1f) must be below CamanJS (%.1f)", stats["JSFeat"].rate, stats["CamanJS"].rate)
+	}
+}
+
+func TestWebsites(t *testing.T) {
+	w1, w2 := Website(1), Website(2)
+	if len(w1) != 7 || len(w2) != 7 {
+		t.Fatalf("websites must load 7 scripts: %d, %d", len(w1), len(w2))
+	}
+	order1 := make([]string, len(w1))
+	order2 := make([]string, len(w2))
+	seen := map[string]bool{}
+	for i := range w1 {
+		order1[i] = w1[i].Name
+		order2[i] = w2[i].Name
+		seen[w2[i].Name] = true
+	}
+	if strings.Join(order1, ",") == strings.Join(order2, ",") {
+		t.Fatal("the two websites must load libraries in different orders")
+	}
+	for _, s := range w1 {
+		if !seen[s.Name] {
+			t.Fatalf("website 2 missing %s", s.Name)
+		}
+	}
+	// Same script content regardless of website.
+	for i := range w1 {
+		for j := range w2 {
+			if w1[i].Name == w2[j].Name && w1[i].Source != w2[j].Source {
+				t.Fatalf("%s differs between websites", w1[i].Name)
+			}
+		}
+	}
+}
+
+func TestWebsitesRunEndToEnd(t *testing.T) {
+	for _, n := range []int{1, 2} {
+		v := vm.New(vm.Options{})
+		for _, script := range Website(n) {
+			prog, err := parser.Parse(script.Name, script.Source)
+			if err != nil {
+				t.Fatalf("website %d: %s: %v", n, script.Name, err)
+			}
+			bc, err := bytecode.Compile(prog)
+			if err != nil {
+				t.Fatalf("website %d: %s: %v", n, script.Name, err)
+			}
+			if _, err := v.RunProgram(bc); err != nil {
+				t.Fatalf("website %d: %s: %v", n, script.Name, err)
+			}
+		}
+		out := v.Output()
+		for _, p := range Profiles {
+			if !strings.Contains(out, p.Name+" ") {
+				t.Fatalf("website %d output missing %s: %q", n, p.Name, out)
+			}
+		}
+	}
+}
+
+func TestSanitizeIdent(t *testing.T) {
+	if got := sanitizeIdent("My-Lib.js 2"); got != "My_Lib_js_2" {
+		t.Fatalf("sanitizeIdent = %q", got)
+	}
+}

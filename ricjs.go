@@ -1,0 +1,198 @@
+// Package ricjs is a JavaScript engine with Reusable Inline Caching (RIC),
+// a from-scratch Go reproduction of Choi, Shull and Torrellas, "Reusable
+// Inline Caching for JavaScript Performance" (PLDI 2019).
+//
+// The engine executes a JavaScript subset through a bytecode interpreter
+// with V8-style hidden classes and out-of-line inline caches. RIC extracts
+// the context-independent portion of the IC state after an Initial run
+// into a persistent Record, and uses it in later Reuse runs to avert IC
+// misses, cutting startup time.
+//
+// Typical use:
+//
+//	cache := ricjs.NewCodeCache()
+//
+//	// Initial run: build IC state, then extract the record.
+//	initial := ricjs.NewEngine(ricjs.Options{Cache: cache})
+//	initial.Run("lib.js", src)
+//	record := initial.ExtractRecord("lib.js")
+//
+//	// Reuse run: the record preloads ICVector slots as hidden classes
+//	// validate, averting misses.
+//	reuse := ricjs.NewEngine(ricjs.Options{Cache: cache, Record: record})
+//	reuse.Run("lib.js", src)
+//	fmt.Println(reuse.Stats().MissRate())
+package ricjs
+
+import (
+	"fmt"
+	"io"
+
+	"ricjs/internal/codecache"
+	"ricjs/internal/profiler"
+	"ricjs/internal/ric"
+	"ricjs/internal/vm"
+)
+
+// Stats is the statistics snapshot of one engine run: abstract instruction
+// counts by category, IC hits and misses with the Table 4 miss breakdown,
+// hidden-class and handler counts, and RIC validation/preload activity.
+type Stats = profiler.Snapshot
+
+// CodeCache shares compiled bytecode across engines, modelling V8's code
+// cache: Reuse runs skip parsing and compilation (paper §6, §8.1).
+type CodeCache struct {
+	c *codecache.Cache
+}
+
+// NewCodeCache creates an empty code cache. It is safe to share across
+// engines and goroutines.
+func NewCodeCache() *CodeCache {
+	return &CodeCache{c: codecache.New()}
+}
+
+// Record is the persistent ICRecord extracted from an Initial run: the
+// Hidden Class Validation Table, the Triggering Object Access Site Table,
+// and the saved context-independent handlers (paper §5.1).
+type Record struct {
+	r *ric.Record
+}
+
+// Encode serializes the record. The returned length is the record's
+// memory overhead, the quantity §7.3 reports.
+func (r *Record) Encode() []byte { return r.r.Encode() }
+
+// Stats returns the extraction statistics.
+func (r *Record) Stats() ric.Stats { return r.r.Stats }
+
+// Label returns the workload label the record was extracted under.
+func (r *Record) Label() string { return r.r.Script }
+
+// DecodeRecord parses a serialized record, rejecting corrupt input.
+func DecodeRecord(data []byte) (*Record, error) {
+	rec, err := ric.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Record{r: rec}, nil
+}
+
+// Options configures an engine.
+type Options struct {
+	// Cache supplies compiled bytecode; nil creates a private cache.
+	Cache *CodeCache
+	// Record enables RIC reuse: hidden classes validate against it and
+	// dependent sites preload from it. Nil runs conventionally.
+	Record *Record
+	// IncludeGlobals extends RIC to the global object (off by default,
+	// paper §6; used by the ablation benches). It affects ExtractRecord.
+	IncludeGlobals bool
+	// AddressSeed pins the simulated heap base address for reproducible
+	// tests; 0 draws a fresh process-unique base (the realistic default:
+	// every run sees different addresses).
+	AddressSeed uint64
+	// Stdout receives print/console.log output; nil collects it
+	// internally, readable via Output.
+	Stdout io.Writer
+	// MaxSteps aborts any Run after this many bytecode operations
+	// (0 = unlimited). The abort is not catchable by script code, so a
+	// runaway script cannot swallow its own termination.
+	MaxSteps uint64
+	// RandSeed seeds Math.random. The default (0) uses a fixed seed, so
+	// runs are reproducible; pass distinct seeds to model real-world
+	// nondeterminism across sessions (e.g. the §9 snapshot hazard).
+	RandSeed uint64
+}
+
+// Engine is one execution context — one "run" in the paper's terminology.
+// Create a fresh Engine per run; heap state, IC state, and statistics are
+// per-engine. An Engine is not safe for concurrent use.
+type Engine struct {
+	vm     *vm.VM
+	cache  *CodeCache
+	reuser *ric.Reuser
+	opts   Options
+}
+
+// NewEngine creates an engine. If opts.Record is set, the engine runs in
+// Reuse mode: builtin hidden classes validate immediately and triggering
+// sites preload their dependents as execution proceeds.
+func NewEngine(opts Options) *Engine {
+	e := &Engine{opts: opts, cache: opts.Cache}
+	if e.cache == nil {
+		e.cache = NewCodeCache()
+	}
+	var hooks vm.Hooks
+	if opts.Record != nil {
+		e.reuser = ric.NewReuser(opts.Record.r, nil, nil)
+		hooks = e.reuser
+	}
+	e.vm = vm.New(vm.Options{
+		AddressSeed: opts.AddressSeed,
+		Hooks:       hooks,
+		Stdout:      opts.Stdout,
+		MaxSteps:    opts.MaxSteps,
+		RandSeed:    opts.RandSeed,
+	})
+	if e.reuser != nil {
+		// The VM announced builtin hidden classes during construction;
+		// the Reuser validated them with no profiler and no loaded
+		// scripts. Attach completes the wiring; preloads into each
+		// script's ICVector replay when the script is loaded.
+		e.reuser.Attach(e.vm)
+	}
+	return e
+}
+
+// Run loads (or fetches from the code cache) and executes a script.
+func (e *Engine) Run(name, src string) error {
+	prog, err := e.cache.c.Load(name, src)
+	if err != nil {
+		return fmt.Errorf("ricjs: load %s: %w", name, err)
+	}
+	e.vm.RegisterProgram(prog)
+	if e.reuser != nil {
+		// Hidden classes validated before this script was registered
+		// (builtins at startup, classes created by earlier scripts) may
+		// have dependent sites in this script.
+		e.reuser.ReplayPreloads()
+	}
+	if _, err := e.vm.RunProgram(prog); err != nil {
+		return fmt.Errorf("ricjs: run %s: %w", name, err)
+	}
+	return nil
+}
+
+// ExtractRecord runs the extraction phase (paper §5.2.1) over the engine's
+// accumulated IC state. Call it after the Initial run completes; the
+// engine is not modified.
+func (e *Engine) ExtractRecord(label string) *Record {
+	rec := ric.Extract(e.vm, label, ric.Config{IncludeGlobals: e.opts.IncludeGlobals})
+	return &Record{r: rec}
+}
+
+// Stats snapshots the run's statistics.
+func (e *Engine) Stats() Stats { return e.vm.Prof.Snapshot() }
+
+// Output returns accumulated print/console output when no Stdout writer
+// was configured.
+func (e *Engine) Output() string { return e.vm.Output() }
+
+// ValidatedHCs reports how many hidden classes RIC validated in this run
+// (0 in conventional mode).
+func (e *Engine) ValidatedHCs() int {
+	if e.reuser == nil {
+		return 0
+	}
+	return e.reuser.ValidatedCount()
+}
+
+// ICState renders the engine's inline-cache state: every populated
+// ICVector slot with its site, feedback state (monomorphic, polymorphic,
+// megamorphic) and cached (hidden class, handler) entries. Intended for
+// debugging and for studying what RIC preloaded.
+func (e *Engine) ICState() string { return e.vm.DumpICState() }
+
+// VM exposes the underlying virtual machine for advanced inspection
+// (extraction internals, tests, tooling).
+func (e *Engine) VM() *vm.VM { return e.vm }

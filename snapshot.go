@@ -1,0 +1,73 @@
+package ricjs
+
+import (
+	"fmt"
+
+	"ricjs/internal/snapshot"
+)
+
+// Snapshot is a serialized heap snapshot of the script-created state of a
+// run — the startup-acceleration technique the paper's §9 compares RIC
+// against. Restoring a snapshot skips initialization entirely, which is
+// faster than any Reuse run when it applies, but snapshots are
+// application-specific (one exact heap; not shareable across apps the way
+// per-library Records are) and freeze any nondeterminism the
+// initialization had. This implementation exists as a comparator; see
+// internal/snapshot for the trade-off discussion.
+type Snapshot struct {
+	s *snapshot.Snapshot
+}
+
+// Encode serializes the snapshot.
+func (s *Snapshot) Encode() ([]byte, error) { return s.s.Encode() }
+
+// Label returns the label the snapshot was captured under.
+func (s *Snapshot) Label() string { return s.s.Label }
+
+// Scripts lists the script names whose compiled code a restore needs.
+func (s *Snapshot) Scripts() []string { return append([]string{}, s.s.Scripts...) }
+
+// DecodeSnapshot parses a serialized snapshot.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	inner, err := snapshot.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{s: inner}, nil
+}
+
+// CaptureSnapshot serializes the engine's script-created heap: every
+// global the scripts defined plus the object graph reachable from them.
+// It fails on state it cannot represent (e.g. bound functions), like real
+// snapshot systems do.
+func (e *Engine) CaptureSnapshot(label string) (*Snapshot, error) {
+	inner, err := snapshot.Capture(e.vm, label)
+	if err != nil {
+		return nil, fmt.Errorf("ricjs: %w", err)
+	}
+	return &Snapshot{s: inner}, nil
+}
+
+// RestoreSnapshot materializes a snapshot into this engine *without
+// executing* the scripts. sources must supply the source text of every
+// script the snapshot references (by the names reported by
+// Snapshot.Scripts), so function objects can bind to compiled code; the
+// code comes from the code cache, so restore pays no compilation either
+// when the cache is warm.
+func (e *Engine) RestoreSnapshot(snap *Snapshot, sources map[string]string) error {
+	for _, script := range snap.s.Scripts {
+		src, ok := sources[script]
+		if !ok {
+			return fmt.Errorf("ricjs: restore needs the source of %q", script)
+		}
+		prog, err := e.cache.c.Load(script, src)
+		if err != nil {
+			return fmt.Errorf("ricjs: restore: %w", err)
+		}
+		e.vm.RegisterProgram(prog)
+	}
+	if err := snapshot.Restore(e.vm, snap.s); err != nil {
+		return fmt.Errorf("ricjs: %w", err)
+	}
+	return nil
+}

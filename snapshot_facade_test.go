@@ -1,0 +1,102 @@
+package ricjs
+
+import (
+	"strings"
+	"testing"
+)
+
+const snapLib = `
+	function Svc(name) { this.name = name; this.calls = 0; }
+	Svc.prototype.ping = function () { this.calls++; return this.name; };
+	var services = {};
+	services.db = new Svc('db');
+	services.cache = new Svc('cache');
+	var booted = true;
+`
+
+func TestSnapshotFacadeRoundTrip(t *testing.T) {
+	cache := NewCodeCache()
+	sources := map[string]string{"svc.js": snapLib}
+
+	initial := NewEngine(Options{Cache: cache})
+	if err := initial.Run("svc.js", snapLib); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := initial.CaptureSnapshot("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Label() != "svc" || len(snap.Scripts()) != 1 {
+		t.Fatalf("snapshot meta: %q %v", snap.Label(), snap.Scripts())
+	}
+
+	data, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoredSnap, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	target := NewEngine(Options{Cache: cache})
+	if err := target.RestoreSnapshot(restoredSnap, sources); err != nil {
+		t.Fatal(err)
+	}
+	// The restored heap works without the init script ever running here:
+	// drive it with a new script.
+	if err := target.Run("probe.js", "print(booted, services.db.ping(), services.cache.name);"); err != nil {
+		t.Fatal(err)
+	}
+	if target.Output() != "true db cache\n" {
+		t.Fatalf("output = %q", target.Output())
+	}
+}
+
+func TestRestoreSnapshotMissingSource(t *testing.T) {
+	cache := NewCodeCache()
+	initial := NewEngine(Options{Cache: cache})
+	if err := initial.Run("svc.js", snapLib); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := initial.CaptureSnapshot("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := NewEngine(Options{Cache: cache})
+	err = target.RestoreSnapshot(snap, map[string]string{})
+	if err == nil || !strings.Contains(err.Error(), "svc.js") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCaptureSnapshotRejectsBoundFunctions(t *testing.T) {
+	e := NewEngine(Options{})
+	if err := e.Run("b.js", "function f() {} var g = f.bind(null);"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CaptureSnapshot("b"); err == nil {
+		t.Fatal("bound functions must be rejected")
+	}
+}
+
+func TestSnapshotFasterThanReExecution(t *testing.T) {
+	// Not a timing assertion (too noisy for CI); instead verify the
+	// restore executed zero bytecode: its instruction count stays 0.
+	cache := NewCodeCache()
+	initial := NewEngine(Options{Cache: cache})
+	if err := initial.Run("svc.js", snapLib); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := initial.CaptureSnapshot("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := NewEngine(Options{Cache: cache})
+	if err := target.RestoreSnapshot(snap, map[string]string{"svc.js": snapLib}); err != nil {
+		t.Fatal(err)
+	}
+	if got := target.Stats().TotalInstr(); got != 0 {
+		t.Fatalf("restore executed %d instructions; must execute none", got)
+	}
+}

@@ -1,0 +1,146 @@
+package ricjs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ricjs/internal/ric"
+)
+
+// MergeRecords combines records extracted from separate runs — typically
+// one per library — into a single record covering all of them. Hidden
+// class IDs are renumbered; builtin entries unify by name. This is the
+// sharing capability the paper contrasts with heap snapshots (§9): a
+// library's record serves every application that loads the library.
+func MergeRecords(records ...*Record) (*Record, error) {
+	inner := make([]*ric.Record, len(records))
+	for i, r := range records {
+		if r == nil {
+			return nil, fmt.Errorf("ricjs: nil record at index %d", i)
+		}
+		inner[i] = r.r
+	}
+	merged, err := ric.Merge(inner...)
+	if err != nil {
+		return nil, err
+	}
+	return &Record{r: merged}, nil
+}
+
+// RecordStore persists ICRecords in a directory, one file per key, the
+// way a browser persists its code cache between sessions. Keys are
+// caller-chosen names (typically the script name); they are sanitized
+// into file names.
+type RecordStore struct {
+	dir string
+}
+
+// OpenRecordStore creates (if necessary) and opens a record store rooted
+// at dir.
+func OpenRecordStore(dir string) (*RecordStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ricjs: open record store: %w", err)
+	}
+	return &RecordStore{dir: dir}, nil
+}
+
+// recordExt is the file extension of stored records.
+const recordExt = ".ric"
+
+// path maps a key to its file path.
+func (s *RecordStore) path(key string) string {
+	var b strings.Builder
+	for _, c := range key {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	name := b.String()
+	if name == "" {
+		name = "record"
+	}
+	return filepath.Join(s.dir, name+recordExt)
+}
+
+// Save persists a record under a key, replacing any previous record. The
+// write is atomic (temp file + rename), so a crashed writer never leaves
+// a truncated record for the next session to trip over.
+func (s *RecordStore) Save(key string, record *Record) error {
+	data := record.Encode()
+	tmp, err := os.CreateTemp(s.dir, "ric-*")
+	if err != nil {
+		return fmt.Errorf("ricjs: save record: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("ricjs: save record: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("ricjs: save record: %w", err)
+	}
+	if err := os.Rename(tmpName, s.path(key)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("ricjs: save record: %w", err)
+	}
+	return nil
+}
+
+// Load reads the record stored under a key. A missing key returns
+// (nil, nil): no record yet is the normal cold-start case, not an error.
+// Corrupt records are deleted and reported as absent, so one bad write
+// can never wedge future sessions.
+func (s *RecordStore) Load(key string) (*Record, error) {
+	data, err := os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ricjs: load record: %w", err)
+	}
+	rec, err := DecodeRecord(data)
+	if err != nil {
+		// Self-heal: drop the corrupt record; the next Initial run will
+		// regenerate it.
+		os.Remove(s.path(key))
+		return nil, nil
+	}
+	return rec, nil
+}
+
+// Delete removes the record stored under a key, if any.
+func (s *RecordStore) Delete(key string) error {
+	err := os.Remove(s.path(key))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Keys lists the stored record keys (file names without extension),
+// sorted.
+func (s *RecordStore) Keys() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("ricjs: list records: %w", err)
+	}
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, recordExt) {
+			continue
+		}
+		keys = append(keys, strings.TrimSuffix(name, recordExt))
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
