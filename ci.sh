@@ -1,0 +1,26 @@
+#!/bin/sh
+# ci.sh — the canonical check for this repository.
+#
+# Runs static analysis, a full build, the test suite under the race
+# detector, and a short budget of both fuzz targets. Everything here must
+# pass before a change lands.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== fuzz: FuzzDecodeRecord (10s) =="
+go test -run '^$' -fuzz '^FuzzDecodeRecord$' -fuzztime 10s ./internal/ric/
+
+echo "== fuzz: FuzzReuseRun (10s) =="
+go test -run '^$' -fuzz '^FuzzReuseRun$' -fuzztime 10s .
+
+echo "ci.sh: all checks passed"

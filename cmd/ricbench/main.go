@@ -28,6 +28,8 @@ func main() {
 		overheads = flag.Bool("overheads", false, "Section 7.3: extraction time and record size")
 		websites  = flag.Bool("websites", false, "cross-website reuse robustness")
 		ablation  = flag.Bool("ablation", false, "design-choice ablations")
+		faults    = flag.Bool("faults", false, "fault-injection sweep: corrupted records vs conventional runs")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
 		snapshotF = flag.Bool("snapshot", false, "compare RIC with heap-snapshot restoration (§9)")
 		reps      = flag.Int("reps", 5, "timing repetitions per Reuse run (median reported)")
 		format    = flag.String("format", "text", "output format: text or json (json runs the full evaluation)")
@@ -57,7 +59,7 @@ func main() {
 	}
 
 	all := !(*fig1 || *fig5 || *table1 || *table4 || *fig8 || *fig9 ||
-		*overheads || *websites || *ablation || *snapshotF)
+		*overheads || *websites || *ablation || *snapshotF || *faults)
 
 	needRuns := all || *fig5 || *table1 || *table4 || *fig8 || *fig9 || *overheads
 	var runs []bench.LibraryRun
@@ -99,6 +101,19 @@ func main() {
 			os.Exit(1)
 		}
 		bench.ReportSnapshot(os.Stdout, runs)
+	})
+	section(*faults, func() {
+		trials, err := bench.FaultSweep(*faultSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ricbench:", err)
+			os.Exit(1)
+		}
+		bench.ReportFaults(os.Stdout, trials)
+		for _, trial := range trials {
+			if !trial.OK() {
+				os.Exit(1)
+			}
+		}
 	})
 	section(*ablation, func() {
 		if err := bench.ReportAblations(os.Stdout, bench.Options{Reps: *reps}); err != nil {

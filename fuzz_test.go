@@ -1,0 +1,68 @@
+package ricjs_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ricjs"
+)
+
+// fuzzLib is the workload every FuzzReuseRun iteration executes; the
+// committed corpus under testdata/ holds records extracted from it (and
+// corrupted variants), so coverage starts at the interesting boundary:
+// records that decode but lie.
+const fuzzLib = `
+	function Point(x, y) { this.x = x; this.y = y; }
+	Point.prototype.norm2 = function () { return this.x * this.x + this.y * this.y; };
+	var pts = [];
+	for (var i = 0; i < 8; i++) pts.push(new Point(i, i + 1));
+	var total = 0;
+	for (var j = 0; j < pts.length; j++) total += pts[j].norm2();
+	var bag = {};
+	bag['k' + 0] = total;
+	print('total', bag.k0);
+`
+
+// FuzzReuseRun feeds arbitrary bytes to an engine as its persisted
+// record and runs the workload: no input may panic the engine or change
+// the program's output relative to a conventional run.
+func FuzzReuseRun(f *testing.F) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".ric" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join("testdata", e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("RICREC\x03"))
+
+	cache := ricjs.NewCodeCache()
+	conv := ricjs.NewEngine(ricjs.Options{Cache: cache})
+	if err := conv.Run("lib.js", fuzzLib); err != nil {
+		f.Fatal(err)
+	}
+	want := conv.Output()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		eng := ricjs.NewEngine(ricjs.Options{Cache: cache, RecordBytes: data})
+		if err := eng.Run("lib.js", fuzzLib); err != nil {
+			t.Fatalf("reuse run failed: %v", err)
+		}
+		if got := eng.Output(); got != want {
+			t.Fatalf("reuse output %q != conventional %q", got, want)
+		}
+		degraded, _ := eng.Degraded()
+		if degraded != (eng.Stats().DegradedRuns > 0) {
+			t.Fatal("Degraded() and Stats().DegradedRuns disagree")
+		}
+	})
+}

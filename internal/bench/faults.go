@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"ricjs"
+	"ricjs/internal/faultinject"
+	"ricjs/internal/workloads"
+)
+
+// FaultTrial is the differential outcome of running one workload with one
+// injected record fault, compared against a conventional (record-free)
+// run of the same workload.
+type FaultTrial struct {
+	Library string
+	Mode    faultinject.Mode
+
+	// Panicked reports that a panic escaped the engine. Must never be
+	// true: the recovery boundary exists precisely to prevent it.
+	Panicked bool
+	// OutputMatch reports that the faulted reuse run produced byte-
+	// identical program output to the conventional run. Must be true.
+	OutputMatch bool
+	// Degraded reports that the engine abandoned reuse and completed the
+	// run conventionally (visible in Stats().DegradedRuns too).
+	Degraded bool
+	// PoisonCleared reports that after the session observed the fault,
+	// the faulted record no longer loads from the store (quarantined), so
+	// it cannot poison the next session. Must be true.
+	PoisonCleared bool
+	// MissesSaved is the reuse benefit that survived the fault (0 when
+	// the engine degraded; possibly positive for semantic faults whose
+	// lying entries were refused individually).
+	MissesSaved uint64
+	// Err records an unexpected engine error ("" when clean).
+	Err string
+}
+
+// OK reports whether the trial upheld the robustness trio.
+func (t FaultTrial) OK() bool {
+	return !t.Panicked && t.OutputMatch && t.PoisonCleared && t.Err == ""
+}
+
+// FaultSweep runs every workload under every fault mode: extract a record
+// from an Initial run, corrupt its encoded bytes deterministically
+// (seeded), plant the corrupt bytes in a RecordStore, then run a reuse
+// session against them and compare with a conventional session. One trial
+// per (library, mode) pair.
+func FaultSweep(seed int64) ([]FaultTrial, error) {
+	dir, err := os.MkdirTemp("", "ric-faults-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	var trials []FaultTrial
+	for _, p := range workloads.Profiles {
+		src := p.Source()
+		cache := ricjs.NewCodeCache()
+
+		initial := ricjs.NewEngine(ricjs.Options{Cache: cache})
+		if err := initial.Run(p.Script, src); err != nil {
+			return nil, fmt.Errorf("initial run %s: %w", p.Name, err)
+		}
+		encoded := initial.ExtractRecord(p.Name).Encode()
+
+		conv := ricjs.NewEngine(ricjs.Options{Cache: cache})
+		if err := conv.Run(p.Script, src); err != nil {
+			return nil, fmt.Errorf("conventional run %s: %w", p.Name, err)
+		}
+		wantOutput := conv.Output()
+
+		for _, mode := range faultinject.Modes() {
+			inj := faultinject.New(seed)
+			faulted := inj.Apply(mode, encoded)
+			trials = append(trials, runFaultTrial(p.Name, mode, dir, cache, p.Script, src, faulted, wantOutput))
+		}
+	}
+	return trials, nil
+}
+
+// ReportFaults prints the fault-injection sweep as a table: one row per
+// (library, mode) trial with the robustness verdicts.
+func ReportFaults(w io.Writer, trials []FaultTrial) {
+	fmt.Fprintln(w, "Fault-injection sweep: reuse runs with corrupted records vs conventional runs")
+	t := tw(w)
+	fmt.Fprintln(t, "Library\tFault\tPanic\tOutputMatch\tDegraded\tPoisonCleared\tMissesSaved\tVerdict")
+	failed := 0
+	for _, trial := range trials {
+		verdict := "ok"
+		if !trial.OK() {
+			verdict = "FAIL"
+			if trial.Err != "" {
+				verdict = "FAIL: " + trial.Err
+			}
+			failed++
+		}
+		fmt.Fprintf(t, "%s\t%s\t%v\t%v\t%v\t%v\t%d\t%s\n",
+			trial.Library, trial.Mode, trial.Panicked, trial.OutputMatch,
+			trial.Degraded, trial.PoisonCleared, trial.MissesSaved, verdict)
+	}
+	t.Flush()
+	if failed > 0 {
+		fmt.Fprintf(w, "%d of %d trials FAILED\n", failed, len(trials))
+	} else {
+		fmt.Fprintf(w, "all %d trials ok: no panics, byte-identical output, no poisoned records survive\n", len(trials))
+	}
+}
+
+// runFaultTrial executes one reuse session against planted faulted record
+// bytes, with a panic barrier so an escaped panic is reported as a failed
+// trial instead of taking the harness down.
+func runFaultTrial(lib string, mode faultinject.Mode, dir string, cache *ricjs.CodeCache,
+	script, src string, faulted []byte, wantOutput string) (trial FaultTrial) {
+	trial = FaultTrial{Library: lib, Mode: mode}
+
+	defer func() {
+		if r := recover(); r != nil {
+			trial.Panicked = true
+			trial.Err = fmt.Sprintf("panic escaped the engine: %v", r)
+		}
+	}()
+
+	// Session: hand the engine exactly the bytes a store file held; the
+	// engine owns the decode → validate → preload pipeline and degrades
+	// on any record-attributable failure.
+	eng := ricjs.NewEngine(ricjs.Options{Cache: cache, RecordBytes: faulted})
+	if err := eng.Run(script, src); err != nil {
+		trial.Err = err.Error()
+		return trial
+	}
+	trial.OutputMatch = eng.Output() == wantOutput
+	degraded, _ := eng.Degraded()
+	trial.Degraded = degraded
+	trial.MissesSaved = eng.Stats().MissesSaved
+	if degraded != (eng.Stats().DegradedRuns > 0) {
+		trial.Err = "Degraded() and Stats().DegradedRuns disagree"
+		return trial
+	}
+
+	// End of session: the embedder closes the loop against the store. A
+	// record that fails decode quarantines at Load; one that degraded the
+	// run is quarantined explicitly. Either path, the poison must not
+	// load next session.
+	store, err := ricjs.OpenRecordStore(dir)
+	if err != nil {
+		trial.Err = err.Error()
+		return trial
+	}
+	key := fmt.Sprintf("%s-%s", lib, mode)
+	if err := store.SaveBytes(key, faulted); err != nil {
+		trial.Err = err.Error()
+		return trial
+	}
+	if rec, err := store.Load(key); err != nil {
+		trial.Err = err.Error()
+		return trial
+	} else if rec != nil && degraded {
+		if err := store.Quarantine(key); err != nil {
+			trial.Err = err.Error()
+			return trial
+		}
+	}
+	next, err := store.Load(key)
+	if err != nil {
+		trial.Err = err.Error()
+		return trial
+	}
+	switch {
+	case next == nil:
+		trial.PoisonCleared = true
+	default:
+		// The record still loads: legal only if it never degraded the
+		// session (semantic faults that preloading refused entry-by-entry,
+		// or faults that left the record effectively intact). Prove it is
+		// harmless by running the next session with it.
+		next2 := ricjs.NewEngine(ricjs.Options{Cache: cache, Record: next})
+		if err := next2.Run(script, src); err != nil {
+			trial.Err = err.Error()
+			return trial
+		}
+		d2, _ := next2.Degraded()
+		trial.PoisonCleared = !d2 && next2.Output() == wantOutput
+	}
+	return trial
+}

@@ -1,0 +1,245 @@
+// Package faultinject provides deterministic, seedable fault injection
+// for the RIC record pipeline: byte-level corruption of encoded records
+// (truncation, bit flips, varint corruption), field-level corruption that
+// re-encodes with a valid checksum (remapped hidden-class IDs, skewed
+// handler offsets, out-of-range site references — the lies a checksum
+// cannot catch), failing filesystems for the RecordStore, and VM hooks
+// that violate internal invariants on purpose.
+//
+// The harness in internal/bench sweeps these faults over every workload
+// and asserts the engine's robustness trio: no panic escapes, program
+// output is byte-identical to a conventional run, and a poisoned record
+// never reaches the next session.
+package faultinject
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+
+	"ricjs/internal/ic"
+	"ricjs/internal/objects"
+	"ricjs/internal/profiler"
+	"ricjs/internal/ric"
+	"ricjs/internal/source"
+	"ricjs/internal/vm"
+)
+
+// Mode names one fault class applied to an encoded record.
+type Mode string
+
+const (
+	// ModeTruncate cuts bytes off the end of the record (a torn write).
+	// Caught by the length/checksum check at decode.
+	ModeTruncate Mode = "truncate"
+	// ModeBitFlip flips one bit somewhere in the record (media rot).
+	// Caught by the checksum.
+	ModeBitFlip Mode = "bitflip"
+	// ModeVarintCorrupt overwrites a byte in the varint-encoded body with
+	// 0xFF, the continuation-bit pattern that derails varint decoding.
+	// Caught by the checksum; also exercises the decoder's count guards
+	// under fuzzing, where the checksum may be refreshed.
+	ModeVarintCorrupt Mode = "varint"
+	// ModeEmpty replaces the record with nothing (a created-then-never-
+	// written file).
+	ModeEmpty Mode = "empty"
+	// ModeGarbage replaces the record with plausible-length noise.
+	ModeGarbage Mode = "garbage"
+	// ModeBadVersion rewrites the format-version byte and refreshes the
+	// checksum, simulating a record from a different engine build. The
+	// decoder must reject the version even though the checksum matches.
+	ModeBadVersion Mode = "bad-version"
+	// ModeRemapHCID swaps the dependent-site lists of two hidden classes
+	// and refreshes the checksum. The record is structurally valid and
+	// checksum-clean but semantically lying: preloading must detect that
+	// the handlers do not fit the live classes.
+	ModeRemapHCID Mode = "remap-hcid"
+	// ModeOffsetSkew shifts every field-handler offset by one and
+	// refreshes the checksum; a byte-identical-output hazard unless
+	// preloads are verified against the live hidden class.
+	ModeOffsetSkew Mode = "offset-skew"
+	// ModeSiteShift moves dependent site references to source positions
+	// that do not exist in the compiled bytecode, the stale-record
+	// (edited script) case. Caught by Record.Validate.
+	ModeSiteShift Mode = "site-shift"
+)
+
+// Modes returns every fault mode, for sweep harnesses.
+func Modes() []Mode {
+	return []Mode{
+		ModeTruncate, ModeBitFlip, ModeVarintCorrupt, ModeEmpty,
+		ModeGarbage, ModeBadVersion, ModeRemapHCID, ModeOffsetSkew,
+		ModeSiteShift,
+	}
+}
+
+// Injector applies faults deterministically: the same seed and the same
+// sequence of Apply calls always produce the same corrupted bytes.
+type Injector struct {
+	rng *rand.Rand
+}
+
+// New creates an injector with a fixed seed.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// headerLen is the length of the record header the byte-level faults aim
+// past: "RICREC" plus the version byte.
+const headerLen = 7
+
+// trailerLen is the length of the CRC32 trailer.
+const trailerLen = 4
+
+// Apply returns a corrupted copy of an encoded record. The input is never
+// modified. Unknown modes return the input unchanged.
+func (in *Injector) Apply(mode Mode, data []byte) []byte {
+	out := append([]byte(nil), data...)
+	switch mode {
+	case ModeTruncate:
+		if len(out) == 0 {
+			return out
+		}
+		return out[:in.rng.Intn(len(out))]
+	case ModeBitFlip:
+		if len(out) == 0 {
+			return out
+		}
+		i := in.rng.Intn(len(out))
+		out[i] ^= 1 << uint(in.rng.Intn(8))
+		return out
+	case ModeVarintCorrupt:
+		if len(out) <= headerLen+trailerLen {
+			return out
+		}
+		i := headerLen + in.rng.Intn(len(out)-headerLen-trailerLen)
+		out[i] = 0xFF
+		return out
+	case ModeEmpty:
+		return nil
+	case ModeGarbage:
+		n := len(out)
+		if n == 0 {
+			n = 64
+		}
+		g := make([]byte, n)
+		in.rng.Read(g)
+		return g
+	case ModeBadVersion:
+		if len(out) <= headerLen+trailerLen {
+			return out
+		}
+		out[headerLen-1] ^= 0x7F
+		return refreshCRC(out)
+	case ModeRemapHCID:
+		return in.mutateRecord(out, remapHCIDs)
+	case ModeOffsetSkew:
+		return in.mutateRecord(out, skewOffsets)
+	case ModeSiteShift:
+		return in.mutateRecord(out, shiftSites)
+	default:
+		return out
+	}
+}
+
+// refreshCRC recomputes the trailing CRC32 so a deliberately lying record
+// still passes the integrity check (the wire format's trailer is CRC32-
+// IEEE over everything before it, little-endian).
+func refreshCRC(data []byte) []byte {
+	if len(data) < trailerLen {
+		return data
+	}
+	binary.LittleEndian.PutUint32(data[len(data)-trailerLen:],
+		crc32.ChecksumIEEE(data[:len(data)-trailerLen]))
+	return data
+}
+
+// mutateRecord decodes, applies a field-level mutation, and re-encodes so
+// the result carries a valid checksum. Input that does not decode is
+// returned unchanged.
+func (in *Injector) mutateRecord(data []byte, mutate func(*rand.Rand, *ric.Record) bool) []byte {
+	rec, err := ric.Decode(data)
+	if err != nil {
+		return data
+	}
+	if !mutate(in.rng, rec) {
+		return data
+	}
+	return rec.Encode()
+}
+
+// remapHCIDs swaps the dependent lists of two hidden classes, so a class
+// that validates preloads another class's handlers.
+func remapHCIDs(rng *rand.Rand, rec *ric.Record) bool {
+	var nonEmpty []int
+	for i, deps := range rec.Deps {
+		if len(deps) > 0 {
+			nonEmpty = append(nonEmpty, i)
+		}
+	}
+	if len(nonEmpty) < 2 {
+		return false
+	}
+	i := nonEmpty[rng.Intn(len(nonEmpty))]
+	j := nonEmpty[rng.Intn(len(nonEmpty))]
+	for j == i {
+		j = nonEmpty[rng.Intn(len(nonEmpty))]
+	}
+	rec.Deps[i], rec.Deps[j] = rec.Deps[j], rec.Deps[i]
+	return true
+}
+
+// skewOffsets shifts every field-handler offset by one slot.
+func skewOffsets(_ *rand.Rand, rec *ric.Record) bool {
+	changed := false
+	for _, deps := range rec.Deps {
+		for k := range deps {
+			switch deps[k].Desc.Kind {
+			case ic.KindLoadField, ic.KindStoreField:
+				deps[k].Desc.Offset++
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// shiftSites moves every dependent site reference far past the end of any
+// real script, the signature of a record extracted from an older version
+// of an edited file.
+func shiftSites(_ *rand.Rand, rec *ric.Record) bool {
+	changed := false
+	for _, deps := range rec.Deps {
+		for k := range deps {
+			s := deps[k].Site
+			deps[k].Site = source.At(s.Script, s.Pos.Line+100000, s.Pos.Col)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// PanicHooks implements vm.Hooks and panics after observing Countdown
+// hidden-class creations, simulating an internal invariant violation in
+// the reuse machinery. Harnesses install it via vm.SetHooks to prove the
+// engine's recovery boundary converts the panic into a degradation.
+type PanicHooks struct {
+	// Countdown is how many OnHCCreated events pass before the panic.
+	Countdown int
+}
+
+// OnHCCreated implements vm.Hooks.
+func (h *PanicHooks) OnHCCreated(creator objects.Creator, incoming, outgoing *objects.HiddenClass) {
+	if h.Countdown <= 0 {
+		panic(fmt.Sprintf("faultinject: injected invariant violation (creator %v)", creator))
+	}
+	h.Countdown--
+}
+
+// ClassifyMiss implements vm.Hooks.
+func (h *PanicHooks) ClassifyMiss(site source.Site, receiverIsGlobal bool) profiler.MissKind {
+	return profiler.MissOther
+}
+
+var _ vm.Hooks = (*PanicHooks)(nil)

@@ -140,6 +140,7 @@ type Counters struct {
 	handlersMade uint64
 	handlersCI   uint64 // of handlersMade, how many are context-independent
 	allocations  uint64
+	degradedRuns uint64 // reuse runs abandoned in favour of conventional retries
 }
 
 // Charge adds n abstract instructions to the current category.
@@ -215,6 +216,10 @@ func (c *Counters) HandlerMade(contextIndependent bool) {
 	}
 }
 
+// Degrade records that the engine abandoned a reuse run because of a
+// record-attributable failure and retried conventionally (record-free).
+func (c *Counters) Degrade() { c.degradedRuns++ }
+
 // Alloc records a heap allocation and charges its cost.
 func (c *Counters) Alloc() {
 	c.allocations++
@@ -247,6 +252,12 @@ type Snapshot struct {
 	HandlersMade         uint64
 	HandlersContextIndep uint64
 	Allocations          uint64
+
+	// DegradedRuns counts reuse runs this engine abandoned because of a
+	// record-attributable failure (decode, validation, or preload panic),
+	// completing conventionally instead. 0 or 1: an engine degrades at
+	// most once and then stays conventional.
+	DegradedRuns uint64
 }
 
 // Snapshot captures the current statistics.
@@ -267,6 +278,7 @@ func (c *Counters) Snapshot() Snapshot {
 		HandlersMade:         c.handlersMade,
 		HandlersContextIndep: c.handlersCI,
 		Allocations:          c.allocations,
+		DegradedRuns:         c.degradedRuns,
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sort"
 
 	"ricjs/internal/ic"
@@ -12,7 +13,7 @@ import (
 
 // Record wire format (all integers are unsigned/zigzag varints):
 //
-//	magic "RICREC\x01"
+//	magic "RICREC" + format-version byte (currently 3)
 //	label string
 //	flags (bit 0: includes globals)
 //	script string table (count, strings)
@@ -21,10 +22,24 @@ import (
 //	site TOAST: count × (siteRef, pairCount × (in+1, out))
 //	builtin TOAST: count × (name, id)
 //	rejected sites: count × siteRef
+//	CRC32-IEEE of everything above (4 bytes little-endian)
 //
 // A siteRef is (scriptIdx, line, col). Map-ordered sections are sorted so
 // encoding is deterministic.
-var recordMagic = []byte("RICREC\x02")
+//
+// The trailing checksum (format version 3) catches truncated writes and
+// bit-level corruption of persisted records before any structural decoding
+// happens. Records in older formats (version bytes 1 and 2 carried no
+// checksum) are rejected as unsupported: persisted IC state is a pure
+// cache, so the correct recovery is quarantine-and-regenerate, never a
+// compatibility shim.
+var recordTag = []byte("RICREC")
+
+// recordVersion is the current wire-format version byte.
+const recordVersion = 3
+
+// recordTrailerLen is the length of the CRC32 trailer.
+const recordTrailerLen = 4
 
 type encoder struct {
 	buf     bytes.Buffer
@@ -104,7 +119,8 @@ func (r *Record) Encode() []byte {
 		collect(s)
 	}
 
-	e.buf.Write(recordMagic)
+	e.buf.Write(recordTag)
+	e.buf.WriteByte(recordVersion)
 	e.str(r.Script)
 	flags := uint64(0)
 	if r.IncludesGlobals {
@@ -159,6 +175,10 @@ func (r *Record) Encode() []byte {
 	for _, s := range rejected {
 		e.site(s)
 	}
+
+	var trailer [recordTrailerLen]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc32.ChecksumIEEE(e.buf.Bytes()))
+	e.buf.Write(trailer[:])
 	return e.buf.Bytes()
 }
 
@@ -169,6 +189,16 @@ type decoder struct {
 
 func (d *decoder) uvarint() (uint64, error) { return binary.ReadUvarint(d.buf) }
 func (d *decoder) varint() (int64, error)   { return binary.ReadVarint(d.buf) }
+
+// plausibleCount rejects section counts that could not possibly fit in the
+// remaining input (every element is at least one byte), so a corrupt count
+// fails fast instead of allocating huge slices or looping pointlessly.
+func (d *decoder) plausibleCount(n uint64, section string) error {
+	if n > uint64(d.buf.Len()) {
+		return fmt.Errorf("ric: %s: count %d exceeds remaining input", section, n)
+	}
+	return nil
+}
 
 func (d *decoder) str() (string, error) {
 	n, err := d.uvarint()
@@ -204,13 +234,26 @@ func (d *decoder) site() (source.Site, error) {
 	return source.At(d.names[idx], uint32(line), uint32(col)), nil
 }
 
-// Decode parses an encoded record, validating structure so corrupt input
-// is rejected rather than reused.
+// Decode parses an encoded record, validating integrity and structure so
+// corrupt input is rejected rather than reused: the header and trailing
+// CRC32 are verified first, then every count and reference is checked
+// during structural decoding. Decode never panics on any input.
 func Decode(data []byte) (*Record, error) {
-	if len(data) < len(recordMagic) || !bytes.Equal(data[:len(recordMagic)], recordMagic) {
+	if len(data) < len(recordTag)+1+recordTrailerLen {
+		return nil, fmt.Errorf("ric: record too short (%d bytes)", len(data))
+	}
+	if !bytes.Equal(data[:len(recordTag)], recordTag) {
 		return nil, fmt.Errorf("ric: bad record magic")
 	}
-	d := &decoder{buf: bytes.NewReader(data[len(recordMagic):])}
+	if v := data[len(recordTag)]; v != recordVersion {
+		return nil, fmt.Errorf("ric: unsupported record format version %d (want %d)", v, recordVersion)
+	}
+	body := data[:len(data)-recordTrailerLen]
+	stored := binary.LittleEndian.Uint32(data[len(data)-recordTrailerLen:])
+	if sum := crc32.ChecksumIEEE(body); sum != stored {
+		return nil, fmt.Errorf("ric: checksum mismatch (stored %#08x, computed %#08x)", stored, sum)
+	}
+	d := &decoder{buf: bytes.NewReader(body[len(recordTag)+1:])}
 	r := &Record{
 		SiteTOAST:     make(map[source.Site][]Pair),
 		BuiltinTOAST:  make(map[string]int32),
@@ -230,6 +273,9 @@ func Decode(data []byte) (*Record, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ric: script table: %w", err)
 	}
+	if err := d.plausibleCount(nScripts, "script table"); err != nil {
+		return nil, err
+	}
 	for i := uint64(0); i < nScripts; i++ {
 		s, err := d.str()
 		if err != nil {
@@ -245,6 +291,9 @@ func Decode(data []byte) (*Record, error) {
 	const maxHCs = 1 << 24
 	if hcCount > maxHCs {
 		return nil, fmt.Errorf("ric: implausible hidden class count %d", hcCount)
+	}
+	if err := d.plausibleCount(hcCount, "hc count"); err != nil {
+		return nil, err
 	}
 	r.HCCount = int32(hcCount)
 	r.Deps = make([][]DepEntry, hcCount)
@@ -300,6 +349,9 @@ func Decode(data []byte) (*Record, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ric: site TOAST: %w", err)
 	}
+	if err := d.plausibleCount(nSites, "site TOAST"); err != nil {
+		return nil, err
+	}
 	for i := uint64(0); i < nSites; i++ {
 		site, err := d.site()
 		if err != nil {
@@ -328,6 +380,9 @@ func Decode(data []byte) (*Record, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ric: builtin TOAST: %w", err)
 	}
+	if err := d.plausibleCount(nBuiltins, "builtin TOAST"); err != nil {
+		return nil, err
+	}
 	for i := uint64(0); i < nBuiltins; i++ {
 		name, err := d.str()
 		if err != nil {
@@ -343,6 +398,9 @@ func Decode(data []byte) (*Record, error) {
 	nRejected, err := d.uvarint()
 	if err != nil {
 		return nil, fmt.Errorf("ric: rejected sites: %w", err)
+	}
+	if err := d.plausibleCount(nRejected, "rejected sites"); err != nil {
+		return nil, err
 	}
 	for i := uint64(0); i < nRejected; i++ {
 		site, err := d.site()

@@ -28,6 +28,17 @@ func Merge(records ...*Record) (*Record, error) {
 	if len(records) == 0 {
 		return nil, fmt.Errorf("ric: nothing to merge")
 	}
+	// Validate every input before touching it: a record whose hidden-class
+	// IDs exceed its own table (a hand-built or corrupted record) would
+	// otherwise index the remap tables out of range.
+	for i, r := range records {
+		if r == nil {
+			return nil, fmt.Errorf("ric: nil record at index %d", i)
+		}
+		if err := r.validateShape(); err != nil {
+			return nil, fmt.Errorf("ric: merge input %d (%s): %w", i, r.Script, err)
+		}
+	}
 	if len(records) == 1 {
 		return records[0], nil
 	}

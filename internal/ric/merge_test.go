@@ -162,6 +162,70 @@ func TestMergedRecordEncodesAndValidates(t *testing.T) {
 	}
 }
 
+func TestMergeErrorPaths(t *testing.T) {
+	good := func() *Record {
+		site := source.At("a.js", 1, 1)
+		return makeRecord("a.js", map[string]int32{"EmptyObject": 0}, 2,
+			map[source.Site][]Pair{site: {{In: 0, Out: 1}}},
+			map[int32][]DepEntry{1: {{Site: site, Desc: ic.CIDescriptor{Kind: ic.KindLoadField}}}})
+	}
+
+	t.Run("empty", func(t *testing.T) {
+		if _, err := Merge(); err == nil {
+			t.Fatal("empty merge must fail")
+		}
+	})
+	t.Run("nil-record", func(t *testing.T) {
+		if _, err := Merge(good(), nil); err == nil {
+			t.Fatal("nil record must fail, not panic")
+		}
+		if _, err := Merge(nil); err == nil {
+			t.Fatal("single nil record must fail")
+		}
+	})
+	t.Run("globals-conflict", func(t *testing.T) {
+		g := good()
+		g.IncludesGlobals = true
+		if _, err := Merge(good(), g); err == nil {
+			t.Fatal("IncludesGlobals conflict must fail")
+		}
+	})
+	t.Run("builtin-id-exceeds-table", func(t *testing.T) {
+		// A record claiming a builtin hidden class beyond its own table
+		// used to drive the remap tables out of range and panic.
+		bad := good()
+		bad.BuiltinTOAST["Array"] = bad.HCCount + 3
+		if _, err := Merge(good(), bad); err == nil {
+			t.Fatal("out-of-range builtin id must fail, not panic")
+		}
+	})
+	t.Run("toast-id-exceeds-table", func(t *testing.T) {
+		bad := good()
+		bad.SiteTOAST[source.At("a.js", 2, 2)] = []Pair{{In: -1, Out: bad.HCCount}}
+		if _, err := Merge(good(), bad); err == nil {
+			t.Fatal("out-of-range TOAST id must fail, not panic")
+		}
+	})
+	t.Run("dep-rows-mismatch", func(t *testing.T) {
+		bad := good()
+		bad.Deps = bad.Deps[:1]
+		if _, err := Merge(good(), bad); err == nil {
+			t.Fatal("dep row count mismatch must fail")
+		}
+	})
+	t.Run("same-label-records-stay-legal", func(t *testing.T) {
+		// Two records carrying the same script label (two sessions of the
+		// same library) are not a conflict: they merge with dedup.
+		m, err := Merge(good(), good())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Script != "a.js+a.js" {
+			t.Fatalf("merged label = %q", m.Script)
+		}
+	})
+}
+
 func TestReplayPreloadsIdempotent(t *testing.T) {
 	_, rec := initialRun(t, pointLib, Config{})
 	v, reuser := reuseRun(t, pointLib, rec)

@@ -22,6 +22,7 @@ package ric
 import (
 	"fmt"
 
+	"ricjs/internal/bytecode"
 	"ricjs/internal/ic"
 	"ricjs/internal/source"
 )
@@ -131,6 +132,88 @@ func (r *Record) validateShape() error {
 			if _, err := d.Desc.Rebuild(); err != nil {
 				return fmt.Errorf("ric: HCID %d dependent %s: %v", hcid, d.Site, err)
 			}
+			if fieldHandler(d.Desc) && d.Desc.Offset < 0 {
+				return fmt.Errorf("ric: HCID %d dependent %s: negative field offset %d",
+					hcid, d.Site, d.Desc.Offset)
+			}
+		}
+	}
+	return nil
+}
+
+// fieldHandler reports whether a descriptor carries a meaningful in-object
+// slot offset.
+func fieldHandler(d ic.CIDescriptor) bool {
+	switch d.Kind {
+	case ic.KindLoadField, ic.KindStoreField:
+		return true
+	case ic.KindKeyedNamed:
+		return d.Inner == ic.KindLoadField || d.Inner == ic.KindStoreField
+	}
+	return false
+}
+
+// Validate cross-checks the record against compiled bytecode before a
+// Reuse run begins (the staleness check the checksum cannot provide): a
+// structurally valid, checksum-valid record may still come from an edited
+// or different version of the script, in which case its site references
+// point at positions that no longer carry an object access — or carry a
+// different access. Every site reference belonging to a script covered by
+// progs must resolve to a live feedback site with the recorded access kind
+// and property name. Sites in scripts not covered by progs are skipped:
+// a merged record legitimately spans scripts the current session never
+// loads.
+func (r *Record) Validate(progs ...*bytecode.Program) error {
+	sites := make(map[source.Site]bytecode.SiteInfo)
+	// declSites are function declaration positions: constructor initial
+	// hidden classes key their TOAST entries to the declaring function's
+	// site rather than to a feedback slot.
+	declSites := make(map[source.Site]bool)
+	covered := make(map[string]bool)
+	for _, p := range progs {
+		if p == nil || p.Toplevel == nil {
+			continue
+		}
+		covered[p.Script] = true
+		p.Toplevel.WalkProtos(func(fp *bytecode.FuncProto) {
+			for _, si := range fp.Sites {
+				sites[si.Site] = si
+			}
+			if !fp.DeclPos.IsZero() {
+				declSites[source.Site{Script: fp.Script, Pos: fp.DeclPos}] = true
+			}
+		})
+	}
+	known := func(s source.Site) (bytecode.SiteInfo, bool, bool) {
+		if !covered[s.Script] {
+			return bytecode.SiteInfo{}, false, false
+		}
+		si, ok := sites[s]
+		return si, ok, true
+	}
+	for hcid, deps := range r.Deps {
+		for _, d := range deps {
+			si, ok, inScope := known(d.Site)
+			if !inScope {
+				continue
+			}
+			if !ok {
+				return fmt.Errorf("ric: HCID %d dependent %s: no such access site in compiled bytecode (stale record?)", hcid, d.Site)
+			}
+			if si.Kind != d.Kind || si.Name != d.Name {
+				return fmt.Errorf("ric: HCID %d dependent %s: record says %s %q, bytecode has %s %q (stale record?)",
+					hcid, d.Site, d.Kind, d.Name, si.Kind, si.Name)
+			}
+		}
+	}
+	for site := range r.SiteTOAST {
+		if _, ok, inScope := known(site); inScope && !ok && !declSites[site] {
+			return fmt.Errorf("ric: TOAST site %s: no such access site in compiled bytecode (stale record?)", site)
+		}
+	}
+	for site := range r.RejectedSites {
+		if _, ok, inScope := known(site); inScope && !ok && !declSites[site] {
+			return fmt.Errorf("ric: rejected site %s: no such access site in compiled bytecode (stale record?)", site)
 		}
 	}
 	return nil

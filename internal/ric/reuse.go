@@ -171,7 +171,7 @@ func (r *Reuser) preloadDeps(id int32, hc *objects.HiddenClass) {
 			continue
 		}
 		h, err := dep.Desc.Rebuild()
-		if err != nil || !handlerFits(h, hc) {
+		if err != nil || !handlerFits(h, slot, hc) {
 			// Defensive: a corrupt or mismatched record must degrade to
 			// conventional behaviour, never to a wrong preload.
 			r.done[id][j] = true
@@ -199,21 +199,70 @@ func (r *Reuser) ReplayPreloads() {
 	}
 }
 
-// handlerFits sanity-checks a rebuilt handler against the live hidden
-// class it is being preloaded for.
-func handlerFits(h ic.Handler, hc *objects.HiddenClass) bool {
+// handlerFits verifies a rebuilt handler semantically against the live
+// slot and hidden class it is being preloaded for. A record passes the
+// checksum and shape checks even when its *contents* lie — e.g. a
+// hidden-class ID remapped by a fault so a LoadField offset of one class
+// lands on another. Bounds checks alone would accept such a handler and
+// silently read the wrong field, so instead every claim the handler makes
+// is recomputed from the live hidden class: field handlers must name a
+// property the class actually stores at exactly that offset, and
+// element/length handlers must target a class descended from the Array
+// root. A handler that passes is correct for this class no matter what
+// the record said.
+func handlerFits(h ic.Handler, slot *ic.Slot, hc *objects.HiddenClass) bool {
 	switch t := h.(type) {
 	case ic.LoadField:
-		return t.Offset >= 0 && t.Offset < hc.NumFields()
+		if slot.Kind.IsStore() || slot.Kind.IsKeyed() {
+			return false
+		}
+		off, ok := hc.Offset(slot.Name)
+		return ok && off == t.Offset
 	case ic.StoreField:
-		return t.Offset >= 0 && t.Offset < hc.NumFields()
-	case ic.LoadArrayLength, ic.LoadElement, ic.StoreElement:
-		return true
+		if !slot.Kind.IsStore() || slot.Kind.IsKeyed() {
+			return false
+		}
+		off, ok := hc.Offset(slot.Name)
+		return ok && off == t.Offset
+	case ic.LoadArrayLength:
+		return !slot.Kind.IsStore() && !slot.Kind.IsKeyed() &&
+			slot.Name == "length" && isArrayClass(hc)
+	case ic.LoadElement:
+		return slot.Kind == ic.AccessKeyedLoad && isArrayClass(hc)
+	case ic.StoreElement:
+		return slot.Kind == ic.AccessKeyedStore && isArrayClass(hc)
 	case ic.KeyedNamed:
-		return handlerFits(t.Inner, hc)
+		switch inner := t.Inner.(type) {
+		case ic.LoadField:
+			if slot.Kind != ic.AccessKeyedLoad {
+				return false
+			}
+			off, ok := hc.Offset(t.Name)
+			return ok && off == inner.Offset
+		case ic.StoreField:
+			if slot.Kind != ic.AccessKeyedStore {
+				return false
+			}
+			off, ok := hc.Offset(t.Name)
+			return ok && off == inner.Offset
+		case ic.LoadArrayLength:
+			return slot.Kind == ic.AccessKeyedLoad && t.Name == "length" && isArrayClass(hc)
+		default:
+			return false
+		}
 	default:
 		return false
 	}
+}
+
+// isArrayClass reports whether a hidden class descends from the builtin
+// Array root — the only classes whose instances carry element storage.
+func isArrayClass(hc *objects.HiddenClass) bool {
+	root := hc
+	for root.Parent() != nil {
+		root = root.Parent()
+	}
+	return root.Creator().Builtin == "Array"
 }
 
 // ClassifyMiss implements vm.Hooks: the Table 4 miss breakdown. Misses at

@@ -351,16 +351,13 @@ func TestDecodeRejectsCorruptInput(t *testing.T) {
 	if _, err := Decode(append(append([]byte{}, data...), 0xFF)); err == nil {
 		t.Error("trailing bytes must fail")
 	}
-	// Flip bytes through the body; decoding must either fail or produce a
-	// structurally valid record — never panic.
-	for i := len(recordMagic); i < len(data); i += 7 {
+	// Flip bytes through the body; with the CRC32 trailer every single-byte
+	// flip must be rejected outright, and decoding must never panic.
+	for i := len(recordTag) + 1; i < len(data); i += 7 {
 		mut := append([]byte{}, data...)
 		mut[i] ^= 0x55
-		rec2, err := Decode(mut)
-		if err == nil {
-			if verr := rec2.validateShape(); verr != nil {
-				t.Fatalf("decoder accepted structurally invalid record (flip at %d): %v", i, verr)
-			}
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("single-byte flip at %d slipped past the checksum", i)
 		}
 	}
 }

@@ -183,6 +183,11 @@ func (vm *VM) Output() string { return vm.buf.String() }
 // Global returns the global object.
 func (vm *VM) Global() *objects.Object { return vm.global }
 
+// SetHooks replaces the VM's hooks mid-run. Fault-injection harnesses use
+// it to install hooks that violate internal invariants on purpose, to
+// exercise the engine's recovery boundary.
+func (vm *VM) SetHooks(h Hooks) { vm.hooks = h }
+
 // Roots returns every root hidden class in creation order.
 func (vm *VM) Roots() []*objects.HiddenClass { return vm.roots }
 

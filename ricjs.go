@@ -25,9 +25,11 @@
 package ricjs
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 
+	"ricjs/internal/bytecode"
 	"ricjs/internal/codecache"
 	"ricjs/internal/profiler"
 	"ricjs/internal/ric"
@@ -77,6 +79,37 @@ func DecodeRecord(data []byte) (*Record, error) {
 	return &Record{r: rec}, nil
 }
 
+// EngineError is the typed error Engine.Run produces when a run is
+// interrupted by something other than ordinary script behaviour: an
+// internal invariant violation (a panic inside the interpreter) or a
+// failure in the record pipeline (decode, validation, preload).
+//
+// When RecordAttributable is true the failure was caused by the reuse
+// record, and the engine degrades: it discards the record and retries the
+// run conventionally. Run then only returns the error if the conventional
+// retry itself failed; a successful retry reports the degradation through
+// Stats().DegradedRuns and Degraded() instead.
+type EngineError struct {
+	// Script names the script whose run failed.
+	Script string
+	// Phase is where the failure happened: "decode", "validate",
+	// "preload", or "execute".
+	Phase string
+	// RecordAttributable reports whether the reuse record caused the
+	// failure (and a conventional retry is therefore meaningful).
+	RecordAttributable bool
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *EngineError) Error() string {
+	return fmt.Sprintf("ricjs: %s %s: %v", e.Phase, e.Script, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *EngineError) Unwrap() error { return e.Err }
+
 // Options configures an engine.
 type Options struct {
 	// Cache supplies compiled bytecode; nil creates a private cache.
@@ -84,6 +117,12 @@ type Options struct {
 	// Record enables RIC reuse: hidden classes validate against it and
 	// dependent sites preload from it. Nil runs conventionally.
 	Record *Record
+	// RecordBytes supplies an encoded record instead of a decoded one;
+	// the engine decodes (and checksum-verifies) it itself. Bytes that
+	// fail to decode do not fail construction: the engine starts
+	// conventionally, counts the degradation in Stats().DegradedRuns, and
+	// reports the cause via Degraded. Ignored when Record is set.
+	RecordBytes []byte
 	// IncludeGlobals extends RIC to the global object (off by default,
 	// paper §6; used by the ablation benches). It affects ExtractRecord.
 	IncludeGlobals bool
@@ -104,33 +143,68 @@ type Options struct {
 	RandSeed uint64
 }
 
+// scriptRun remembers one executed script so a degraded engine can replay
+// the session on a fresh conventional VM.
+type scriptRun struct{ name, src string }
+
 // Engine is one execution context — one "run" in the paper's terminology.
 // Create a fresh Engine per run; heap state, IC state, and statistics are
 // per-engine. An Engine is not safe for concurrent use.
+//
+// A reuse-mode engine never lets its record take the run down: decode,
+// validation, and preload failures (including interpreter panics caused by
+// a corrupt record) degrade the engine to a conventional execution that
+// replays the session record-free. Degradation happens at most once; after
+// it the engine is permanently conventional.
 type Engine struct {
 	vm     *vm.VM
 	cache  *CodeCache
 	reuser *ric.Reuser
+	rec    *Record
 	opts   Options
+
+	// history lists every script executed so far (including ones that
+	// ended in a JavaScript error — their side effects persist), so
+	// degrade can reproduce the session state on a fresh VM.
+	history     []scriptRun
+	degraded    bool
+	degradedErr *EngineError
+
+	// staged buffers print output while an external Stdout is configured
+	// and degradation is still possible, so a degraded retry can replay
+	// without duplicating output the user already saw. Flushed to the real
+	// Stdout after each script settles.
+	staged *bytes.Buffer
 }
 
-// NewEngine creates an engine. If opts.Record is set, the engine runs in
-// Reuse mode: builtin hidden classes validate immediately and triggering
-// sites preload their dependents as execution proceeds.
+// NewEngine creates an engine. If opts.Record (or opts.RecordBytes) is
+// set, the engine runs in Reuse mode: builtin hidden classes validate
+// immediately and triggering sites preload their dependents as execution
+// proceeds.
 func NewEngine(opts Options) *Engine {
 	e := &Engine{opts: opts, cache: opts.Cache}
 	if e.cache == nil {
 		e.cache = NewCodeCache()
 	}
+	e.rec = opts.Record
+	var decodeErr error
+	if e.rec == nil && len(opts.RecordBytes) > 0 {
+		r, err := ric.Decode(opts.RecordBytes)
+		if err != nil {
+			decodeErr = err
+		} else {
+			e.rec = &Record{r: r}
+		}
+	}
 	var hooks vm.Hooks
-	if opts.Record != nil {
-		e.reuser = ric.NewReuser(opts.Record.r, nil, nil)
+	if e.rec != nil {
+		e.reuser = ric.NewReuser(e.rec.r, nil, nil)
 		hooks = e.reuser
 	}
 	e.vm = vm.New(vm.Options{
 		AddressSeed: opts.AddressSeed,
 		Hooks:       hooks,
-		Stdout:      opts.Stdout,
+		Stdout:      e.runWriter(),
 		MaxSteps:    opts.MaxSteps,
 		RandSeed:    opts.RandSeed,
 	})
@@ -141,26 +215,153 @@ func NewEngine(opts Options) *Engine {
 		// script's ICVector replay when the script is loaded.
 		e.reuser.Attach(e.vm)
 	}
+	if decodeErr != nil {
+		e.degraded = true
+		e.degradedErr = &EngineError{
+			Phase:              "decode",
+			RecordAttributable: true,
+			Err:                decodeErr,
+		}
+		e.vm.Prof.Degrade()
+	}
 	return e
 }
 
+// runWriter returns the writer the VM should print to. While the engine
+// can still degrade (reuse mode with an external Stdout), output is staged
+// so a conventional retry never duplicates delivered bytes; otherwise the
+// external writer (or the VM's internal buffer, when nil) is used directly.
+func (e *Engine) runWriter() io.Writer {
+	if e.opts.Stdout == nil {
+		return nil
+	}
+	if e.rec == nil {
+		return e.opts.Stdout
+	}
+	if e.staged == nil {
+		e.staged = &bytes.Buffer{}
+	}
+	return e.staged
+}
+
 // Run loads (or fetches from the code cache) and executes a script.
+//
+// In reuse mode the record is validated against the script's compiled
+// bytecode first, and the execution runs inside a recovery boundary; any
+// record-attributable failure degrades the engine (see Engine) and the
+// script is retried conventionally. Ordinary JavaScript errors are
+// returned as-is — they are program behaviour, identical with or without
+// the record.
 func (e *Engine) Run(name, src string) error {
 	prog, err := e.cache.c.Load(name, src)
 	if err != nil {
 		return fmt.Errorf("ricjs: load %s: %w", name, err)
 	}
+	if e.reuser != nil {
+		if verr := e.rec.r.Validate(prog); verr != nil {
+			e.degrade(&EngineError{
+				Script:             name,
+				Phase:              "validate",
+				RecordAttributable: true,
+				Err:                verr,
+			})
+		}
+	}
+	err = e.runScript(name, prog)
+	if ee, ok := err.(*EngineError); ok && ee.RecordAttributable && !e.degraded {
+		e.degrade(ee)
+		err = e.runScript(name, prog)
+	}
+	// The script has settled (successfully or with a JavaScript error):
+	// its side effects persist, so it must be part of any future replay,
+	// and its staged output is final.
+	e.history = append(e.history, scriptRun{name: name, src: src})
+	e.flushStaged()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// runScript executes one registered script under the recovery boundary.
+// Interpreter panics become *EngineError; while a reuser is attached they
+// are attributed to the record (a semantically-verified conventional run
+// cannot be poisoned by one).
+func (e *Engine) runScript(name string, prog *bytecode.Program) (err error) {
+	phase := "execute"
+	defer func() {
+		if r := recover(); r != nil {
+			err = &EngineError{
+				Script:             name,
+				Phase:              phase,
+				RecordAttributable: e.reuser != nil,
+				Err:                fmt.Errorf("internal invariant violated: %v", r),
+			}
+		}
+	}()
 	e.vm.RegisterProgram(prog)
 	if e.reuser != nil {
 		// Hidden classes validated before this script was registered
 		// (builtins at startup, classes created by earlier scripts) may
 		// have dependent sites in this script.
+		phase = "preload"
 		e.reuser.ReplayPreloads()
+		phase = "execute"
 	}
-	if _, err := e.vm.RunProgram(prog); err != nil {
-		return fmt.Errorf("ricjs: run %s: %w", name, err)
+	if _, rerr := e.vm.RunProgram(prog); rerr != nil {
+		return fmt.Errorf("ricjs: run %s: %w", name, rerr)
 	}
 	return nil
+}
+
+// degrade abandons reuse permanently: the record and reuser are dropped, a
+// fresh conventional VM is built, and the session's script history is
+// replayed on it so heap and global state catch up. Output replayed for
+// already-delivered scripts is discarded; the caller re-runs the current
+// script afterwards.
+func (e *Engine) degrade(cause *EngineError) {
+	e.degraded = true
+	e.degradedErr = cause
+	e.reuser = nil
+	e.vm = vm.New(vm.Options{
+		AddressSeed: e.opts.AddressSeed,
+		Stdout:      e.runWriter(),
+		MaxSteps:    e.opts.MaxSteps,
+		RandSeed:    e.opts.RandSeed,
+	})
+	e.vm.Prof.Degrade()
+	for _, h := range e.history {
+		prog, err := e.cache.c.Load(h.name, h.src)
+		if err != nil {
+			continue
+		}
+		// Replay errors are the same JavaScript errors the original run
+		// produced (execution is deterministic); state up to the error is
+		// what persists, exactly as before.
+		e.vm.RunProgram(prog) //nolint:errcheck
+	}
+	if e.staged != nil {
+		// Replayed output was already delivered to the external Stdout in
+		// the original runs.
+		e.staged.Reset()
+	}
+}
+
+// flushStaged delivers staged output to the external Stdout writer.
+func (e *Engine) flushStaged() {
+	if e.staged == nil || e.opts.Stdout == nil {
+		return
+	}
+	if e.staged.Len() > 0 {
+		e.opts.Stdout.Write(e.staged.Bytes()) //nolint:errcheck
+		e.staged.Reset()
+	}
+}
+
+// Degraded reports whether the engine abandoned reuse for a conventional
+// execution, and why (nil cause when it never degraded).
+func (e *Engine) Degraded() (bool, *EngineError) {
+	return e.degraded, e.degradedErr
 }
 
 // ExtractRecord runs the extraction phase (paper §5.2.1) over the engine's

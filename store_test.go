@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -49,7 +50,7 @@ func TestRecordStoreMissingKey(t *testing.T) {
 	}
 }
 
-func TestRecordStoreCorruptSelfHeals(t *testing.T) {
+func TestRecordStoreCorruptQuarantines(t *testing.T) {
 	dir := t.TempDir()
 	store, err := OpenRecordStore(dir)
 	if err != nil {
@@ -60,7 +61,7 @@ func TestRecordStoreCorruptSelfHeals(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Corrupt the stored file.
-	path := filepath.Join(dir, "demo.js.ric")
+	path := store.path("demo.js")
 	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,85 @@ func TestRecordStoreCorruptSelfHeals(t *testing.T) {
 		t.Fatalf("corrupt record must read as absent, got (%v, %v)", back, err)
 	}
 	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
-		t.Fatal("corrupt record file must be removed")
+		t.Fatal("corrupt record file must be moved out of the way")
+	}
+	if _, statErr := os.Stat(path + quarantineExt); statErr != nil {
+		t.Fatalf("corrupt record must be quarantined, not deleted: %v", statErr)
+	}
+	quarantined, err := store.Quarantined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{filepath.Base(path) + quarantineExt}
+	if !reflect.DeepEqual(quarantined, want) {
+		t.Fatalf("Quarantined = %v, want %v", quarantined, want)
+	}
+	// Quarantined files must not surface as live keys, and saving again
+	// under the same key must work (the regeneration path).
+	if keys, _ := store.Keys(); len(keys) != 0 {
+		t.Fatalf("Keys after quarantine = %v, want none", keys)
+	}
+	if err := store.Save("demo.js", rec); err != nil {
+		t.Fatal(err)
+	}
+	if back, err := store.Load("demo.js"); err != nil || back == nil {
+		t.Fatalf("regenerated record must load, got (%v, %v)", back, err)
+	}
+}
+
+func TestRecordStoreOldFormatQuarantines(t *testing.T) {
+	// A record in the superseded v2 wire format (no checksum) must be
+	// treated as corrupt: quarantined and regenerated, never trusted.
+	dir := t.TempDir()
+	store, err := OpenRecordStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := store.path("old.js")
+	if err := os.WriteFile(path, []byte("RICREC\x02legacy-payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := store.Load("old.js")
+	if err != nil || back != nil {
+		t.Fatalf("old-format record must read as absent, got (%v, %v)", back, err)
+	}
+	quarantined, err := store.Quarantined()
+	if err != nil || len(quarantined) != 1 {
+		t.Fatalf("old-format record must be quarantined, got (%v, %v)", quarantined, err)
+	}
+}
+
+func TestRecordStoreKeyCollision(t *testing.T) {
+	// "a/b" and "a_b" sanitize to the same name; the key hash must keep
+	// their files distinct.
+	store, err := OpenRecordStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.path("a/b") == store.path("a_b") {
+		t.Fatal("distinct keys map to the same file")
+	}
+	recA := extractDemo(t, demoLib, "a.js")
+	recB := extractDemo(t, "function F(){this.f=1;} var f = new F(); print(f.f);", "b.js")
+	if err := store.Save("a/b", recA); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save("a_b", recB); err != nil {
+		t.Fatal(err)
+	}
+	backA, err := store.Load("a/b")
+	if err != nil || backA == nil {
+		t.Fatal(err)
+	}
+	backB, err := store.Load("a_b")
+	if err != nil || backB == nil {
+		t.Fatal(err)
+	}
+	if string(backA.Encode()) != string(recA.Encode()) {
+		t.Fatal("a/b record clobbered by a_b")
+	}
+	if string(backB.Encode()) != string(recB.Encode()) {
+		t.Fatal("a_b record clobbered by a/b")
 	}
 }
 
@@ -88,7 +167,12 @@ func TestRecordStoreKeysAndDelete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"a.js", "b.js", "weird_key_with_spaces"}
+	want := []string{
+		store.fileStem("a.js"),
+		store.fileStem("b.js"),
+		store.fileStem("weird/key with spaces"),
+	}
+	sort.Strings(want)
 	if !reflect.DeepEqual(keys, want) {
 		t.Fatalf("Keys = %v, want %v", keys, want)
 	}
