@@ -11,11 +11,28 @@ cd "$(dirname "$0")"
 echo "== go vet =="
 go vet ./...
 
+echo "== opcheck: opcode exhaustiveness =="
+go run ./cmd/opcheck ./internal/bytecode ./internal/vm ./internal/analysis
+
 echo "== go build =="
 go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== riclint: offline record verification =="
+# Truthful fixtures must pass all three layers (integrity, site existence,
+# static cross-check)...
+go run ./cmd/riclint -js lib.js=testdata/point.js testdata/point.ric testdata/array.ric
+# ...and every fault-injected fixture must be rejected without executing:
+# remapped ids and skewed offsets by the analysis cross-check, corrupt
+# bytes at decode.
+for bad in point-remap point-offsets point-badversion point-bitflip point-truncated; do
+  if go run ./cmd/riclint -js lib.js=testdata/point.js "testdata/$bad.ric" >/dev/null 2>&1; then
+    echo "ci.sh: riclint accepted lying fixture $bad.ric" >&2
+    exit 1
+  fi
+done
 
 echo "== fuzz: FuzzDecodeRecord (10s) =="
 go test -run '^$' -fuzz '^FuzzDecodeRecord$' -fuzztime 10s ./internal/ric/

@@ -1,0 +1,14 @@
+// Command opcheck checks the bytecode instruction set for exhaustive
+// handling: every bytecode.Op must have a disassembly mnemonic, a VM
+// dispatch case, and a transfer function in the static shape analysis.
+// ci.sh runs it right after go vet:
+//
+//	go run ./cmd/opcheck ./internal/bytecode ./internal/vm ./internal/analysis
+package main
+
+import (
+	"ricjs/internal/lint/opcheck"
+	"ricjs/internal/lint/singlechecker"
+)
+
+func main() { singlechecker.Main(opcheck.NewAnalyzer()) }

@@ -2,10 +2,18 @@
 // constant pools, and object-access-site tables — the feedback slots the
 // ICVector is built from.
 //
+// With -analyze, the static shape analysis runs over all files jointly
+// (scripts share the global object) and each site's predicted hidden-class
+// set is printed alongside the site table.
+//
 // Usage:
 //
 //	ricdis script.js [more.js ...]
-//	ricdis -sites script.js      # only the site table
+//	ricdis -sites script.js        # only the site table
+//	ricdis -analyze lib.js app.js  # site tables with shape predictions
+//
+// Every file is processed even when an earlier one fails; the exit status
+// is 1 if any did.
 package main
 
 import (
@@ -13,55 +21,115 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
+	"ricjs/internal/analysis"
 	"ricjs/internal/bytecode"
 	"ricjs/internal/parser"
 )
 
 func main() {
 	sitesOnly := flag.Bool("sites", false, "print only the object access site tables")
+	analyze := flag.Bool("analyze", false, "run the static shape analysis and print per-site predictions")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: ricdis [-sites] script.js [more.js ...]")
+		fmt.Fprintln(os.Stderr, "usage: ricdis [-sites] [-analyze] script.js [more.js ...]")
 		os.Exit(2)
 	}
+
+	// Compile everything first: -analyze needs the whole program, and a
+	// broken file must not hide errors in the ones after it.
+	type unit struct {
+		path string
+		prog *bytecode.Program
+	}
+	var units []unit
+	failed := false
 	for _, path := range flag.Args() {
-		src, err := os.ReadFile(path)
+		prog, err := compileFile(path)
 		if err != nil {
-			fail(err)
+			fmt.Fprintln(os.Stderr, "ricdis:", err)
+			failed = true
+			continue
 		}
-		name := filepath.Base(path)
-		prog, err := parser.Parse(name, string(src))
-		if err != nil {
-			fail(err)
+		units = append(units, unit{path: path, prog: prog})
+	}
+
+	var res *analysis.Result
+	if *analyze && len(units) > 0 {
+		progs := make([]*bytecode.Program, len(units))
+		for i, u := range units {
+			progs[i] = u.prog
 		}
-		compiled, err := bytecode.Compile(prog)
-		if err != nil {
-			fail(err)
+		res = analysis.Analyze(progs...)
+		if res.GlobalTop() {
+			fmt.Fprintln(os.Stderr, "ricdis: warning: analysis widened to ⊤; predictions are vacuous")
 		}
-		compiled.Toplevel.WalkProtos(func(p *bytecode.FuncProto) {
-			if *sitesOnly {
-				printSites(p)
-				return
+	}
+
+	for _, u := range units {
+		u.prog.Toplevel.WalkProtos(func(p *bytecode.FuncProto) {
+			if !*sitesOnly && !*analyze {
+				fmt.Print(p.Disassemble())
 			}
-			fmt.Print(p.Disassemble())
-			printSites(p)
-			fmt.Println()
+			printSites(p, res)
+			if !*sitesOnly && !*analyze {
+				fmt.Println()
+			}
 		})
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 
-func printSites(p *bytecode.FuncProto) {
+func compileFile(path string) (*bytecode.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := parser.Parse(filepath.Base(path), string(src))
+	if err != nil {
+		return nil, err
+	}
+	return bytecode.Compile(prog)
+}
+
+func printSites(p *bytecode.FuncProto, res *analysis.Result) {
 	if len(p.Sites) == 0 {
 		return
 	}
 	fmt.Printf("sites of %s:\n", p.FunctionName())
 	for i, s := range p.Sites {
-		fmt.Printf("  [%d] %s %s %q\n", i, s.Site, s.Kind, s.Name)
+		fmt.Printf("  [%d] %s %s %q", i, s.Site, s.Kind, s.Name)
+		if res != nil {
+			fmt.Printf("  %s", predictionText(res.At(s.Site)))
+		}
+		fmt.Println()
 	}
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "ricdis:", err)
-	os.Exit(1)
+// predictionText renders one site prediction for the -analyze listing.
+func predictionText(pred *analysis.SitePrediction) string {
+	if pred == nil {
+		return "(no prediction)"
+	}
+	switch {
+	case pred.Dead:
+		return "dead"
+	case pred.Top:
+		return "⊤"
+	}
+	names := make([]string, len(pred.Shapes))
+	for i, s := range pred.Shapes {
+		names[i] = s.String()
+	}
+	text := "{" + strings.Join(names, ", ") + "}"
+	if pred.MegamorphicRisk {
+		text += " megamorphic-risk"
+	}
+	if pred.MaybeDictionary {
+		text += " maybe-dictionary"
+	}
+	return text
 }

@@ -1,0 +1,446 @@
+package analysis
+
+import (
+	"ricjs/internal/bytecode"
+	"ricjs/internal/ic"
+	"ricjs/internal/objects"
+	"ricjs/internal/source"
+)
+
+// maxRounds bounds the global fixpoint. The abstract domains are finite
+// (capped object sets, capped shape sets, monotone cells), so the fixpoint
+// terminates on its own; the round cap is a defensive backstop that
+// degrades to the global ⊤ instead of looping.
+const maxRounds = 40
+
+type ctxKey struct {
+	owner *bytecode.FuncProto
+	slot  int
+}
+
+type allocKey struct {
+	fn *bytecode.FuncProto
+	pc int
+}
+
+// fnInfo is the interprocedural summary of one compiled function: monotone
+// cells for this/params/return that call transfers join into, plus
+// reachability and escape flags.
+type fnInfo struct {
+	proto  *bytecode.FuncProto
+	parent *bytecode.FuncProto
+	// reachable functions are (re)interpreted every round.
+	reachable bool
+	// escaped functions may be called by statically-invisible callers:
+	// this and params are ⊤ and the return value escapes.
+	escaped bool
+	this    *cell
+	params  []*cell
+	ret     *cell
+}
+
+// siteRecord accumulates, per object-access site, the receivers the
+// abstract interpreter saw flowing into the access. Predictions are
+// expanded from the receivers' final shape sets after the fixpoint, so
+// mid-analysis records are never published stale.
+type siteRecord struct {
+	site    source.Site
+	kind    ic.AccessKind
+	name    string
+	reached bool
+	top     bool
+	objs    map[*absObj]bool
+}
+
+type analyzer struct {
+	graph   *Graph
+	shapeOf map[*objects.HiddenClass]*Shape
+
+	objFor      map[*objects.Object]*absObj
+	builtinObjs map[string]*absObj
+	objs        []*absObj
+	global      *absObj
+	globalTop   bool
+
+	progs   []*bytecode.Program
+	scripts map[string]bool
+	fns     map[*bytecode.FuncProto]*fnInfo
+	fnOrder []*fnInfo
+
+	ctxCells  map[ctxKey]*cell
+	allocObjs map[allocKey]*absObj
+	instances map[*bytecode.FuncProto]*absObj
+	protoObjs map[*absObj]*absObj
+	natObjs   map[string]*absObj
+
+	sites map[source.Site]*siteRecord
+
+	// changed tracks whether any monotone structure grew this round.
+	changed bool
+}
+
+// Analyze runs the static shape analysis over one or more compiled
+// programs (a multi-script page analyzes them together, sharing the
+// abstract global object) and returns the per-site predictions plus the
+// static transition graph.
+func Analyze(progs ...*bytecode.Program) *Result {
+	a := &analyzer{
+		graph:       newGraph(),
+		shapeOf:     map[*objects.HiddenClass]*Shape{},
+		objFor:      map[*objects.Object]*absObj{},
+		builtinObjs: map[string]*absObj{},
+		scripts:     map[string]bool{},
+		fns:         map[*bytecode.FuncProto]*fnInfo{},
+		ctxCells:    map[ctxKey]*cell{},
+		allocObjs:   map[allocKey]*absObj{},
+		instances:   map[*bytecode.FuncProto]*absObj{},
+		protoObjs:   map[*absObj]*absObj{},
+		natObjs:     map[string]*absObj{},
+		sites:       map[source.Site]*siteRecord{},
+	}
+	a.seed()
+	for _, p := range progs {
+		if p == nil || p.Toplevel == nil {
+			continue
+		}
+		a.progs = append(a.progs, p)
+		a.scripts[p.Script] = true
+		a.collect(p.Toplevel, nil)
+		top := a.fns[p.Toplevel]
+		top.reachable = true
+		top.this.update(objVal(a.global))
+	}
+	a.fixpoint()
+	return a.buildResult()
+}
+
+func (a *analyzer) newObj(label string) *absObj {
+	o := &absObj{id: len(a.objs), label: label}
+	a.objs = append(a.objs, o)
+	return o
+}
+
+func (a *analyzer) collect(p *bytecode.FuncProto, parent *bytecode.FuncProto) {
+	fi := &fnInfo{proto: p, parent: parent, this: newCell(), ret: newCell()}
+	fi.params = make([]*cell, p.NumParams)
+	for i := range fi.params {
+		fi.params[i] = newCell()
+	}
+	a.fns[p] = fi
+	a.fnOrder = append(a.fnOrder, fi)
+	// Pre-register every site so never-reached ones surface as Dead
+	// predictions instead of being silently absent.
+	for _, si := range p.Sites {
+		a.siteRecFor(si)
+	}
+	for _, child := range p.Protos {
+		a.collect(child, p)
+	}
+}
+
+func (a *analyzer) fixpoint() {
+	for round := 0; ; round++ {
+		if round >= maxRounds || a.graph.overflowed() {
+			a.globalTop = true
+			return
+		}
+		a.changed = false
+		for _, fi := range a.fnOrder {
+			if fi.reachable {
+				a.runFn(fi)
+			}
+		}
+		if !a.changed {
+			return
+		}
+	}
+}
+
+// ---- Monotone update helpers (all route through a.changed) ----
+
+func (a *analyzer) upd(c *cell, v absVal) {
+	if c.update(v) {
+		a.changed = true
+	}
+}
+
+func (a *analyzer) shapeAdd(o *absObj, s *Shape) {
+	if o.shapes.add(s) {
+		a.changed = true
+	}
+}
+
+func (a *analyzer) addProto(o, p *absObj) {
+	if p == nil {
+		if !o.protoTop {
+			o.protoTop = true
+			a.changed = true
+		}
+		return
+	}
+	if o.addProto(p) {
+		a.changed = true
+	}
+}
+
+// escapeVal marks every object in a value as escaped: it flowed into ⊤,
+// so statically-invisible code may mutate it arbitrarily from now on.
+func (a *analyzer) escapeVal(v absVal) {
+	for _, o := range v.objsSorted() {
+		a.escapeObj(o)
+	}
+}
+
+func (a *analyzer) escapeAll(vs []absVal) {
+	for _, v := range vs {
+		a.escapeVal(v)
+	}
+}
+
+// escapeObj implements the ⊤-closure invariant: an escaped object has an
+// unknown shape history (shapes ⊤), and everything reachable from it —
+// field values, elements, prototypes — escapes with it. Escaped functions
+// may be called by unknown code with unknown arguments.
+func (a *analyzer) escapeObj(o *absObj) {
+	if o == nil || o.escaped {
+		return
+	}
+	o.escaped = true
+	a.changed = true
+	o.shapes.widen()
+	for _, name := range o.fieldNames() {
+		a.escapeVal(o.fields[name].get())
+	}
+	if o.unknown != nil {
+		a.escapeVal(o.unknown.get())
+	}
+	if o.elems != nil {
+		a.escapeVal(o.elems.get())
+	}
+	for p := range o.protos {
+		a.escapeObj(p)
+	}
+	if po := a.protoObjs[o]; po != nil {
+		a.escapeObj(po)
+	}
+	a.escapeFns(o)
+}
+
+func (a *analyzer) escapeFns(o *absObj) {
+	for p := range o.fns {
+		fi := a.fns[p]
+		if fi == nil {
+			continue
+		}
+		if !fi.reachable {
+			fi.reachable = true
+			a.changed = true
+		}
+		if !fi.escaped {
+			fi.escaped = true
+			a.changed = true
+			a.escapeVal(fi.ret.get())
+		}
+		a.upd(fi.this, topVal)
+		for _, pc := range fi.params {
+			a.upd(pc, topVal)
+		}
+	}
+}
+
+// ---- Site records ----
+
+func (a *analyzer) siteRecFor(si bytecode.SiteInfo) *siteRecord {
+	rec := a.sites[si.Site]
+	if rec == nil {
+		rec = &siteRecord{site: si.Site, kind: si.Kind, name: si.Name, objs: map[*absObj]bool{}}
+		a.sites[si.Site] = rec
+	}
+	return rec
+}
+
+// recordSite notes the receivers flowing into an access site.
+func (a *analyzer) recordSite(si bytecode.SiteInfo, recv absVal) *siteRecord {
+	rec := a.siteRecFor(si)
+	if !rec.reached {
+		rec.reached = true
+		a.changed = true
+	}
+	if recv.top && !rec.top {
+		rec.top = true
+		a.changed = true
+	}
+	for o := range recv.objs {
+		if !rec.objs[o] {
+			rec.objs[o] = true
+			a.changed = true
+		}
+	}
+	return rec
+}
+
+// ---- Lexical context slots ----
+
+// ctxOwner resolves a (depth) context reference to the proto owning the
+// context, mirroring the VM's chain walk: depth 0 is the nearest enclosing
+// context-allocating function, self included.
+func (a *analyzer) ctxOwner(p *bytecode.FuncProto, depth int) *bytecode.FuncProto {
+	for cur := p; cur != nil; {
+		if cur.NumCtxSlots > 0 {
+			if depth == 0 {
+				return cur
+			}
+			depth--
+		}
+		fi := a.fns[cur]
+		if fi == nil {
+			return nil
+		}
+		cur = fi.parent
+	}
+	return nil
+}
+
+func (a *analyzer) ctxCell(owner *bytecode.FuncProto, slot int) *cell {
+	k := ctxKey{owner, slot}
+	c := a.ctxCells[k]
+	if c == nil {
+		c = newCell()
+		a.ctxCells[k] = c
+	}
+	return c
+}
+
+// ---- Allocation-site objects ----
+
+func (a *analyzer) allocObj(fi *fnInfo, pc int, mk func() *absObj) *absObj {
+	k := allocKey{fi.proto, pc}
+	o := a.allocObjs[k]
+	if o == nil {
+		o = mk()
+		a.allocObjs[k] = o
+		a.changed = true
+	}
+	return o
+}
+
+// natObj returns a shared summary object for a native's results (e.g. the
+// array Array.prototype.slice produces), keyed by model name.
+func (a *analyzer) natObj(key string, mk func() *absObj) *absObj {
+	o := a.natObjs[key]
+	if o == nil {
+		o = mk()
+		a.natObjs[key] = o
+		a.changed = true
+	}
+	return o
+}
+
+// ---- Per-function abstract interpretation ----
+
+// frameState is the flow-sensitive abstract machine state at one pc:
+// operand stack plus locals. Locals get strong updates (StoreLocal
+// overwrites); everything heap-shaped is weak.
+type frameState struct {
+	stack  []absVal
+	locals []absVal
+}
+
+func (st *frameState) clone() *frameState {
+	return &frameState{
+		stack:  append([]absVal(nil), st.stack...),
+		locals: append([]absVal(nil), st.locals...),
+	}
+}
+
+func (st *frameState) push(v absVal) { st.stack = append(st.stack, v) }
+
+func (st *frameState) pop() absVal {
+	if len(st.stack) == 0 {
+		return topVal
+	}
+	v := st.stack[len(st.stack)-1]
+	st.stack = st.stack[:len(st.stack)-1]
+	return v
+}
+
+func (st *frameState) peek() absVal {
+	if len(st.stack) == 0 {
+		return topVal
+	}
+	return st.stack[len(st.stack)-1]
+}
+
+// succ is one control-flow successor of an instruction: a target pc and
+// the state flowing into it.
+type succ struct {
+	pc int
+	st *frameState
+}
+
+// mergeState joins src into states[pc], reporting growth. Inconsistent
+// stack depths cannot come out of our compiler; if they ever do, the
+// analysis degrades to the global ⊤ rather than guessing.
+func (a *analyzer) mergeState(states []*frameState, pc int, src *frameState) bool {
+	if pc < 0 || pc >= len(states) {
+		return false
+	}
+	cur := states[pc]
+	if cur == nil {
+		states[pc] = src.clone()
+		return true
+	}
+	if len(cur.stack) != len(src.stack) || len(cur.locals) != len(src.locals) {
+		a.globalTop = true
+		return false
+	}
+	grew := false
+	for i := range cur.stack {
+		if !src.stack[i].leq(cur.stack[i]) {
+			cur.stack[i] = cur.stack[i].join(src.stack[i])
+			grew = true
+		}
+	}
+	for i := range cur.locals {
+		if !src.locals[i].leq(cur.locals[i]) {
+			cur.locals[i] = cur.locals[i].join(src.locals[i])
+			grew = true
+		}
+	}
+	return grew
+}
+
+// runFn interprets one function to its local fixpoint, given the current
+// interprocedural summaries. The global fixpoint reruns it whenever
+// anything it depends on grows.
+func (a *analyzer) runFn(fi *fnInfo) {
+	proto := fi.proto
+	n := len(proto.Code)
+	if n == 0 {
+		return
+	}
+	entry := &frameState{locals: make([]absVal, proto.NumLocals)}
+	for i := range entry.locals {
+		entry.locals[i] = primVal(pUndef)
+	}
+	for i := 0; i < proto.NumParams && i < len(entry.locals); i++ {
+		entry.locals[i] = entry.locals[i].join(fi.params[i].get())
+	}
+	states := make([]*frameState, n)
+	states[0] = entry
+	work := []int{0}
+	inWork := make([]bool, n)
+	inWork[0] = true
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[pc] = false
+		st := states[pc].clone()
+		for _, s := range a.step(fi, pc, st) {
+			if a.mergeState(states, s.pc, s.st) && !inWork[s.pc] {
+				inWork[s.pc] = true
+				work = append(work, s.pc)
+			}
+		}
+	}
+}

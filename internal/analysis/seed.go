@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"ricjs/internal/objects"
+	"ricjs/internal/vm"
+)
+
+// seed mirrors the engine's deterministic startup environment into the
+// abstract heap: every startup hidden class becomes a Shape (preserving
+// the transition graph and creator identities), every registered builtin
+// object becomes an absObj with precise fields, and the builtin-name →
+// shape table is filled for riclint's HC-table cross-checks.
+//
+// A throwaway VM instance provides the ground truth. Startup is
+// deterministic (it is what makes .ric records reusable across contexts
+// in the first place), so the mirrored graph is identical to what any
+// future engine instance will build before running script code.
+func (a *analyzer) seed() {
+	v := vm.New(vm.Options{AddressSeed: 1})
+	for _, root := range v.Roots() {
+		root.WalkTransitions(func(hc *objects.HiddenClass) {
+			a.mirrorHC(hc)
+		})
+	}
+	for _, b := range v.Builtins() {
+		a.graph.builtins[b.Name] = a.mirrorHC(b.HC)
+	}
+	for _, name := range v.BuiltinObjectNames() {
+		// Register every alias: doubly-registered objects ("Object.prototype"
+		// vs "Object.prototype-link") memoize to one absObj either way, and
+		// the transfer functions look objects up by qualified name.
+		a.builtinObjs[name] = a.seedObjFor(v, v.BuiltinObjectByName(name))
+	}
+	if a.global == nil {
+		// The global object is always registered; guard anyway so the
+		// analyzer degrades to ⊤ instead of crashing if startup changes.
+		a.global = a.newObj("(global)")
+		a.global.shapes.widen()
+		a.globalTop = true
+	}
+}
+
+// mirrorHC maps a runtime hidden class to its static shape, mirroring
+// ancestors first so transition edges land on the right parents.
+func (a *analyzer) mirrorHC(hc *objects.HiddenClass) *Shape {
+	if s, ok := a.shapeOf[hc]; ok {
+		return s
+	}
+	var s *Shape
+	if hc.Parent() == nil {
+		s = a.graph.Root(hc.Creator().String())
+	} else {
+		parent := a.mirrorHC(hc.Parent())
+		name := hc.FieldAt(hc.NumFields() - 1)
+		s, _ = a.graph.Transition(parent, name, hc.Creator().String())
+	}
+	a.shapeOf[hc] = s
+	return s
+}
+
+// seedObjFor mirrors a startup object (and, transitively, everything it
+// references) into an absObj. Memoized on object identity, so reference
+// cycles (global.window === global) terminate.
+func (a *analyzer) seedObjFor(v *vm.VM, o *objects.Object) *absObj {
+	if o == nil {
+		return nil
+	}
+	if ao, ok := a.objFor[o]; ok {
+		return ao
+	}
+	name := v.BuiltinObjectName(o)
+	label := name
+	if label == "" {
+		label = "builtin-anon"
+	}
+	ao := a.newObj(label)
+	a.objFor[o] = ao
+	ao.native = name
+	ao.isArray = o.IsArray()
+	ao.isFunc = o.Func() != nil
+	if name == "(global)" {
+		// The global's transition lineage depends on the load order of
+		// scripts, so its shape is unknowable statically — but its fields
+		// are tracked precisely: toplevel var bindings live here and the
+		// analysis needs them to resolve cross-function dataflow.
+		ao.shapes.widen()
+		a.global = ao
+	} else {
+		ao.shapes.add(a.mirrorHC(o.HC()))
+	}
+	for _, key := range o.OwnNamedKeys() {
+		val, ok, _ := o.GetOwn(key)
+		if !ok {
+			continue
+		}
+		ao.field(key).update(a.seedVal(v, val))
+	}
+	if p := o.Proto(); p != nil {
+		ao.addProto(a.seedObjFor(v, p))
+	}
+	if o.IsArray() {
+		for _, e := range o.Elems() {
+			ao.elemCell().update(a.seedVal(v, e))
+		}
+	}
+	return ao
+}
+
+func (a *analyzer) seedVal(v *vm.VM, val objects.Value) absVal {
+	switch val.Kind() {
+	case objects.KindUndefined:
+		return primVal(pUndef)
+	case objects.KindNull:
+		return primVal(pNull)
+	case objects.KindBool:
+		return primVal(pBool)
+	case objects.KindNumber:
+		return primVal(pNum)
+	case objects.KindString:
+		return primVal(pStr)
+	case objects.KindObject:
+		return objVal(a.seedObjFor(v, val.Obj()))
+	}
+	return topVal
+}

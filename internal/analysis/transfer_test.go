@@ -1,0 +1,186 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ricjs/internal/analysis"
+	"ricjs/internal/ic"
+	"ricjs/internal/source"
+)
+
+// findSites returns every prediction matching kind and (for named sites)
+// property name.
+func findSites(res *analysis.Result, kind ic.AccessKind, name string) []*analysis.SitePrediction {
+	var out []*analysis.SitePrediction
+	for _, p := range res.Sites() {
+		if p.Kind == kind && p.Name == name {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func analyzeSrc(t *testing.T, src string) *analysis.Result {
+	t.Helper()
+	return analysis.Analyze(compile(t, "t.js", src))
+}
+
+// TestTransferFunctions drives the core transfer functions through small
+// programs and checks the resulting per-site predictions.
+func TestTransferFunctions(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		kind ic.AccessKind
+		prop string
+		// expectations on the (single) matching site
+		top       bool
+		shapes    int // exact shape count when !top (-1 = don't check)
+		dead      bool
+		risk      bool
+		maybeDict bool
+	}{
+		{
+			name: "literal then load",
+			src: `var o = {};
+				o.a = 1;
+				print(o.a);`,
+			kind: ic.AccessLoad, prop: "a",
+			shapes: 2, // EmptyObject root, root+a
+		},
+		{
+			name: "store transition chain",
+			src: `var p = {};
+				p.a = 1;
+				p.b = 2;
+				print(p.b);`,
+			kind: ic.AccessLoad, prop: "b",
+			// Flow-insensitive store ordering: root, +a, +b, +a+b, +b+a.
+			shapes: 5,
+		},
+		{
+			name: "second store sees first transition",
+			src: `var p = {};
+				p.a = 1;
+				p.b = 2;`,
+			kind: ic.AccessStore, prop: "b",
+			shapes: 5,
+		},
+		{
+			name: "delete demotes to maybe-dictionary",
+			src: `var d = {};
+				d.k = 1;
+				delete d.k;
+				print(d.k);`,
+			kind: ic.AccessLoad, prop: "k",
+			shapes: 2, maybeDict: true,
+		},
+		{
+			name: "merge joins shape sets",
+			src: `var a = {};
+				a.x = 1;
+				var b = {};
+				b.y = 2;
+				var c;
+				if (a.y) { c = a; } else { c = b; }
+				print(c.x);`,
+			kind: ic.AccessLoad, prop: "x",
+			// Receiver {a,b}: both share the EmptyObject root, so the union
+			// is root, root+x, root+y.
+			shapes: 3,
+		},
+		{
+			name: "computed key widens receiver to top",
+			src: `var w = {};
+				w['k' + 1] = 1;
+				print(w.q);`,
+			kind: ic.AccessLoad, prop: "q",
+			top: true, risk: true,
+		},
+		{
+			name: "unreachable function is dead",
+			src: `function unused(o) { return o.f; }
+				print(1);`,
+			kind: ic.AccessLoad, prop: "f",
+			dead: true, shapes: 0,
+		},
+	}
+	for _, tc := range tests {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			res := analyzeSrc(t, tc.src)
+			if res.GlobalTop() {
+				t.Fatalf("analysis widened to global ⊤")
+			}
+			sites := findSites(res, tc.kind, tc.prop)
+			if len(sites) != 1 {
+				t.Fatalf("want exactly one %s %q site, got %d", tc.kind, tc.prop, len(sites))
+			}
+			p := sites[0]
+			if p.Top != tc.top {
+				t.Errorf("%s: Top = %v, want %v", p, p.Top, tc.top)
+			}
+			if !tc.top && tc.shapes >= 0 && len(p.Shapes) != tc.shapes {
+				t.Errorf("%s: %d shapes, want %d", p, len(p.Shapes), tc.shapes)
+			}
+			if p.Dead != tc.dead {
+				t.Errorf("%s: Dead = %v, want %v", p, p.Dead, tc.dead)
+			}
+			if p.MegamorphicRisk != tc.risk {
+				t.Errorf("%s: MegamorphicRisk = %v, want %v", p, p.MegamorphicRisk, tc.risk)
+			}
+			if p.MaybeDictionary != tc.maybeDict {
+				t.Errorf("%s: MaybeDictionary = %v, want %v", p, p.MaybeDictionary, tc.maybeDict)
+			}
+		})
+	}
+}
+
+// TestMegamorphicRisk checks that a site fed instances of more than
+// MaxPolymorphic unrelated constructors is flagged, while a single
+// constructor's transition fan is not.
+func TestMegamorphicRisk(t *testing.T) {
+	res := analyzeSrc(t, `
+		function A() { this.v = 1; }
+		function B() { this.v = 2; }
+		function C() { this.v = 3; }
+		function D() { this.v = 4; }
+		function E() { this.v = 5; }
+		function get(o) { return o.v; }
+		print(get(new A()) + get(new B()) + get(new C()) + get(new D()) + get(new E()));`)
+	if res.GlobalTop() {
+		t.Fatalf("analysis widened to global ⊤")
+	}
+	loads := findSites(res, ic.AccessLoad, "v")
+	if len(loads) != 1 {
+		t.Fatalf("want one load site, got %d", len(loads))
+	}
+	p := loads[0]
+	if p.Top {
+		t.Fatalf("%s: predicted ⊤, want finite set", p)
+	}
+	if !p.MegamorphicRisk {
+		t.Errorf("%s: 5 unrelated constructor lineages not flagged as megamorphic risk", p)
+	}
+}
+
+// TestCtorRoot checks the static graph exposes constructor instance roots
+// by declaration site.
+func TestCtorRoot(t *testing.T) {
+	prog := compile(t, "t.js", `
+		function P(a) { this.a = a; }
+		print(new P(1).a);`)
+	res := analysis.Analyze(prog)
+	decl := prog.Toplevel.Protos[0]
+	declSite := source.Site{Script: decl.Script, Pos: decl.DeclPos}
+	root := res.CtorRoot(declSite)
+	if root == nil {
+		t.Fatalf("no constructor root for decl site %s", declSite)
+	}
+	if root.NumFields() != 0 || root.Parent != nil {
+		t.Errorf("constructor root is not a root: %s", root)
+	}
+	if next, ok := root.TransitionTo("a"); !ok || next == nil {
+		t.Errorf("root has no transition for field %q", "a")
+	}
+}

@@ -1,0 +1,59 @@
+// Package analysis is a minimal, stdlib-only reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary — Analyzer, Pass, Diagnostic —
+// just enough to host this repo's custom checkers without pulling in the
+// external module (the build environment forbids new dependencies, so the
+// usual singlechecker import is not an option).
+//
+// One deliberate deviation: Analyzer.End runs once after every package has
+// been analyzed. The upstream framework shares cross-package state through
+// Facts; opcheck's exhaustiveness check ("every opcode has a dispatch case
+// in each of these packages") is inherently whole-program, and an End hook
+// is the smallest mechanism that expresses it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and usage output.
+	Name string
+	// Doc is the analyzer's documentation.
+	Doc string
+	// Run analyzes one package, reporting findings through pass.Report or
+	// pass.Reportf. The interface{} result mirrors the upstream signature
+	// (analyzers may return a result for dependents); the driver here
+	// ignores it.
+	Run func(*Pass) (interface{}, error)
+	// End, when non-nil, runs after all packages have been analyzed and
+	// returns whole-program findings. Diagnostics with an invalid Pos are
+	// printed without a source position.
+	End func() []Diagnostic
+}
+
+// Pass carries one package's parsed syntax to an Analyzer's Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's syntax trees, sorted by file name.
+	Files []*ast.File
+	// Pkg is the package name (not import path: the driver is syntax-only
+	// and never resolves imports).
+	Pkg string
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,91 @@
+// Package singlechecker drives a single Analyzer from a command's main
+// function, mirroring golang.org/x/tools/go/analysis/singlechecker: each
+// argument is a package directory, diagnostics print as
+// "file:line:col: message", and the process exits 1 when any were
+// reported (2 on usage or parse errors).
+package singlechecker
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"sort"
+	"strings"
+
+	"ricjs/internal/lint/analysis"
+)
+
+// Main runs the analyzer over the package directories on the command line
+// and exits the process with the appropriate status.
+func Main(a *analysis.Analyzer) {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "%s: %s\n\nusage: %s package-dir [more dirs ...]\n",
+			a.Name, strings.SplitN(a.Doc, "\n", 2)[0], a.Name)
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fset := token.NewFileSet()
+	bad := false
+	report := func(d analysis.Diagnostic) {
+		bad = true
+		if d.Pos.IsValid() {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+		} else {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", a.Name, d.Message)
+		}
+	}
+
+	for _, dir := range flag.Args() {
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", a.Name, err)
+			os.Exit(2)
+		}
+		names := make([]string, 0, len(pkgs))
+		for name := range pkgs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			pkg := pkgs[name]
+			paths := make([]string, 0, len(pkg.Files))
+			for p := range pkg.Files {
+				paths = append(paths, p)
+			}
+			sort.Strings(paths)
+			files := make([]*ast.File, 0, len(paths))
+			for _, p := range paths {
+				files = append(files, pkg.Files[p])
+			}
+			pass := &analysis.Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    files,
+				Pkg:      name,
+				Report:   report,
+			}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %s: %v\n", a.Name, dir, err)
+				os.Exit(2)
+			}
+		}
+	}
+	if a.End != nil {
+		for _, d := range a.End() {
+			report(d)
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,115 @@
+package ric
+
+import (
+	"testing"
+
+	"ricjs/internal/analysis"
+	"ricjs/internal/ic"
+	"ricjs/internal/vm"
+)
+
+// staticFeedSrc extends the point fixture with a function that is never
+// called: the field load inside it is statically dead.
+const staticFeedSrc = pointFixtureSrc + "\n\tfunction unusedHelper(o) { return o.q; }\n"
+
+// reuseRunStatic executes src with a Reuser fed the given analysis result,
+// following the Engine wiring order: hooks at VM construction, Attach, then
+// SetAnalysis before any script runs.
+func reuseRunStatic(t *testing.T, src string, rec *Record, res *analysis.Result) (*vm.VM, *Reuser) {
+	t.Helper()
+	bc := compileSrc(t, "lib.js", src)
+	reuser := NewReuser(rec, nil, nil)
+	v := vm.New(vm.Options{Hooks: reuser})
+	reuser.Attach(v)
+	reuser.SetAnalysis(res)
+	if _, err := v.RunProgram(bc); err != nil {
+		t.Fatalf("reuse run: %v", err)
+	}
+	return v, reuser
+}
+
+// TestStaticPrefilterNeutralOnFreshRecord: a fresh record contains only
+// dependencies the program actually exercises, so the prefilter must not
+// drop any of them — reuse statistics are identical with and without it,
+// and only the analysis verdict gauges differ.
+func TestStaticPrefilterNeutralOnFreshRecord(t *testing.T) {
+	_, rec := initialRun(t, staticFeedSrc, Config{})
+	res := analysis.Analyze(compileSrc(t, "lib.js", staticFeedSrc))
+	if res.GlobalTop() {
+		t.Fatal("analysis widened to global ⊤; prefilter test is vacuous")
+	}
+
+	plainVM, _ := reuseRun(t, staticFeedSrc, rec)
+	staticVM, _ := reuseRunStatic(t, staticFeedSrc, rec, res)
+	plain, static := plainVM.Prof.Snapshot(), staticVM.Prof.Snapshot()
+
+	if static.StaticFilteredPreloads != 0 {
+		t.Errorf("prefilter dropped %d preloads from a fresh record; soundness says it must drop none",
+			static.StaticFilteredPreloads)
+	}
+	if static.Preloads != plain.Preloads || static.MissesSaved != plain.MissesSaved {
+		t.Errorf("prefilter changed reuse effectiveness: preloads %d vs %d, misses saved %d vs %d",
+			static.Preloads, plain.Preloads, static.MissesSaved, plain.MissesSaved)
+	}
+	if static.StaticDeadSites == 0 {
+		t.Error("unusedHelper's field load should be flagged as a dead site in Stats()")
+	}
+	if plain.StaticDeadSites != 0 || plain.StaticFilteredPreloads != 0 {
+		t.Error("run without a prefilter must report zero static counters")
+	}
+}
+
+// TestStaticPrefilterDropsDeadSiteDep plants a dependency on a statically
+// dead site into an otherwise truthful record (as a stale record from an
+// older program version would carry) and checks the prefilter skips it on
+// static evidence alone, before the slot lookup and handler rebuild.
+func TestStaticPrefilterDropsDeadSiteDep(t *testing.T) {
+	_, rec := initialRun(t, staticFeedSrc, Config{})
+	res := analysis.Analyze(compileSrc(t, "lib.js", staticFeedSrc))
+
+	var deadSite *analysis.SitePrediction
+	for _, p := range res.Sites() {
+		if p.Dead && p.Kind == ic.AccessLoad && p.Name == "q" {
+			deadSite = p
+			break
+		}
+	}
+	if deadSite == nil {
+		t.Fatal("analysis did not flag unusedHelper's o.q load as dead")
+	}
+
+	stale, err := Decode(rec.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	planted := 0
+	for id := range stale.Deps {
+		if len(stale.Deps[id]) == 0 {
+			continue
+		}
+		stale.Deps[id] = append(stale.Deps[id], DepEntry{
+			Site: deadSite.Site,
+			Kind: ic.AccessLoad,
+			Name: "q",
+			Desc: ic.CIDescriptor{Kind: ic.KindLoadField, Offset: 0},
+		})
+		planted++
+	}
+	if planted == 0 {
+		t.Fatal("record has no dependent sites to plant next to")
+	}
+
+	_, reuser := reuseRunStatic(t, staticFeedSrc, stale, res)
+	snap := reuser.prof.Snapshot()
+	if snap.StaticFilteredPreloads == 0 {
+		t.Fatal("planted dead-site dependencies were not filtered statically")
+	}
+
+	// Without the analysis the same record still behaves (handlerFits
+	// refuses the planted handler at runtime) but nothing is counted as
+	// statically filtered.
+	plainVM, _ := reuseRun(t, staticFeedSrc, stale)
+	if n := plainVM.Prof.Snapshot().StaticFilteredPreloads; n != 0 {
+		t.Fatalf("run without a prefilter reported %d statically filtered preloads", n)
+	}
+}

@@ -1,0 +1,229 @@
+package ric
+
+import (
+	"fmt"
+	"sort"
+
+	"ricjs/internal/analysis"
+	"ricjs/internal/ic"
+	"ricjs/internal/objects"
+	"ricjs/internal/source"
+)
+
+// VerifyStatic cross-checks the record's semantic content — the HC
+// validation table, the triggering-site table, and the dependent-site
+// handler offsets — against a static shape analysis of the scripts,
+// without executing anything. It complements Decode (integrity) and
+// Validate (site existence): a record can pass both and still lie about
+// *which* hidden class a site observes or *where* a field lives, which is
+// exactly what a remapped or offset-skewed record does. Such a record
+// degrades a Reuse run at best and must be caught before it is trusted.
+//
+// The check resolves every hidden-class ID the record can justify to a
+// static shape: builtin-keyed TOAST entries resolve through the mirrored
+// startup graph, rootless site entries through constructor roots, and
+// (in, out) pairs by following the static transition edge named by the
+// triggering store site. Resolution is conservative — IDs the analysis
+// cannot pin down (keyed-store lineages, ⊤ sites, uncovered scripts) are
+// skipped, never rejected — so a truthful record always passes, matching
+// Validate's policy for merged records that span unloaded scripts.
+//
+// For every resolved ID the record's claims are then recomputed from the
+// static shape: field handlers must name a property the shape stores at
+// exactly the recorded offset, element/length handlers must sit on an
+// Array-rooted lineage, and every (site, class) dependency must be inside
+// the site's predicted hidden-class set. If the analysis widened to global
+// ⊤ it can certify nothing and the record is accepted vacuously.
+func (r *Record) VerifyStatic(res *analysis.Result) error {
+	if res == nil || res.GlobalTop() {
+		return nil
+	}
+
+	shapes := make([]*analysis.Shape, r.HCCount)
+	assign := func(id int32, s *analysis.Shape, how string) error {
+		if s == nil || id < 0 || int(id) >= len(shapes) {
+			return nil
+		}
+		if shapes[id] == nil {
+			shapes[id] = s
+			return nil
+		}
+		if shapes[id] != s {
+			return fmt.Errorf("ric: HCID %d resolves to both %s and %s (%s): HC table inconsistent with static transition graph",
+				id, shapes[id], s, how)
+		}
+		return nil
+	}
+
+	// Builtin-keyed TOAST rows anchor resolution: startup is deterministic,
+	// so every builtin name the analysis knows maps to exactly one shape.
+	builtinNames := make([]string, 0, len(r.BuiltinTOAST))
+	for name := range r.BuiltinTOAST {
+		builtinNames = append(builtinNames, name)
+	}
+	sort.Strings(builtinNames)
+	for _, name := range builtinNames {
+		s := res.Builtin(name)
+		if s == nil {
+			s = res.ShapeForCreator(objects.Creator{Builtin: name}.String())
+		}
+		if err := assign(r.BuiltinTOAST[name], s, "builtin "+name); err != nil {
+			return err
+		}
+	}
+
+	sites := make([]source.Site, 0, len(r.SiteTOAST))
+	for site := range r.SiteTOAST {
+		sites = append(sites, site)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].String() < sites[j].String() })
+
+	// Site-keyed rows chain off already-resolved classes, so iterate to a
+	// fixpoint: the pair giving an ID its shape may be visited after the
+	// pair consuming it.
+	for progress := true; progress; {
+		progress = false
+		for _, site := range sites {
+			if !res.Covered(site.Script) {
+				continue
+			}
+			pred := res.At(site)
+			if pred != nil && pred.Dead {
+				return fmt.Errorf("ric: TOAST site %s: statically unreachable, yet the record claims it created hidden classes", site)
+			}
+			for _, p := range r.SiteTOAST[site] {
+				before := shapes[p.Out]
+				switch {
+				case p.In < 0:
+					// Rootless creation: a constructor's instance root,
+					// keyed by the declaring function's site.
+					root := res.RootByCreator(objects.Creator{Site: site}.String())
+					if err := assign(p.Out, root, fmt.Sprintf("root at %s", site)); err != nil {
+						return err
+					}
+				case shapes[p.In] != nil:
+					if pred == nil || pred.Name == "" {
+						continue // keyed store: no static identity
+					}
+					if !pred.Top && !predContains(pred, shapes[p.In]) {
+						return fmt.Errorf("ric: TOAST site %s: incoming class %s is outside the predicted set %v",
+							site, shapes[p.In], pred)
+					}
+					next, ok := shapes[p.In].TransitionTo(pred.Name)
+					if !ok {
+						if pred.Top {
+							continue // receiver unknown: edge may be real
+						}
+						return fmt.Errorf("ric: TOAST site %s: no static transition %s --%q--> (stale or lying record)",
+							site, shapes[p.In], pred.Name)
+					}
+					if err := assign(p.Out, next, fmt.Sprintf("transition at %s", site)); err != nil {
+						return err
+					}
+				}
+				if shapes[p.Out] != before {
+					progress = true
+				}
+			}
+		}
+	}
+
+	for hcid, deps := range r.Deps {
+		s := shapes[hcid]
+		if s == nil {
+			continue
+		}
+		for _, d := range deps {
+			if err := checkDepAgainstShape(int32(hcid), d, s); err != nil {
+				return err
+			}
+			if !res.Covered(d.Site.Script) {
+				continue
+			}
+			pred := res.At(d.Site)
+			if pred == nil {
+				return fmt.Errorf("ric: HCID %d dependent %s: no such access site in analyzed scripts (stale record?)", hcid, d.Site)
+			}
+			if pred.Dead {
+				return fmt.Errorf("ric: HCID %d dependent %s: statically unreachable, yet the record claims it observed a class", hcid, d.Site)
+			}
+			if pred.Kind != d.Kind || pred.Name != d.Name {
+				return fmt.Errorf("ric: HCID %d dependent %s: record says %s %q, analysis sees %s %q",
+					hcid, d.Site, d.Kind, d.Name, pred.Kind, pred.Name)
+			}
+			if !pred.Top && !predContains(pred, s) {
+				return fmt.Errorf("ric: HCID %d dependent %s: class %s is outside the predicted set %v (remapped record?)",
+					hcid, d.Site, s, pred)
+			}
+		}
+	}
+	return nil
+}
+
+func predContains(p *analysis.SitePrediction, s *analysis.Shape) bool {
+	for _, ps := range p.Shapes {
+		if ps == s {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDepAgainstShape recomputes a dependent handler's claims from the
+// static shape its hidden class resolved to. This is the offline analog of
+// handlerFits: offsets must match the shape's layout, and element/length
+// handlers must sit on an Array lineage.
+func checkDepAgainstShape(hcid int32, d DepEntry, s *analysis.Shape) error {
+	checkField := func(name string) error {
+		// A handler may legitimately be cached against the receiver's
+		// pre-materialization class: a load miss that creates the property
+		// (function .prototype) installs the post-transition offset keyed on
+		// the class it observed. Accept the claim if either the shape itself
+		// or its one-step transition target for the field stores it at the
+		// recorded offset; the runtime preload check (handlerFits) treats
+		// the stale-keyed variant as a harmless no-op.
+		off, ok := s.Offset(name)
+		if !ok {
+			if next, edge := s.TransitionTo(name); edge {
+				off, ok = next.Offset(name)
+			}
+		}
+		if !ok {
+			return fmt.Errorf("ric: HCID %d dependent %s: handler reads %q but shape %s has no such field (remapped record?)",
+				hcid, d.Site, name, s)
+		}
+		if int32(off) != d.Desc.Offset {
+			return fmt.Errorf("ric: HCID %d dependent %s: handler offset %d for %q, shape %s stores it at %d",
+				hcid, d.Site, d.Desc.Offset, name, s, off)
+		}
+		return nil
+	}
+	switch d.Desc.Kind {
+	case ic.KindLoadField, ic.KindStoreField:
+		return checkField(d.Name)
+	case ic.KindLoadArrayLength, ic.KindLoadElement, ic.KindStoreElement:
+		if !arrayLineage(s) {
+			return fmt.Errorf("ric: HCID %d dependent %s: %s handler on non-array shape %s",
+				hcid, d.Site, d.Desc.Kind, s)
+		}
+	case ic.KindKeyedNamed:
+		if d.Desc.Inner == ic.KindLoadField || d.Desc.Inner == ic.KindStoreField {
+			return checkField(d.Desc.Name)
+		}
+		if d.Desc.Inner == ic.KindLoadArrayLength && !arrayLineage(s) {
+			return fmt.Errorf("ric: HCID %d dependent %s: keyed length handler on non-array shape %s",
+				hcid, d.Site, s)
+		}
+	}
+	return nil
+}
+
+// arrayLineage reports whether a shape descends from the builtin Array
+// root.
+func arrayLineage(s *analysis.Shape) bool {
+	root := s
+	for root.Parent != nil {
+		root = root.Parent
+	}
+	return root.Creators[objects.Creator{Builtin: "Array"}.String()]
+}

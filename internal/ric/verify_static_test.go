@@ -1,0 +1,152 @@
+package ric
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ricjs/internal/analysis"
+	"ricjs/internal/bytecode"
+	"ricjs/internal/ic"
+	"ricjs/internal/vm"
+	"ricjs/internal/workloads"
+)
+
+// pointFixtureSrc is the source behind the committed point*.ric fixtures
+// (it must stay byte-identical to fuzzLib in the repo root and to
+// testdata/point.js).
+const pointFixtureSrc = `
+	function Point(x, y) { this.x = x; this.y = y; }
+	Point.prototype.norm2 = function () { return this.x * this.x + this.y * this.y; };
+	var pts = [];
+	for (var i = 0; i < 8; i++) pts.push(new Point(i, i + 1));
+	var total = 0;
+	for (var j = 0; j < pts.length; j++) total += pts[j].norm2();
+	var bag = {};
+	bag['k' + 0] = total;
+	print('total', bag.k0);
+`
+
+func analyzePointFixture(t *testing.T) (*analysis.Result, *bytecode.Program) {
+	t.Helper()
+	prog := compileSrc(t, "lib.js", pointFixtureSrc)
+	return analysis.Analyze(prog), prog
+}
+
+func loadFixture(t *testing.T, name string) *Record {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode %s: %v", name, err)
+	}
+	return rec
+}
+
+func TestVerifyStaticAcceptsFreshRecord(t *testing.T) {
+	res, prog := analyzePointFixture(t)
+	v := vm.New(vm.Options{})
+	if _, err := v.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	rec := Extract(v, "lib.js", Config{})
+	if err := rec.VerifyStatic(res); err != nil {
+		t.Fatalf("fresh record rejected: %v", err)
+	}
+}
+
+func TestVerifyStaticAcceptsCommittedFixture(t *testing.T) {
+	res, _ := analyzePointFixture(t)
+	rec := loadFixture(t, "point.ric")
+	if err := rec.VerifyStatic(res); err != nil {
+		t.Fatalf("committed point.ric rejected: %v", err)
+	}
+}
+
+func TestVerifyStaticRejectsLyingFixtures(t *testing.T) {
+	res, _ := analyzePointFixture(t)
+	for _, name := range []string{"point-remap.ric", "point-offsets.ric"} {
+		t.Run(name, func(t *testing.T) {
+			rec := loadFixture(t, name)
+			err := rec.VerifyStatic(res)
+			if err == nil {
+				t.Fatalf("%s accepted: the analysis cross-check must catch checksum-valid lies", name)
+			}
+			t.Logf("rejected: %v", err)
+		})
+	}
+}
+
+// TestVerifyStaticScriptless checks the uncovered-script policy: array.ric
+// was recorded from a script the analysis never saw, so its site-level
+// claims are skipped (matching Validate) and only builtin-anchored claims
+// are checked — the record is accepted.
+func TestVerifyStaticScriptless(t *testing.T) {
+	res, _ := analyzePointFixture(t)
+	rec := loadFixture(t, "array.ric")
+	if err := rec.VerifyStatic(res); err != nil {
+		t.Fatalf("array.ric rejected despite its script being uncovered: %v", err)
+	}
+}
+
+// TestVerifyStaticWorkloads runs the full loop on every workload: record
+// an initial run, then cross-check the record against the analysis of the
+// same script. Every fresh record must be accepted.
+func TestVerifyStaticWorkloads(t *testing.T) {
+	for _, p := range workloads.Profiles {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog := compileSrc(t, p.Script, p.Source())
+			res := analysis.Analyze(prog)
+			v := vm.New(vm.Options{})
+			if _, err := v.RunProgram(prog); err != nil {
+				t.Fatal(err)
+			}
+			rec := Extract(v, p.Script, Config{})
+			if err := rec.VerifyStatic(res); err != nil {
+				t.Fatalf("fresh %s record rejected: %v", p.Name, err)
+			}
+		})
+	}
+}
+
+// TestVerifyStaticCatchesInjectedLies applies the semantic fault modes to
+// a fresh record and checks the analysis cross-check rejects the result
+// (ids remapped between dep-carrying classes, offsets skewed) — without
+// ever executing the record.
+func TestVerifyStaticCatchesInjectedLies(t *testing.T) {
+	res, prog := analyzePointFixture(t)
+	v := vm.New(vm.Options{})
+	if _, err := v.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	rec := Extract(v, "lib.js", Config{})
+
+	t.Run("offset-skew", func(t *testing.T) {
+		skewed, err := Decode(rec.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		changed := false
+		for _, deps := range skewed.Deps {
+			for k := range deps {
+				if deps[k].Desc.Kind == ic.KindLoadField || deps[k].Desc.Kind == ic.KindStoreField {
+					deps[k].Desc.Offset++
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			t.Skip("no field handlers in record")
+		}
+		if err := skewed.VerifyStatic(res); err == nil {
+			t.Fatal("offset-skewed record accepted")
+		} else if !strings.Contains(err.Error(), "offset") {
+			t.Fatalf("unexpected rejection reason: %v", err)
+		}
+	})
+}

@@ -57,6 +57,15 @@ func (vm *VM) notifyHC(creator objects.Creator, incoming, outgoing *objects.Hidd
 	}
 }
 
+// observeSite reports a slot-mediated access to the configured site
+// observer: the receiver's hidden class is exactly what the feedback slot
+// could cache for this access.
+func (vm *VM) observeSite(slot *ic.Slot, o *objects.Object) {
+	if vm.siteObs != nil {
+		vm.siteObs(slot.Site, slot.Kind, o.HC())
+	}
+}
+
 // ---- Named loads ----
 
 // loadNamed performs obj.name through the inline cache: fast path on a
@@ -80,6 +89,7 @@ func (vm *VM) loadNamed(objVal objects.Value, name string, slot *ic.Slot) (objec
 		v, _ := o.GetNamed(name)
 		return v, nil
 	}
+	vm.observeSite(slot, o)
 	if slot.State == ic.Megamorphic {
 		// Megamorphic accesses go through a generic stub: no runtime call,
 		// so no miss is recorded, but the access is slower than a
@@ -226,6 +236,7 @@ func (vm *VM) storeNamed(objVal objects.Value, name string, v objects.Value, slo
 		return nil
 	}
 
+	vm.observeSite(slot, o)
 	if slot.State == ic.Megamorphic {
 		vm.Prof.Hit(ic.MaxPolymorphic, false)
 		vm.Prof.Charge(profiler.CostGenericAccess)
@@ -374,6 +385,7 @@ func (vm *VM) loadKeyed(objVal, key objects.Value, slot *ic.Slot) (objects.Value
 		vm.Prof.Charge(profiler.CostGenericAccess)
 		return vm.genericKeyedLoad(o, key), nil
 	}
+	vm.observeSite(slot, o)
 	if slot.State == ic.Megamorphic {
 		vm.Prof.Hit(ic.MaxPolymorphic, false)
 		vm.Prof.Charge(profiler.CostGenericAccess)
@@ -472,6 +484,7 @@ func (vm *VM) storeKeyed(objVal, key, v objects.Value, slot *ic.Slot) error {
 		vm.genericKeyedStore(o, key, v)
 		return nil
 	}
+	vm.observeSite(slot, o)
 	if slot.State == ic.Megamorphic {
 		vm.Prof.Hit(ic.MaxPolymorphic, false)
 		vm.Prof.Charge(profiler.CostGenericAccess)

@@ -35,6 +35,14 @@ type Options struct {
 	// (0 = unlimited). The abort is a LimitError, not catchable by
 	// JavaScript code.
 	MaxSteps uint64
+	// SiteObserver, when set, is invoked for every IC-mediated object
+	// access with the site identity, access kind, and the receiver's
+	// hidden class at that moment — exactly the (site, hidden class)
+	// stream a feedback slot could cache. The static-analysis soundness
+	// harness uses it to compare runtime shapes against predictions.
+	// Dictionary-mode and primitive receivers bypass the IC and are not
+	// reported.
+	SiteObserver func(site source.Site, kind ic.AccessKind, hc *objects.HiddenClass)
 }
 
 // VM is one engine execution context: heap, globals, feedback vectors,
@@ -44,8 +52,9 @@ type VM struct {
 	Space *objects.Space
 	Prof  *profiler.Counters
 
-	global *objects.Object
-	hooks  Hooks
+	global  *objects.Object
+	hooks   Hooks
+	siteObs func(site source.Site, kind ic.AccessKind, hc *objects.HiddenClass)
 
 	// Shared root hidden classes (paper §2.2's HC0s for each object kind).
 	emptyObjectHC *objects.HiddenClass
@@ -95,6 +104,9 @@ type VM struct {
 	// name instead of by graph walk.
 	builtinObjByName map[string]*objects.Object
 	builtinNameByObj map[*objects.Object]string
+	// builtinObjOrder remembers registration order, so the static
+	// analysis can rebuild the startup object graph deterministically.
+	builtinObjOrder []string
 	// globalBaseline lists the global object's own properties at the end
 	// of startup; script-created globals are everything after these.
 	globalBaseline map[string]bool
@@ -121,6 +133,7 @@ func New(opts Options) *VM {
 		Space:            objects.NewSpace(opts.AddressSeed),
 		Prof:             &profiler.Counters{},
 		hooks:            opts.Hooks,
+		siteObs:          opts.SiteObserver,
 		feedback:         make(map[*bytecode.FuncProto]*ic.Vector),
 		slotIndex:        make(map[source.Site]*ic.Slot),
 		out:              opts.Stdout,
@@ -159,7 +172,13 @@ func (vm *VM) registerBuiltinObject(name string, o *objects.Object) {
 	}
 	vm.builtinObjByName[name] = o
 	vm.builtinNameByObj[o] = name
+	vm.builtinObjOrder = append(vm.builtinObjOrder, name)
 }
+
+// BuiltinObjectNames returns the qualified names of every registered
+// builtin object in registration order. Startup is deterministic, so the
+// order (and the objects behind the names) is identical in every VM.
+func (vm *VM) BuiltinObjectNames() []string { return vm.builtinObjOrder }
 
 // BuiltinObjectName returns the qualified name of a builtin object, if o
 // is one ("" otherwise). Startup is deterministic, so names resolve to

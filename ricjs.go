@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 
+	"ricjs/internal/analysis"
 	"ricjs/internal/bytecode"
 	"ricjs/internal/codecache"
 	"ricjs/internal/profiler"
@@ -141,6 +142,12 @@ type Options struct {
 	// runs are reproducible; pass distinct seeds to model real-world
 	// nondeterminism across sessions (e.g. the §9 snapshot hazard).
 	RandSeed uint64
+	// StaticPrefilter runs the static shape analysis over every script the
+	// engine loads and feeds the result to the reuser: preloads for sites
+	// the analysis proves dead, stale, or unable to observe the validated
+	// class are skipped, and Stats() reports the dead/megamorphic-risk
+	// site counts. No effect in conventional (record-free) runs.
+	StaticPrefilter bool
 }
 
 // scriptRun remembers one executed script so a degraded engine can replay
@@ -162,6 +169,10 @@ type Engine struct {
 	reuser *ric.Reuser
 	rec    *Record
 	opts   Options
+
+	// progs accumulates compiled programs for the static prefilter; the
+	// analysis is re-run jointly whenever a new script joins the session.
+	progs []*bytecode.Program
 
 	// history lists every script executed so far (including ones that
 	// ended in a JavaScript error — their side effects persist), so
@@ -265,6 +276,22 @@ func (e *Engine) Run(name, src string) error {
 				RecordAttributable: true,
 				Err:                verr,
 			})
+		}
+	}
+	if e.reuser != nil && e.opts.StaticPrefilter {
+		seen := false
+		for _, p := range e.progs {
+			if p == prog {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			e.progs = append(e.progs, prog)
+			// Analyze the whole session jointly: scripts share the global
+			// object and each other's constructors, so per-script analysis
+			// would widen cross-script receivers to ⊤.
+			e.reuser.SetAnalysis(analysis.Analyze(e.progs...))
 		}
 	}
 	err = e.runScript(name, prog)

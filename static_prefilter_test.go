@@ -1,0 +1,63 @@
+package ricjs_test
+
+import (
+	"testing"
+
+	"ricjs"
+)
+
+// prefilterSrc carries a never-called function so the static analysis has
+// a dead site to flag through Stats().
+const prefilterSrc = `
+	function Pt(x, y) { this.x = x; this.y = y; }
+	function neverCalled(o) { return o.zzz; }
+	var a = [];
+	for (var i = 0; i < 6; i++) a.push(new Pt(i, i));
+	var s = 0;
+	for (var j = 0; j < a.length; j++) s += a[j].x;
+	print('s', s);
+`
+
+// TestEngineStaticPrefilter checks the facade wiring of the analysis→reuse
+// feed: with Options.StaticPrefilter the reuse run behaves identically
+// (same output, same preloads and averted misses — a fresh record has
+// nothing to filter) while Stats() additionally reports the static
+// verdict; without it all static counters stay zero.
+func TestEngineStaticPrefilter(t *testing.T) {
+	cache := ricjs.NewCodeCache()
+	initial := ricjs.NewEngine(ricjs.Options{Cache: cache, AddressSeed: 11})
+	if err := initial.Run("lib.js", prefilterSrc); err != nil {
+		t.Fatal(err)
+	}
+	rec := initial.ExtractRecord("lib.js")
+
+	plain := ricjs.NewEngine(ricjs.Options{Cache: cache, Record: rec, AddressSeed: 12})
+	if err := plain.Run("lib.js", prefilterSrc); err != nil {
+		t.Fatal(err)
+	}
+	pre := ricjs.NewEngine(ricjs.Options{Cache: cache, Record: rec, AddressSeed: 13, StaticPrefilter: true})
+	if err := pre.Run("lib.js", prefilterSrc); err != nil {
+		t.Fatal(err)
+	}
+	if d, cause := pre.Degraded(); d {
+		t.Fatalf("prefiltered engine degraded: %v", cause)
+	}
+
+	if plain.Output() != pre.Output() {
+		t.Fatalf("prefilter changed program output:\n%q\nvs\n%q", plain.Output(), pre.Output())
+	}
+	ps, ss := plain.Stats(), pre.Stats()
+	if ss.Preloads != ps.Preloads || ss.MissesSaved != ps.MissesSaved {
+		t.Errorf("prefilter changed reuse effectiveness: preloads %d vs %d, misses saved %d vs %d",
+			ss.Preloads, ps.Preloads, ss.MissesSaved, ps.MissesSaved)
+	}
+	if ss.StaticFilteredPreloads != 0 {
+		t.Errorf("fresh record: %d preloads filtered, want 0", ss.StaticFilteredPreloads)
+	}
+	if ss.StaticDeadSites == 0 {
+		t.Error("neverCalled's field load should surface as a dead site in Stats()")
+	}
+	if ps.StaticDeadSites != 0 || ps.StaticFilteredPreloads != 0 || ps.StaticMegamorphicRisk != 0 {
+		t.Error("engine without StaticPrefilter must report zero static counters")
+	}
+}

@@ -1,0 +1,10 @@
+
+	function Point(x, y) { this.x = x; this.y = y; }
+	Point.prototype.norm2 = function () { return this.x * this.x + this.y * this.y; };
+	var pts = [];
+	for (var i = 0; i < 8; i++) pts.push(new Point(i, i + 1));
+	var total = 0;
+	for (var j = 0; j < pts.length; j++) total += pts[j].norm2();
+	var bag = {};
+	bag['k' + 0] = total;
+	print('total', bag.k0);

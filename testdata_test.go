@@ -1,0 +1,20 @@
+package ricjs_test
+
+import (
+	"os"
+	"testing"
+)
+
+// TestPointFixtureSourceMatches pins testdata/point.js to the source the
+// committed point*.ric fixtures were recorded from (and that FuzzReuseRun
+// executes). riclint's CI sweep feeds the file to the analyzer; if it
+// drifts from the recorded source, the sweep would test nothing.
+func TestPointFixtureSourceMatches(t *testing.T) {
+	data, err := os.ReadFile("testdata/point.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != fuzzLib {
+		t.Fatalf("testdata/point.js is not byte-identical to the fuzzLib source the .ric fixtures were recorded from")
+	}
+}
