@@ -20,6 +20,13 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== pool stress: concurrent record serving under -race =="
+# The session-pool and code-cache stress tests are the concurrency
+# gate: 48 sessions over 6 shared keys must produce exactly one
+# extraction per key and byte-identical output, with zero races.
+go test -race -count=1 -run 'TestSessionPool|TestSharedRecordImmutableUnderConcurrentReuse' .
+go test -race -count=1 -run 'TestConcurrentLoad' ./internal/codecache
+
 echo "== riclint: offline record verification =="
 # Truthful fixtures must pass all three layers (integrity, site existence,
 # static cross-check)...

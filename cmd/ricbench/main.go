@@ -32,9 +32,24 @@ func main() {
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
 		snapshotF = flag.Bool("snapshot", false, "compare RIC with heap-snapshot restoration (§9)")
 		reps      = flag.Int("reps", 5, "timing repetitions per Reuse run (median reported)")
+		parallel  = flag.Int("parallel", 0, "throughput mode: serve the workload set through a SessionPool with N workers (also measures 1 worker as the scaling baseline)")
+		sessions  = flag.Int("sessions", 0, "sessions per throughput measurement (default 8 per library)")
 		format    = flag.String("format", "text", "output format: text or json (json runs the full evaluation)")
 	)
 	flag.Parse()
+
+	measureThroughput := func() []bench.ThroughputResult {
+		counts := []int{1}
+		if *parallel > 1 {
+			counts = append(counts, *parallel)
+		}
+		results, err := bench.MeasureThroughputScaling(counts, *sessions)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ricbench:", err)
+			os.Exit(1)
+		}
+		return results
+	}
 
 	if *format == "json" {
 		runs, err := bench.MeasureAll(bench.Options{Reps: *reps})
@@ -47,7 +62,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ricbench:", err)
 			os.Exit(1)
 		}
-		if err := bench.WriteJSON(os.Stdout, runs, &wr); err != nil {
+		res := bench.BuildJSON(runs, &wr)
+		if *parallel > 0 {
+			res.AddThroughput(measureThroughput())
+		}
+		if err := bench.EncodeJSON(os.Stdout, res); err != nil {
 			fmt.Fprintln(os.Stderr, "ricbench:", err)
 			os.Exit(1)
 		}
@@ -59,7 +78,8 @@ func main() {
 	}
 
 	all := !(*fig1 || *fig5 || *table1 || *table4 || *fig8 || *fig9 ||
-		*overheads || *websites || *ablation || *snapshotF || *faults)
+		*overheads || *websites || *ablation || *snapshotF || *faults ||
+		*parallel > 0)
 
 	needRuns := all || *fig5 || *table1 || *table4 || *fig8 || *fig9 || *overheads
 	var runs []bench.LibraryRun
@@ -121,4 +141,10 @@ func main() {
 			os.Exit(1)
 		}
 	})
+	// Throughput mode is opt-in only (never part of `all`): it needs an
+	// explicit worker count to be meaningful.
+	if *parallel > 0 {
+		bench.ReportThroughput(os.Stdout, measureThroughput())
+		fmt.Println()
+	}
 }

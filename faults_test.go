@@ -239,3 +239,42 @@ func TestRecordStoreUnderIOFaults(t *testing.T) {
 		}
 	})
 }
+
+// TestQuarantineFailureSurfaces pins the corrupt-record worst case: when
+// the quarantine rename AND the last-resort remove both fail, the poison
+// file survives and every future Load would re-decode it — so Load must
+// return an error instead of silently reporting the record as absent.
+func TestQuarantineFailureSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	healthy, err := ricjs.OpenRecordStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := healthy.SaveBytes("lib.js", []byte("RICREC\xffgarbage")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both escape hatches blocked: the poison cannot be moved or removed.
+	ffs := &faultinject.FaultFS{
+		Base:      ricjs.NewOSFS(),
+		RenameErr: faultinject.ErrIO,
+		RemoveErr: faultinject.ErrIO,
+	}
+	wedged, err := ricjs.OpenRecordStoreFS(dir, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wedged.Load("lib.js"); err == nil {
+		t.Fatal("surviving poison must surface as a Load error, not silence")
+	}
+
+	// Remove works even though rename is broken: the poison is cleared
+	// (forensic copy sacrificed), so the load degrades to absent cleanly.
+	ffs.RemoveErr = nil
+	if rec, err := wedged.Load("lib.js"); err != nil || rec != nil {
+		t.Fatalf("removable poison must load as absent, got (%v, %v)", rec, err)
+	}
+	if rec, err := healthy.Load("lib.js"); err != nil || rec != nil {
+		t.Fatalf("poison file must be gone, got (%v, %v)", rec, err)
+	}
+}

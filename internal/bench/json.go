@@ -11,10 +11,26 @@ import (
 // JSONResults is the machine-readable form of a full evaluation, consumed
 // by plotting scripts or CI regression checks.
 type JSONResults struct {
-	Libraries []JSONLibrary    `json:"libraries"`
-	Averages  JSONAverages     `json:"averages"`
-	Website   *JSONWebsite     `json:"website,omitempty"`
-	Paper     JSONPaperAnchors `json:"paper"`
+	Libraries  []JSONLibrary    `json:"libraries"`
+	Averages   JSONAverages     `json:"averages"`
+	Website    *JSONWebsite     `json:"website,omitempty"`
+	Throughput []JSONThroughput `json:"throughput,omitempty"`
+	Paper      JSONPaperAnchors `json:"paper"`
+}
+
+// JSONThroughput carries one session-pool throughput measurement, so
+// BENCH_*.json files track scaling across PRs.
+type JSONThroughput struct {
+	Workers            int     `json:"workers"`
+	Sessions           int     `json:"sessions"`
+	ElapsedMs          float64 `json:"elapsedMs"`
+	SessionsPerSec     float64 `json:"sessionsPerSec"`
+	RecordsDecoded     uint64  `json:"recordsDecoded"`
+	Extractions        uint64  `json:"extractions"`
+	ExtractionsDeduped uint64  `json:"extractionsDeduped"`
+	ReuseHits          uint64  `json:"reuseHits"`
+	DegradedSessions   uint64  `json:"degradedSessions"`
+	SpeedupVsFirst     float64 `json:"speedupVsFirst"`
 }
 
 // JSONLibrary carries one library's measurements across the three runs.
@@ -129,11 +145,44 @@ func BuildJSON(runs []LibraryRun, website *WebsiteRun) JSONResults {
 	return out
 }
 
+// AddThroughput attaches session-pool throughput measurements to the
+// results; the first entry is the scaling baseline.
+func (r *JSONResults) AddThroughput(results []ThroughputResult) {
+	var base float64
+	for i, t := range results {
+		if i == 0 {
+			base = t.SessionsPerSec
+		}
+		speedup := 0.0
+		if base > 0 {
+			speedup = t.SessionsPerSec / base
+		}
+		r.Throughput = append(r.Throughput, JSONThroughput{
+			Workers:            t.Workers,
+			Sessions:           t.Sessions,
+			ElapsedMs:          msDuration(t.Elapsed),
+			SessionsPerSec:     t.SessionsPerSec,
+			RecordsDecoded:     t.Pool.RecordsDecoded(),
+			Extractions:        t.Pool.Extractions,
+			ExtractionsDeduped: t.Pool.DedupedExtractions,
+			ReuseHits:          t.Pool.ReuseHits,
+			DegradedSessions:   t.Pool.DegradedSessions,
+			SpeedupVsFirst:     speedup,
+		})
+	}
+}
+
 // WriteJSON emits the results as indented JSON.
 func WriteJSON(w io.Writer, runs []LibraryRun, website *WebsiteRun) error {
+	return EncodeJSON(w, BuildJSON(runs, website))
+}
+
+// EncodeJSON emits an assembled result set as indented JSON; use it with
+// BuildJSON + AddThroughput when the evaluation includes optional blocks.
+func EncodeJSON(w io.Writer, res JSONResults) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(BuildJSON(runs, website))
+	return enc.Encode(res)
 }
 
 func msDuration(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

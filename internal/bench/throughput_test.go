@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMeasureThroughputServesAllSessions(t *testing.T) {
+	res, err := MeasureThroughput(4, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pool.Sessions != 21 {
+		t.Fatalf("Sessions = %d, want 21", res.Pool.Sessions)
+	}
+	// 21 sessions round-robin over 7 libraries: one extraction per
+	// library, never more (single-flight), the rest reuse.
+	if res.Pool.Extractions != 7 {
+		t.Fatalf("Extractions = %d, want 7", res.Pool.Extractions)
+	}
+	if res.Pool.ReuseHits != 14 {
+		t.Fatalf("ReuseHits = %d, want 14", res.Pool.ReuseHits)
+	}
+	if res.SessionsPerSec <= 0 {
+		t.Fatalf("SessionsPerSec = %f", res.SessionsPerSec)
+	}
+	if res.Pool.DegradedSessions != 0 {
+		t.Fatalf("DegradedSessions = %d", res.Pool.DegradedSessions)
+	}
+}
+
+func TestMeasureThroughputRejectsZeroWorkers(t *testing.T) {
+	if _, err := MeasureThroughput(0, 7); err == nil {
+		t.Fatal("0 workers must be rejected")
+	}
+}
+
+func TestThroughputJSONBlock(t *testing.T) {
+	results, err := MeasureThroughputScaling([]int{1, 2}, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := BuildJSON(nil, nil)
+	res.AddThroughput(results)
+	if len(res.Throughput) != 2 {
+		t.Fatalf("throughput entries = %d, want 2", len(res.Throughput))
+	}
+	if res.Throughput[0].SpeedupVsFirst != 1.0 {
+		t.Fatalf("baseline speedup = %f, want 1.0", res.Throughput[0].SpeedupVsFirst)
+	}
+	for i, tp := range res.Throughput {
+		if tp.RecordsDecoded != 7 || tp.Extractions != 7 {
+			t.Fatalf("entry %d: recordsDecoded=%d extractions=%d, want 7/7",
+				i, tp.RecordsDecoded, tp.Extractions)
+		}
+		if tp.SessionsPerSec <= 0 {
+			t.Fatalf("entry %d: sessionsPerSec = %f", i, tp.SessionsPerSec)
+		}
+	}
+	var sb strings.Builder
+	ReportThroughput(&sb, results)
+	if !strings.Contains(sb.String(), "Sessions/s") || !strings.Contains(sb.String(), "Speedup") {
+		t.Fatalf("report missing columns:\n%s", sb.String())
+	}
+}

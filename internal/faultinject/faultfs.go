@@ -30,6 +30,9 @@ type FaultFS struct {
 	// RenameErr fails Rename (the atomic-commit step of Save and the
 	// quarantine step of Load).
 	RenameErr error
+	// RemoveErr fails Remove (temp-file cleanup and the last-resort
+	// deletion a failed quarantine falls back to).
+	RemoveErr error
 	// MkdirErr fails MkdirAll (store creation).
 	MkdirErr error
 }
@@ -69,7 +72,12 @@ func (f *FaultFS) Rename(oldpath, newpath string) error {
 }
 
 // Remove implements ricjs.FS.
-func (f *FaultFS) Remove(path string) error { return f.Base.Remove(path) }
+func (f *FaultFS) Remove(path string) error {
+	if f.RemoveErr != nil {
+		return f.RemoveErr
+	}
+	return f.Base.Remove(path)
+}
 
 // ReadDir implements ricjs.FS.
 func (f *FaultFS) ReadDir(path string) ([]fs.DirEntry, error) { return f.Base.ReadDir(path) }

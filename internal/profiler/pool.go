@@ -1,0 +1,98 @@
+package profiler
+
+import "sync/atomic"
+
+// PoolCounters aggregates statistics across the many concurrent sessions a
+// ricjs.SessionPool serves. Unlike Counters — which is per-engine and
+// single-threaded like a JavaScript isolate — PoolCounters is updated from
+// many goroutines at once, so every field is atomic.
+type PoolCounters struct {
+	sessions     atomic.Uint64
+	reuseHits    atomic.Uint64
+	extractions  atomic.Uint64
+	storeLoads   atomic.Uint64
+	storeErrors  atomic.Uint64
+	deduped      atomic.Uint64
+	waited       atomic.Uint64
+	conventional atomic.Uint64
+	degraded     atomic.Uint64
+}
+
+// Session records one session entering the pool.
+func (p *PoolCounters) Session() { p.sessions.Add(1) }
+
+// ReuseHit records a session served a decoded record from the shared
+// in-memory cache (no disk read, no decode, no extraction).
+func (p *PoolCounters) ReuseHit() { p.reuseHits.Add(1) }
+
+// Extraction records a cold key whose record was produced by an Initial
+// run; under single-flight discipline there is exactly one per cold key.
+func (p *PoolCounters) Extraction() { p.extractions.Add(1) }
+
+// StoreLoad records a record decoded from the backing RecordStore on a
+// cold key (one decode, then shared by every later session).
+func (p *PoolCounters) StoreLoad() { p.storeLoads.Add(1) }
+
+// StoreError records a best-effort backing-store operation (load on cold
+// key, save after extraction) that failed; sessions proceed regardless.
+func (p *PoolCounters) StoreError() { p.storeErrors.Add(1) }
+
+// Deduped records a session that found extraction for its key already in
+// flight and therefore did not start its own (the single-flight saving).
+func (p *PoolCounters) Deduped() { p.deduped.Add(1) }
+
+// Waited records a deduped session that blocked for the in-flight record
+// instead of proceeding conventionally.
+func (p *PoolCounters) Waited() { p.waited.Add(1) }
+
+// Conventional records a session that ran record-free (extraction in
+// flight elsewhere, or the extraction it waited for failed).
+func (p *PoolCounters) Conventional() { p.conventional.Add(1) }
+
+// Degraded records a session whose engine abandoned reuse mid-run.
+func (p *PoolCounters) Degraded() { p.degraded.Add(1) }
+
+// PoolSnapshot is an immutable copy of a pool's aggregate statistics.
+type PoolSnapshot struct {
+	// Sessions is the number of sessions served.
+	Sessions uint64
+	// ReuseHits counts sessions served a record from the shared cache.
+	ReuseHits uint64
+	// Extractions counts Initial runs that produced a record (exactly one
+	// per cold key under single-flight).
+	Extractions uint64
+	// StoreLoads counts records decoded from the backing store.
+	StoreLoads uint64
+	// StoreErrors counts failed best-effort backing-store operations.
+	StoreErrors uint64
+	// DedupedExtractions counts sessions that skipped extraction because
+	// one was already in flight for their key.
+	DedupedExtractions uint64
+	// WaitedSessions counts deduped sessions that blocked for the record.
+	WaitedSessions uint64
+	// ConventionalRuns counts sessions that ran record-free.
+	ConventionalRuns uint64
+	// DegradedSessions counts sessions whose engine degraded mid-run.
+	DegradedSessions uint64
+}
+
+// RecordsDecoded returns how many times a record was materialized in
+// memory — store decodes plus extractions. Under single-flight sharing it
+// is at most one per distinct key, however many sessions ran.
+func (s PoolSnapshot) RecordsDecoded() uint64 { return s.StoreLoads + s.Extractions }
+
+// Snapshot captures the current aggregate statistics. It may be called
+// while sessions are still running; each field is individually coherent.
+func (p *PoolCounters) Snapshot() PoolSnapshot {
+	return PoolSnapshot{
+		Sessions:           p.sessions.Load(),
+		ReuseHits:          p.reuseHits.Load(),
+		Extractions:        p.extractions.Load(),
+		StoreLoads:         p.storeLoads.Load(),
+		StoreErrors:        p.storeErrors.Load(),
+		DedupedExtractions: p.deduped.Load(),
+		WaitedSessions:     p.waited.Load(),
+		ConventionalRuns:   p.conventional.Load(),
+		DegradedSessions:   p.degraded.Load(),
+	}
+}

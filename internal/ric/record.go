@@ -70,6 +70,14 @@ type Stats struct {
 
 // Record is the ICRecord (paper Figure 6): the persistent,
 // context-independent extract of one execution's IC state.
+//
+// Immutability contract: a Record is written only during construction
+// (Extract, Merge, Decode) and is read-only from then on. The Reuser
+// keeps all run-varying reuse state (addresses, validation bits, preload
+// progress) in per-Reuser runtime columns, never in the Record, so one
+// decoded Record may be shared by any number of concurrent sessions
+// (ricjs.SessionPool relies on this). Anything that needs a modified
+// record must build a new one.
 type Record struct {
 	// Script names the workload the record was extracted from (several
 	// scripts may contribute; this is the label of the run).

@@ -1,0 +1,350 @@
+package ricjs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+
+	"ricjs/internal/profiler"
+)
+
+// PoolStats is the aggregate statistics snapshot of a SessionPool:
+// sessions served, shared-cache hits, extractions and their single-flight
+// dedup, store traffic, and degradations.
+type PoolStats = profiler.PoolSnapshot
+
+// PoolOptions configures a SessionPool.
+type PoolOptions struct {
+	// Cache supplies compiled bytecode to every session; nil creates a
+	// pool-private cache. The code cache is already concurrency-safe and
+	// is shared as-is.
+	Cache *CodeCache
+	// Store optionally backs the in-memory record cache with persistence:
+	// cold keys try a store load before extracting, and freshly extracted
+	// records are saved back (both best-effort — store I/O failure never
+	// fails a session, it only shows up in Stats().StoreErrors).
+	Store *RecordStore
+	// Shards is the number of record-cache shards (default 16). More
+	// shards reduce lock contention between sessions of distinct keys.
+	Shards int
+	// WaitForRecord makes sessions that find an extraction in flight for
+	// their key block until it settles and then reuse its record. The
+	// default (false) runs such sessions conventionally instead: lower
+	// latency, no reuse benefit for that session. Either way extraction
+	// happens exactly once per cold key.
+	WaitForRecord bool
+	// IncludeGlobals extends extraction to global-object state (paper §6).
+	IncludeGlobals bool
+	// MaxSteps bounds every session's scripts (0 = unlimited).
+	MaxSteps uint64
+}
+
+// SessionScript is one script of a session's workload.
+type SessionScript struct {
+	Name string
+	Src  string
+}
+
+// SessionRequest describes one session: the record key it shares with
+// other sessions of the same workload, the scripts to execute, and the
+// per-session knobs.
+type SessionRequest struct {
+	// Key identifies the workload's record in the shared cache (and the
+	// backing store). Sessions with equal keys share one decoded record.
+	Key string
+	// Scripts is the workload, executed in order on one engine.
+	Scripts []SessionScript
+	// Stdout receives print output; nil collects it into Result.Output.
+	Stdout io.Writer
+	// AddressSeed and RandSeed are forwarded to the engine (see Options).
+	AddressSeed uint64
+	RandSeed    uint64
+}
+
+// SessionMode reports how a session was served.
+type SessionMode int
+
+const (
+	// SessionReuse means the session ran with a record from the shared
+	// cache (or one it waited for).
+	SessionReuse SessionMode = iota
+	// SessionInitial means the session found its key cold, performed the
+	// Initial run, and published the extracted record for everyone else.
+	SessionInitial
+	// SessionConventional means the session ran record-free: extraction
+	// was already in flight elsewhere (and WaitForRecord was off, or the
+	// awaited extraction failed).
+	SessionConventional
+)
+
+// String returns the mode name.
+func (m SessionMode) String() string {
+	switch m {
+	case SessionReuse:
+		return "reuse"
+	case SessionInitial:
+		return "initial"
+	case SessionConventional:
+		return "conventional"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// SessionResult is the outcome of one served session.
+type SessionResult struct {
+	// Mode is how the session ran.
+	Mode SessionMode
+	// Stats is the session engine's statistics snapshot.
+	Stats Stats
+	// Output is the collected print output when no Stdout was configured.
+	Output string
+	// Degraded reports that the engine abandoned reuse mid-session and
+	// completed conventionally.
+	Degraded bool
+}
+
+// recordEntry is one key's slot in the shared record cache. ready is
+// closed when the entry settles; rec is written exactly once, before the
+// close, and is immutable afterwards (the channel close publishes it).
+type recordEntry struct {
+	ready chan struct{}
+	rec   *Record
+}
+
+// settled reports whether the entry's extraction has finished.
+func (ent *recordEntry) settled() bool {
+	select {
+	case <-ent.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// recordShard is one lock domain of the shared record cache.
+type recordShard struct {
+	mu      sync.Mutex
+	entries map[string]*recordEntry
+}
+
+// SessionPool serves many independent engine sessions concurrently
+// against one shared, sharded in-memory record cache layered over an
+// optional RecordStore. This is the serving shape the paper motivates in
+// §9: one library's ICRecord, decoded once, serves every application
+// (session) that loads the library.
+//
+// Extraction is single-flight: the first session to run a cold key
+// performs the Initial run and publishes the record; concurrent sessions
+// for the same key either wait for it (WaitForRecord) or proceed
+// conventionally — extraction is never duplicated. Published records are
+// immutable and shared by reference; all per-session reuse state (hidden
+// class validation, preload progress) lives in each engine's private
+// Reuser, so N sessions can safely share one decoded *Record.
+//
+// A SessionPool is safe for concurrent use; call Serve from as many
+// goroutines as desired.
+type SessionPool struct {
+	cache          *CodeCache
+	store          *RecordStore
+	wait           bool
+	includeGlobals bool
+	maxSteps       uint64
+	shards         []recordShard
+	stats          profiler.PoolCounters
+}
+
+// NewSessionPool creates a pool.
+func NewSessionPool(opts PoolOptions) *SessionPool {
+	cache := opts.Cache
+	if cache == nil {
+		cache = NewCodeCache()
+	}
+	n := opts.Shards
+	if n <= 0 {
+		n = 16
+	}
+	p := &SessionPool{
+		cache:          cache,
+		store:          opts.Store,
+		wait:           opts.WaitForRecord,
+		includeGlobals: opts.IncludeGlobals,
+		maxSteps:       opts.MaxSteps,
+		shards:         make([]recordShard, n),
+	}
+	for i := range p.shards {
+		p.shards[i].entries = make(map[string]*recordEntry)
+	}
+	return p
+}
+
+// Stats snapshots the pool's aggregate statistics.
+func (p *SessionPool) Stats() PoolStats { return p.stats.Snapshot() }
+
+// CachedRecords returns the number of keys with a published record in the
+// shared cache.
+func (p *SessionPool) CachedRecords() int {
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, ent := range sh.entries {
+			if ent.settled() && ent.rec != nil {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// shard maps a key to its lock domain.
+func (p *SessionPool) shard(key string) *recordShard {
+	h := fnv.New32a()
+	h.Write([]byte(key)) //nolint:errcheck
+	return &p.shards[h.Sum32()%uint32(len(p.shards))]
+}
+
+// acquire resolves a key against the shared cache. It returns the shared
+// record when one is published (rec != nil), or the entry this caller now
+// owns and must settle (owned != nil), or (nil, nil) when the session
+// should run conventionally: extraction is in flight elsewhere and the
+// pool does not wait, or the awaited extraction failed.
+func (p *SessionPool) acquire(key string) (rec *Record, owned *recordEntry) {
+	sh := p.shard(key)
+	sh.mu.Lock()
+	ent, ok := sh.entries[key]
+	if !ok {
+		ent = &recordEntry{ready: make(chan struct{})}
+		sh.entries[key] = ent
+		sh.mu.Unlock()
+		return nil, ent
+	}
+	sh.mu.Unlock()
+	if ent.settled() {
+		if ent.rec != nil {
+			p.stats.ReuseHit()
+			return ent.rec, nil
+		}
+		// Settled without a record: a failed extraction is being retired;
+		// run conventionally rather than pile onto the retry.
+		p.stats.Conventional()
+		return nil, nil
+	}
+	p.stats.Deduped()
+	if p.wait {
+		p.stats.Waited()
+		<-ent.ready
+		if ent.rec != nil {
+			p.stats.ReuseHit()
+			return ent.rec, nil
+		}
+	}
+	p.stats.Conventional()
+	return nil, nil
+}
+
+// publish settles an owned entry with a record; the channel close is the
+// publication barrier for waiters.
+func (p *SessionPool) publish(ent *recordEntry, rec *Record) {
+	ent.rec = rec
+	close(ent.ready)
+}
+
+// abandon settles an owned entry without a record and removes it from the
+// cache so a future session can retry the extraction. Current waiters
+// proceed conventionally.
+func (p *SessionPool) abandon(key string, ent *recordEntry) {
+	sh := p.shard(key)
+	sh.mu.Lock()
+	if sh.entries[key] == ent {
+		delete(sh.entries, key)
+	}
+	sh.mu.Unlock()
+	close(ent.ready)
+}
+
+// Serve runs one session to completion and returns its result. Safe to
+// call concurrently; see SessionPool for the single-flight discipline.
+func (p *SessionPool) Serve(req SessionRequest) (*SessionResult, error) {
+	if req.Key == "" {
+		return nil, fmt.Errorf("ricjs: pool session needs a record key")
+	}
+	if len(req.Scripts) == 0 {
+		return nil, fmt.Errorf("ricjs: pool session %q has no scripts", req.Key)
+	}
+	p.stats.Session()
+
+	rec, owned := p.acquire(req.Key)
+	if rec != nil {
+		res, _, err := p.runSession(req, rec, SessionReuse)
+		return res, err
+	}
+	if owned == nil {
+		res, _, err := p.runSession(req, nil, SessionConventional)
+		return res, err
+	}
+
+	// Cold key, this session owns the extraction. A backing-store load
+	// beats re-extracting: the record was produced by a previous process.
+	if p.store != nil {
+		stored, err := p.store.Load(req.Key)
+		if err != nil {
+			p.stats.StoreError()
+		} else if stored != nil {
+			p.stats.StoreLoad()
+			p.publish(owned, stored)
+			res, _, rerr := p.runSession(req, stored, SessionReuse)
+			return res, rerr
+		}
+	}
+
+	// Initial run: conventional execution that builds the IC state the
+	// extraction reads. A failure abandons the entry so the key stays
+	// retryable; waiters fall back to conventional runs.
+	res, eng, err := p.runSession(req, nil, SessionInitial)
+	if err != nil {
+		p.abandon(req.Key, owned)
+		return nil, err
+	}
+	record := eng.ExtractRecord(req.Key)
+	p.stats.Extraction()
+	p.publish(owned, record)
+	if p.store != nil {
+		if serr := p.store.Save(req.Key, record); serr != nil {
+			p.stats.StoreError()
+		}
+	}
+	return res, nil
+}
+
+// runSession executes one session on a fresh engine. rec, when non-nil,
+// is the shared decoded record — handed to the engine by reference; the
+// engine's Reuser keeps all mutable reuse state per-session.
+func (p *SessionPool) runSession(req SessionRequest, rec *Record, mode SessionMode) (*SessionResult, *Engine, error) {
+	eng := NewEngine(Options{
+		Cache:          p.cache,
+		Record:         rec,
+		IncludeGlobals: p.includeGlobals,
+		Stdout:         req.Stdout,
+		AddressSeed:    req.AddressSeed,
+		RandSeed:       req.RandSeed,
+		MaxSteps:       p.maxSteps,
+	})
+	for _, s := range req.Scripts {
+		if err := eng.Run(s.Name, s.Src); err != nil {
+			return nil, eng, err
+		}
+	}
+	degraded, _ := eng.Degraded()
+	if degraded {
+		p.stats.Degraded()
+	}
+	return &SessionResult{
+		Mode:     mode,
+		Stats:    eng.Stats(),
+		Output:   eng.Output(),
+		Degraded: degraded,
+	}, eng, nil
+}

@@ -186,7 +186,18 @@ type Engine struct {
 	// without duplicating output the user already saw. Flushed to the real
 	// Stdout after each script settles.
 	staged *bytes.Buffer
+	// router is the stable writer handed to every VM the engine builds; it
+	// forwards to staged while degradation is still possible and to the
+	// external Stdout once it no longer is, so a degraded engine stops
+	// paying the staging detour.
+	router *outputRouter
 }
+
+// outputRouter is an io.Writer indirection that lets the engine repoint a
+// VM's output mid-life (a VM's writer is fixed at construction).
+type outputRouter struct{ w io.Writer }
+
+func (o *outputRouter) Write(p []byte) (int, error) { return o.w.Write(p) }
 
 // NewEngine creates an engine. If opts.Record (or opts.RecordBytes) is
 // set, the engine runs in Reuse mode: builtin hidden classes validate
@@ -246,13 +257,18 @@ func (e *Engine) runWriter() io.Writer {
 	if e.opts.Stdout == nil {
 		return nil
 	}
+	if e.router == nil {
+		e.router = &outputRouter{}
+	}
 	if e.rec == nil {
-		return e.opts.Stdout
+		e.router.w = e.opts.Stdout
+	} else {
+		if e.staged == nil {
+			e.staged = &bytes.Buffer{}
+		}
+		e.router.w = e.staged
 	}
-	if e.staged == nil {
-		e.staged = &bytes.Buffer{}
-	}
-	return e.staged
+	return e.router
 }
 
 // Run loads (or fetches from the code cache) and executes a script.
@@ -350,9 +366,26 @@ func (e *Engine) degrade(cause *EngineError) {
 	e.degraded = true
 	e.degradedErr = cause
 	e.reuser = nil
+	// Degradation happens at most once: with the record gone, no future
+	// run can degrade again, so output no longer needs staging. The record
+	// is cleared before rebuilding the VM so runWriter routes replay output
+	// through the staged buffer one last time (discarded below) and
+	// everything after that straight to the external Stdout.
+	e.rec = nil
+	var replayWriter io.Writer
+	if e.opts.Stdout != nil {
+		if e.router == nil {
+			e.router = &outputRouter{}
+		}
+		if e.staged == nil {
+			e.staged = &bytes.Buffer{}
+		}
+		e.router.w = e.staged
+		replayWriter = e.router
+	}
 	e.vm = vm.New(vm.Options{
 		AddressSeed: e.opts.AddressSeed,
-		Stdout:      e.runWriter(),
+		Stdout:      replayWriter,
 		MaxSteps:    e.opts.MaxSteps,
 		RandSeed:    e.opts.RandSeed,
 	})
@@ -371,6 +404,10 @@ func (e *Engine) degrade(cause *EngineError) {
 		// Replayed output was already delivered to the external Stdout in
 		// the original runs.
 		e.staged.Reset()
+	}
+	if e.router != nil {
+		// Post-degradation output goes straight to the external writer.
+		e.router.w = e.opts.Stdout
 	}
 }
 

@@ -215,3 +215,81 @@ func TestIncludeGlobalsOption(t *testing.T) {
 		t.Fatalf("output = %q", reuse.Output())
 	}
 }
+
+func TestDegradedEngineWritesDirectly(t *testing.T) {
+	// Extract a record from version 1 of a script...
+	v1 := `
+		function P(x, y) { this.x = x; this.y = y; }
+		var ps = [];
+		for (var i = 0; i < 10; i++) ps.push(new P(i, i));
+		var s = 0;
+		for (var j = 0; j < ps.length; j++) s += ps[j].x + ps[j].y;
+		print('v1', s);
+	`
+	init := NewEngine(Options{})
+	if err := init.Run("lib.js", v1); err != nil {
+		t.Fatal(err)
+	}
+	rec := init.ExtractRecord("lib.js")
+
+	// ...and replay the session against version 2, whose access sites no
+	// longer exist: validation fails and the engine degrades.
+	var buf bytes.Buffer
+	eng := NewEngine(Options{Record: rec, Stdout: &buf})
+	if err := eng.Run("pre.js", "print('pre');"); err != nil {
+		t.Fatal(err)
+	}
+	v2 := "var done = true; print('v2 ran');"
+	if err := eng.Run("lib.js", v2); err != nil {
+		t.Fatal(err)
+	}
+	if degraded, cause := eng.Degraded(); !degraded || cause == nil || cause.Phase != "validate" {
+		t.Fatalf("engine must degrade at validate, got degraded=%v cause=%v", degraded, cause)
+	}
+	// Replay must not duplicate already-delivered output.
+	if got := buf.String(); got != "pre\nv2 ran\n" {
+		t.Fatalf("output = %q, want each line exactly once", got)
+	}
+
+	// The bug this pins: degrade used to leave e.rec set, so runWriter kept
+	// staging output through e.staged forever even though no further
+	// degradation is possible. Post-degradation writes must go straight to
+	// the external Stdout.
+	if eng.rec != nil {
+		t.Fatal("degrade must clear the record")
+	}
+	if eng.router == nil || eng.router.w != &buf {
+		t.Fatalf("post-degradation writer = %T, want the external Stdout", eng.router.w)
+	}
+	if err := eng.Run("post.js", "print('post');"); err != nil {
+		t.Fatal(err)
+	}
+	if eng.staged != nil && eng.staged.Len() != 0 {
+		t.Fatalf("staged buffer still in use after degradation: %q", eng.staged.String())
+	}
+	if got := buf.String(); got != "pre\nv2 ran\npost\n" {
+		t.Fatalf("output after post-degradation run = %q", got)
+	}
+}
+
+func TestDegradedOutputBypassesStaging(t *testing.T) {
+	// Black-box check that post-degradation print output reaches the
+	// external writer during execution, not via a post-run staged flush:
+	// the VM must hold the direct writer.
+	var buf bytes.Buffer
+	init := NewEngine(Options{})
+	if err := init.Run("a.js", "function A(){this.v=1;} var a=new A(); print(a.v);"); err != nil {
+		t.Fatal(err)
+	}
+	rec := init.ExtractRecord("a.js")
+	eng := NewEngine(Options{Record: rec, Stdout: &buf})
+	if err := eng.Run("a.js", "print('different');"); err != nil {
+		t.Fatal(err)
+	}
+	if degraded, _ := eng.Degraded(); !degraded {
+		t.Fatal("stale record must degrade")
+	}
+	if got := buf.String(); got != "different\n" {
+		t.Fatalf("output = %q", got)
+	}
+}

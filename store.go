@@ -105,10 +105,13 @@ func OpenRecordStoreFS(dir string, fsys FS) (*RecordStore, error) {
 }
 
 // recordExt is the file extension of stored records; quarantineExt is
-// appended to it for records set aside as corrupt.
+// appended to it for records set aside as corrupt; keyExt marks the
+// sidecar file holding a record's original (unsanitized) key, which lets
+// Keys() report the exact strings Load and Delete accept.
 const (
 	recordExt     = ".ric"
 	quarantineExt = ".bad"
+	keyExt        = ".key"
 )
 
 // fileStem maps a key to its extension-less file name: the sanitized key
@@ -141,7 +144,20 @@ func (s *RecordStore) path(key string) string {
 // write is atomic (temp file + rename), so a crashed writer never leaves
 // a truncated record for the next session to trip over.
 func (s *RecordStore) Save(key string, record *Record) error {
-	data := record.Encode()
+	return s.SaveBytes(key, record.Encode())
+}
+
+// SaveBytes persists raw encoded bytes under a key without decoding
+// them. Tooling and fault harnesses use it to plant exactly the bytes a
+// failed or interrupted writer would leave; production callers should
+// prefer Save.
+func (s *RecordStore) SaveBytes(key string, data []byte) error {
+	// The key sidecar goes first: an orphaned sidecar (record rename fails
+	// below) is harmless and idempotent — its content is determined by the
+	// stem — whereas a record without a sidecar can only be listed by stem.
+	if err := s.writeKeySidecar(key); err != nil {
+		return fmt.Errorf("ricjs: save record: %w", err)
+	}
 	tmpName, err := s.fs.WriteTemp(s.dir, "ric-*", data)
 	if err != nil {
 		return fmt.Errorf("ricjs: save record: %w", err)
@@ -153,18 +169,18 @@ func (s *RecordStore) Save(key string, record *Record) error {
 	return nil
 }
 
-// SaveBytes persists raw encoded bytes under a key without decoding
-// them. Tooling and fault harnesses use it to plant exactly the bytes a
-// failed or interrupted writer would leave; production callers should
-// prefer Save.
-func (s *RecordStore) SaveBytes(key string, data []byte) error {
-	tmpName, err := s.fs.WriteTemp(s.dir, "ric-*", data)
+// writeKeySidecar persists the raw key next to its record file (atomic,
+// like the record itself), so Keys() can return the original key instead
+// of the hash-suffixed file stem.
+func (s *RecordStore) writeKeySidecar(key string) error {
+	tmpName, err := s.fs.WriteTemp(s.dir, "key-*", []byte(key))
 	if err != nil {
-		return fmt.Errorf("ricjs: save record: %w", err)
+		return err
 	}
-	if err := s.fs.Rename(tmpName, s.path(key)); err != nil {
+	dst := filepath.Join(s.dir, s.fileStem(key)+keyExt)
+	if err := s.fs.Rename(tmpName, dst); err != nil {
 		s.fs.Remove(tmpName)
-		return fmt.Errorf("ricjs: save record: %w", err)
+		return err
 	}
 	return nil
 }
@@ -186,8 +202,12 @@ func (s *RecordStore) Load(key string) (*Record, error) {
 	rec, err := DecodeRecord(data)
 	if err != nil {
 		// Self-heal: set the corrupt record aside; the next Initial run
-		// regenerates it.
-		s.Quarantine(key)
+		// regenerates it. A quarantine that itself fails leaves the poison
+		// in place — every future Load would re-decode and re-fail — so
+		// that failure is surfaced instead of swallowed.
+		if qerr := s.Quarantine(key); qerr != nil {
+			return nil, fmt.Errorf("ricjs: load record: corrupt record survived: %w", qerr)
+		}
 		return nil, nil
 	}
 	return rec, nil
@@ -200,15 +220,15 @@ func (s *RecordStore) Load(key string) (*Record, error) {
 func (s *RecordStore) Quarantine(key string) error {
 	p := s.path(key)
 	err := s.fs.Rename(p, p+quarantineExt)
-	if os.IsNotExist(err) {
+	if err == nil || os.IsNotExist(err) {
 		return nil
 	}
-	if err != nil {
-		// Last resort: a record that can be neither quarantined nor left
-		// in place is removed; losing the forensic copy beats letting the
-		// poison persist.
-		s.fs.Remove(p)
-		return fmt.Errorf("ricjs: quarantine record: %w", err)
+	// Last resort: a record that can be neither quarantined nor left in
+	// place is removed; losing the forensic copy beats letting the poison
+	// persist. Only when the remove fails too — the poison file survives
+	// and will be re-read by every future Load — is an error returned.
+	if rerr := s.fs.Remove(p); rerr != nil && !os.IsNotExist(rerr) {
+		return fmt.Errorf("ricjs: quarantine record: rename: %v; remove: %w", err, rerr)
 	}
 	return nil
 }
@@ -232,17 +252,26 @@ func (s *RecordStore) Quarantined() ([]string, error) {
 	return names, nil
 }
 
-// Delete removes the record stored under a key, if any.
+// Delete removes the record stored under a key (and its key sidecar),
+// if any.
 func (s *RecordStore) Delete(key string) error {
 	err := s.fs.Remove(s.path(key))
+	if rerr := s.fs.Remove(filepath.Join(s.dir, s.fileStem(key)+keyExt)); rerr != nil {
+		// The sidecar is advisory; its absence only degrades Keys() to the
+		// stem fallback, so its removal failure never masks the record's.
+		_ = rerr
+	}
 	if os.IsNotExist(err) {
 		return nil
 	}
 	return err
 }
 
-// Keys lists the stored record file stems (file names without extension),
-// sorted. Quarantined records are excluded.
+// Keys lists the original keys of the stored records, sorted, such that
+// Load(Keys()[i]) round-trips for every entry. Quarantined records are
+// excluded. Records written by older store versions (no key sidecar) are
+// listed by their file stem — the pre-sidecar behaviour — which may not
+// resolve through Load for keys that needed sanitizing.
 func (s *RecordStore) Keys() ([]string, error) {
 	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
@@ -254,7 +283,12 @@ func (s *RecordStore) Keys() ([]string, error) {
 		if e.IsDir() || !strings.HasSuffix(name, recordExt) {
 			continue
 		}
-		keys = append(keys, strings.TrimSuffix(name, recordExt))
+		stem := strings.TrimSuffix(name, recordExt)
+		if raw, rerr := s.fs.ReadFile(filepath.Join(s.dir, stem+keyExt)); rerr == nil && len(raw) > 0 {
+			keys = append(keys, string(raw))
+		} else {
+			keys = append(keys, stem)
+		}
 	}
 	sort.Strings(keys)
 	return keys, nil

@@ -167,11 +167,7 @@ func TestRecordStoreKeysAndDelete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{
-		store.fileStem("a.js"),
-		store.fileStem("b.js"),
-		store.fileStem("weird/key with spaces"),
-	}
+	want := []string{"a.js", "b.js", "weird/key with spaces"}
 	sort.Strings(want)
 	if !reflect.DeepEqual(keys, want) {
 		t.Fatalf("Keys = %v, want %v", keys, want)
@@ -185,6 +181,76 @@ func TestRecordStoreKeysAndDelete(t *testing.T) {
 	keys, _ = store.Keys()
 	if len(keys) != 2 {
 		t.Fatalf("Keys after delete = %v", keys)
+	}
+}
+
+func TestRecordStoreKeysRoundTrip(t *testing.T) {
+	// The bug this pins: Keys() used to return the sanitized+hash file
+	// stem, which Load() re-hashed into a nonexistent path. Keys() must
+	// return the exact strings Load() accepts — including keys that
+	// sanitize identically and keys that sanitize away entirely.
+	store, err := OpenRecordStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := map[string]*Record{
+		"a/b":           extractDemo(t, demoLib, "ab1.js"),
+		"a_b":           extractDemo(t, "function F(){this.f=1;} var f=new F(); print(f.f);", "ab2.js"),
+		"café/ünïcode":  extractDemo(t, "function G(){this.g=2;} var g=new G(); print(g.g);", "uni.js"),
+		"plain.js":      extractDemo(t, "function H(){this.h=3;} var h=new H(); print(h.h);", "plain.js"),
+		"with spaces !": extractDemo(t, "function K(){this.k=4;} var k=new K(); print(k.k);", "sp.js"),
+	}
+	var saved []string
+	for key, rec := range recs {
+		if err := store.Save(key, rec); err != nil {
+			t.Fatalf("save %q: %v", key, err)
+		}
+		saved = append(saved, key)
+	}
+	sort.Strings(saved)
+
+	keys, err := store.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keys, saved) {
+		t.Fatalf("Keys = %v, want the original keys %v", keys, saved)
+	}
+	for _, key := range keys {
+		back, err := store.Load(key)
+		if err != nil {
+			t.Fatalf("Load(Keys()[i]=%q): %v", key, err)
+		}
+		if back == nil {
+			t.Fatalf("Load(Keys()[i]=%q) found nothing: round trip broken", key)
+		}
+		if string(back.Encode()) != string(recs[key].Encode()) {
+			t.Fatalf("Load(%q) returned a different record", key)
+		}
+	}
+}
+
+func TestRecordStoreKeysLegacyFallback(t *testing.T) {
+	// Records written before the key sidecar existed are still listed —
+	// by stem — instead of being hidden.
+	store, err := OpenRecordStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := extractDemo(t, demoLib, "demo.js")
+	if err := store.Save("legacy/key", rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(store.dir, store.fileStem("legacy/key")+keyExt)); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := store.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{store.fileStem("legacy/key")}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("Keys = %v, want stem fallback %v", keys, want)
 	}
 }
 
