@@ -354,6 +354,40 @@ func BenchmarkSnapshotRestore(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceOverhead compares a Reuse run with tracing disabled (nil
+// sink — the default) and enabled. The Disabled variant is the number the
+// ≤2% overhead contract is stated against: a nil trace buffer must cost no
+// more than the one predictable branch per event site.
+func BenchmarkTraceOverhead(b *testing.B) {
+	p, _ := workloads.ByName("jQuery")
+	cache := NewCodeCache()
+	src := p.Source()
+	initial := NewEngine(Options{Cache: cache})
+	if err := initial.Run(p.Script, src); err != nil {
+		b.Fatal(err)
+	}
+	record := initial.ExtractRecord(p.Name)
+	b.Run("Disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := NewEngine(Options{Cache: cache, Record: record})
+			if err := e.Run(p.Script, src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Enabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := NewEngine(Options{Cache: cache, Record: record, Trace: ricjs.NewTrace(0)})
+			if err := e.Run(p.Script, src); err != nil {
+				b.Fatal(err)
+			}
+			if e.Trace().Len() == 0 {
+				b.Fatal("enabled trace collected no events")
+			}
+		}
+	})
+}
+
 // BenchmarkEngineStartup measures bare engine construction (builtin
 // environment setup), context for all per-run numbers above.
 func BenchmarkEngineStartup(b *testing.B) {

@@ -27,6 +27,34 @@ echo "== pool stress: concurrent record serving under -race =="
 go test -race -count=1 -run 'TestSessionPool|TestSharedRecordImmutableUnderConcurrentReuse' .
 go test -race -count=1 -run 'TestConcurrentLoad' ./internal/codecache
 
+echo "== golden traces: drift check =="
+# The committed per-workload event summaries under testdata/traces/ must
+# match what the engine emits today. Regenerate deliberately with
+#   go test -run TestGoldenTraces -update .
+go test -count=1 -run 'TestGoldenTraces|TestTraceDeterminism' .
+
+echo "== coverage floors =="
+# Statement-coverage floors for the observability-critical packages, set
+# just below the levels measured when the trace layer landed. Raising
+# coverage moves the floor; silently shedding tests fails the build.
+check_cover() {
+  pkg="$1"; floor="$2"
+  pct=$(go test -cover "$pkg" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+  if [ -z "$pct" ]; then
+    echo "ci.sh: no coverage figure for $pkg" >&2
+    exit 1
+  fi
+  if [ "$(awk -v p="$pct" -v f="$floor" 'BEGIN { print (p < f) }')" = 1 ]; then
+    echo "ci.sh: coverage of $pkg fell to $pct% (floor $floor%)" >&2
+    exit 1
+  fi
+  echo "$pkg ${pct}% (floor ${floor}%)"
+}
+check_cover ./internal/ic 95.0
+check_cover ./internal/vm 84.0
+check_cover ./internal/ric 79.0
+check_cover ./internal/trace 93.0
+
 echo "== riclint: offline record verification =="
 # Truthful fixtures must pass all three layers (integrity, site existence,
 # static cross-check)...

@@ -31,6 +31,7 @@ func main() {
 		faults    = flag.Bool("faults", false, "fault-injection sweep: corrupted records vs conventional runs")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
 		snapshotF = flag.Bool("snapshot", false, "compare RIC with heap-snapshot restoration (§9)")
+		traceF    = flag.Bool("trace", false, "structured IC-event totals, Initial vs Reuse run")
 		reps      = flag.Int("reps", 5, "timing repetitions per Reuse run (median reported)")
 		parallel  = flag.Int("parallel", 0, "throughput mode: serve the workload set through a SessionPool with N workers (also measures 1 worker as the scaling baseline)")
 		sessions  = flag.Int("sessions", 0, "sessions per throughput measurement (default 8 per library)")
@@ -79,7 +80,7 @@ func main() {
 
 	all := !(*fig1 || *fig5 || *table1 || *table4 || *fig8 || *fig9 ||
 		*overheads || *websites || *ablation || *snapshotF || *faults ||
-		*parallel > 0)
+		*traceF || *parallel > 0)
 
 	needRuns := all || *fig5 || *table1 || *table4 || *fig8 || *fig9 || *overheads
 	var runs []bench.LibraryRun
@@ -141,6 +142,17 @@ func main() {
 			os.Exit(1)
 		}
 	})
+	// The trace section is opt-in only (never part of `all`): its totals
+	// restate the Table 1/4 aggregates at per-event granularity.
+	if *traceF {
+		runs, err := bench.MeasureTraces()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ricbench:", err)
+			os.Exit(1)
+		}
+		bench.ReportTraces(os.Stdout, runs)
+		fmt.Println()
+	}
 	// Throughput mode is opt-in only (never part of `all`): it needs an
 	// explicit worker count to be meaningful.
 	if *parallel > 0 {

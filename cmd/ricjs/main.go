@@ -8,10 +8,15 @@
 //	ricjs -record lib.ric lib.js         # Initial run; extract record
 //	ricjs -reuse lib.ric lib.js          # Reuse run with the record
 //	ricjs -stats lib.js                  # print IC statistics
+//	ricjs -trace out.jsonl lib.js        # write the structured IC-event trace
 //	ricjs -dump lib.ric                  # inspect a record file
 //
 // Several scripts can be given; they run in order in one engine, like a
 // website loading several libraries.
+//
+// The trace file is JSONL (one event per line) by default;
+// -trace-format chrome writes the Chrome trace_event format instead, which
+// chrome://tracing and https://ui.perfetto.dev load directly.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"path/filepath"
 
 	"ricjs"
+	"ricjs/internal/trace"
 )
 
 func main() {
@@ -31,6 +37,8 @@ func main() {
 		icstate   = flag.Bool("icstate", false, "dump the final ICVector states after the run")
 		globals   = flag.Bool("globals", false, "include global-object state in RIC extraction")
 		dump      = flag.String("dump", "", "print a summary of a record file and exit")
+		traceOut  = flag.String("trace", "", "write the structured IC-event trace to this file")
+		traceFmt  = flag.String("trace-format", "jsonl", "trace file format: jsonl or chrome (chrome://tracing / Perfetto)")
 	)
 	flag.Parse()
 
@@ -50,6 +58,12 @@ func main() {
 	}
 
 	opts := ricjs.Options{Stdout: os.Stdout, IncludeGlobals: *globals}
+	if *traceOut != "" {
+		if *traceFmt != "jsonl" && *traceFmt != "chrome" {
+			fail(fmt.Errorf("unknown -trace-format %q (want jsonl or chrome)", *traceFmt))
+		}
+		opts.Trace = ricjs.NewTrace(0)
+	}
 	if *reuseIn != "" {
 		data, err := os.ReadFile(*reuseIn)
 		if err != nil {
@@ -83,12 +97,43 @@ func main() {
 			*recordOut, s.HiddenClasses, s.TriggeringSites, s.DependentSlots)
 	}
 
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, *traceFmt, engine.Trace()); err != nil {
+			fail(err)
+		}
+	}
+
 	if *stats {
 		printStats(engine)
 	}
 	if *icstate {
 		fmt.Fprint(os.Stderr, engine.ICState())
 	}
+}
+
+// writeTrace exports the run's event stream in the requested format.
+func writeTrace(path, format string, buf *trace.Buffer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	events := buf.Events()
+	if format == "chrome" {
+		err = trace.WriteChromeTrace(f, events)
+	} else {
+		err = trace.WriteJSONL(f, events)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if dropped := buf.Dropped(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "ricjs: trace ring dropped %d early events (of %d); aggregate counts are unaffected\n",
+			dropped, buf.Len())
+	}
+	return nil
 }
 
 func printStats(e *ricjs.Engine) {

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"ricjs"
+	"ricjs/internal/trace"
+	"ricjs/internal/workloads"
+)
+
+// TraceRun holds one library's structured event summaries for the Initial
+// and the RIC Reuse run. The summaries are deterministic: equal workloads
+// produce equal summaries, which is what the golden-trace tests pin down.
+type TraceRun struct {
+	Name    string
+	Initial *trace.Summary
+	Reuse   *trace.Summary
+}
+
+// MeasureTraces runs every library's Initial → extract → Reuse pipeline
+// with tracing enabled and collects the per-run event summaries.
+func MeasureTraces() ([]TraceRun, error) {
+	runs := make([]TraceRun, 0, len(workloads.Profiles))
+	for _, p := range workloads.Profiles {
+		r, err := MeasureTrace(p)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, r)
+	}
+	return runs, nil
+}
+
+// MeasureTrace traces one library's Initial and Reuse runs.
+func MeasureTrace(p workloads.Profile) (TraceRun, error) {
+	src := p.Source()
+	cache := ricjs.NewCodeCache()
+
+	initial := ricjs.NewEngine(ricjs.Options{Cache: cache, Trace: ricjs.NewTrace(0)})
+	if err := initial.Run(p.Script, src); err != nil {
+		return TraceRun{}, err
+	}
+	record := initial.ExtractRecord(p.Name)
+
+	reuse := ricjs.NewEngine(ricjs.Options{Cache: cache, Record: record, Trace: ricjs.NewTrace(0)})
+	if err := reuse.Run(p.Script, src); err != nil {
+		return TraceRun{}, err
+	}
+	return TraceRun{
+		Name:    p.Name,
+		Initial: initial.Trace().Summary(),
+		Reuse:   reuse.Trace().Summary(),
+	}, nil
+}
+
+// ReportTraces prints the per-library event totals side by side. The
+// Initial column shows the conventional miss/fill activity; the Reuse
+// column shows the same workload with preloaded hits replacing misses.
+func ReportTraces(w io.Writer, runs []TraceRun) {
+	fmt.Fprintln(w, "Structured IC-event trace totals (Initial vs RIC Reuse run)")
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "library\tevent\tinitial\treuse")
+	for _, r := range runs {
+		printed := false
+		for t := trace.Type(0); t < trace.NumTypes; t++ {
+			in, re := r.Initial.Count(t), r.Reuse.Count(t)
+			if in == 0 && re == 0 {
+				continue
+			}
+			name := r.Name
+			if printed {
+				name = ""
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\n", name, t, in, re)
+			printed = true
+		}
+	}
+	tw.Flush()
+}

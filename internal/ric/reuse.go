@@ -6,6 +6,7 @@ import (
 	"ricjs/internal/objects"
 	"ricjs/internal/profiler"
 	"ricjs/internal/source"
+	"ricjs/internal/trace"
 	"ricjs/internal/vm"
 )
 
@@ -21,6 +22,7 @@ import (
 type Reuser struct {
 	rec     *Record
 	prof    *profiler.Counters
+	tr      *trace.Buffer
 	slotFor func(source.Site) *ic.Slot
 
 	// Runtime HCVT columns: the Reuse-run address and Validated bit per
@@ -65,7 +67,17 @@ func (r *Reuser) SetSlotResolver(fn func(source.Site) *ic.Slot) { r.slotFor = fn
 // VM's profiler and slot index once the VM exists.
 func (r *Reuser) Attach(v *vm.VM) {
 	r.prof = v.Prof
+	r.tr = v.Trace()
 	r.slotFor = v.SlotFor
+}
+
+// emit forwards a reuse-pipeline event to the attached trace buffer, if
+// any. The nil check keeps the disabled cost to a single branch, exactly
+// as in vm.VM.emit.
+func (r *Reuser) emit(t trace.Type, site source.Site, name string, n int64) {
+	if r.tr != nil {
+		r.tr.Emit(t, site, name, n)
+	}
 }
 
 // SetAnalysis feeds a static shape analysis into the reuse pipeline.
@@ -120,7 +132,7 @@ func (r *Reuser) OnHCCreated(creator objects.Creator, incoming, outgoing *object
 	}
 	if creator.IsBuiltin() {
 		if id, ok := r.rec.BuiltinTOAST[creator.Builtin]; ok {
-			r.validate(id, outgoing)
+			r.validate(creator, id, outgoing)
 		}
 		// Builtins absent from the record are not failures: the record may
 		// simply predate them (e.g. a different script set).
@@ -134,18 +146,19 @@ func (r *Reuser) OnHCCreated(creator objects.Creator, incoming, outgoing *object
 		if r.prof != nil {
 			r.prof.ValidateFail()
 		}
+		r.emit(trace.EvValidateFail, creator.Site, creator.Builtin, 0)
 		return
 	}
 	for _, p := range pairs {
 		if p.In < 0 {
 			if incoming == nil {
-				r.validate(p.Out, outgoing)
+				r.validate(creator, p.Out, outgoing)
 				return
 			}
 			continue
 		}
 		if incoming != nil && r.valid[p.In] && r.addr[p.In] == incoming.Addr() {
-			r.validate(p.Out, outgoing)
+			r.validate(creator, p.Out, outgoing)
 			return
 		}
 	}
@@ -154,11 +167,13 @@ func (r *Reuser) OnHCCreated(creator objects.Creator, incoming, outgoing *object
 	if r.prof != nil {
 		r.prof.ValidateFail()
 	}
+	r.emit(trace.EvValidateFail, creator.Site, creator.Builtin, 0)
 }
 
 // validate certifies that a Reuse-run hidden class corresponds to an
 // Initial-run HCID, then preloads every dependent site recorded for it.
-func (r *Reuser) validate(id int32, hc *objects.HiddenClass) {
+// creator is the triggering event, carried only for trace identity.
+func (r *Reuser) validate(creator objects.Creator, id int32, hc *objects.HiddenClass) {
 	if id < 0 || int(id) >= len(r.valid) {
 		return
 	}
@@ -168,6 +183,7 @@ func (r *Reuser) validate(id int32, hc *objects.HiddenClass) {
 	if r.prof != nil {
 		r.prof.Validate()
 	}
+	r.emit(trace.EvValidatePass, creator.Site, creator.Builtin, int64(id))
 	r.preloadDeps(id, hc)
 }
 
@@ -196,6 +212,7 @@ func (r *Reuser) preloadDeps(id int32, hc *objects.HiddenClass) {
 				if r.prof != nil {
 					r.prof.StaticFiltered()
 				}
+				r.emit(trace.EvPreloadFiltered, dep.Site, dep.Name, int64(id))
 				continue
 			}
 		}
@@ -213,6 +230,7 @@ func (r *Reuser) preloadDeps(id int32, hc *objects.HiddenClass) {
 			// different access kind) than the record saw: the record is
 			// from a different program version. Never preload.
 			r.done[id][j] = true
+			r.emit(trace.EvPreloadRejected, dep.Site, dep.Name, int64(id))
 			continue
 		}
 		h, err := dep.Desc.Rebuild()
@@ -220,11 +238,15 @@ func (r *Reuser) preloadDeps(id int32, hc *objects.HiddenClass) {
 			// Defensive: a corrupt or mismatched record must degrade to
 			// conventional behaviour, never to a wrong preload.
 			r.done[id][j] = true
+			r.emit(trace.EvPreloadRejected, dep.Site, dep.Name, int64(id))
 			continue
 		}
 		r.done[id][j] = true
 		if slot.Preload(hc, h) {
 			preloaded++
+			r.emit(trace.EvPreloadApplied, dep.Site, dep.Name, int64(id))
+		} else {
+			r.emit(trace.EvPreloadRejected, dep.Site, dep.Name, int64(id))
 		}
 	}
 	if preloaded > 0 && r.prof != nil {

@@ -8,6 +8,7 @@ import (
 	"ricjs/internal/objects"
 	"ricjs/internal/profiler"
 	"ricjs/internal/source"
+	"ricjs/internal/trace"
 )
 
 // missBurnWork sizes the simulated runtime work per abstract instruction
@@ -52,6 +53,7 @@ func (vm *VM) classifyMiss(site source.Site, receiver *objects.Object) profiler.
 func (vm *VM) notifyHC(creator objects.Creator, incoming, outgoing *objects.HiddenClass) {
 	vm.Prof.HCCreated()
 	vm.Prof.Charge(profiler.CostHCTransition)
+	vm.emit(trace.EvHCCreated, creator.Site, creator.Builtin, 0)
 	if vm.hooks != nil && !creator.IsZero() {
 		vm.hooks.OnHCCreated(creator, incoming, outgoing)
 	}
@@ -95,6 +97,7 @@ func (vm *VM) loadNamed(objVal objects.Value, name string, slot *ic.Slot) (objec
 		// so no miss is recorded, but the access is slower than a
 		// monomorphic hit.
 		vm.Prof.Hit(ic.MaxPolymorphic, false)
+		vm.emit(trace.EvICHit, slot.Site, name, int64(ic.MaxPolymorphic))
 		vm.Prof.Charge(profiler.CostGenericAccess)
 		v, _ := o.GetNamed(name)
 		return v, nil
@@ -107,6 +110,7 @@ func (vm *VM) loadNamed(objVal objects.Value, name string, slot *ic.Slot) (objec
 			slot.Remove(o.HC())
 		} else {
 			vm.Prof.Hit(idx, e.Preloaded)
+			vm.emit(hitEvent(e.Preloaded), slot.Site, name, int64(idx))
 			if e.Preloaded {
 				// A preloaded entry averts exactly one miss: its first
 				// access.
@@ -117,7 +121,9 @@ func (vm *VM) loadNamed(objVal objects.Value, name string, slot *ic.Slot) (objec
 	}
 
 	// IC miss: enter the runtime (paper §2.4).
-	vm.Prof.Miss(vm.classifyMiss(slot.Site, o))
+	kind := vm.classifyMiss(slot.Site, o)
+	vm.Prof.Miss(kind)
+	vm.emit(missEvent(kind), slot.Site, name, 0)
 	vm.Prof.BeginICMiss()
 	defer vm.Prof.EndICMiss()
 	missStart := vm.Prof.ICMissInstrCount()
@@ -127,9 +133,14 @@ func (vm *VM) loadNamed(objVal objects.Value, name string, slot *ic.Slot) (objec
 	incoming := o.HC()
 	handler, value := vm.resolveLoad(o, name, slot.Site)
 
-	vm.Prof.HandlerMade(handler.ContextIndependent())
+	ci := handler.ContextIndependent()
+	vm.Prof.HandlerMade(ci)
+	vm.emit(handlerEvent(ci), slot.Site, name, 0)
 	vm.Prof.Charge(profiler.CostHandlerGen)
 	slot.Add(incoming, handler)
+	if slot.State == ic.Megamorphic {
+		vm.emit(trace.EvMegamorphic, slot.Site, name, 0)
+	}
 	vm.Prof.Charge(profiler.CostVectorUpdate)
 	return value, nil
 }
@@ -239,12 +250,14 @@ func (vm *VM) storeNamed(objVal objects.Value, name string, v objects.Value, slo
 	vm.observeSite(slot, o)
 	if slot.State == ic.Megamorphic {
 		vm.Prof.Hit(ic.MaxPolymorphic, false)
+		vm.emit(trace.EvICHit, slot.Site, name, int64(ic.MaxPolymorphic))
 		vm.Prof.Charge(profiler.CostGenericAccess)
 		vm.genericStore(o, name, v, slot)
 		return nil
 	}
 	if e, found, idx := slot.Lookup(o.HC()); found {
 		vm.Prof.Hit(idx, e.Preloaded)
+		vm.emit(hitEvent(e.Preloaded), slot.Site, name, int64(idx))
 		if e.Preloaded {
 			slot.Entries[idx].Preloaded = false
 		}
@@ -254,7 +267,9 @@ func (vm *VM) storeNamed(objVal objects.Value, name string, v objects.Value, slo
 	}
 
 	// IC miss.
-	vm.Prof.Miss(vm.classifyMiss(slot.Site, o))
+	kind := vm.classifyMiss(slot.Site, o)
+	vm.Prof.Miss(kind)
+	vm.emit(missEvent(kind), slot.Site, name, 0)
 	vm.Prof.BeginICMiss()
 	missStart := vm.Prof.ICMissInstrCount()
 	vm.Prof.Charge(profiler.CostMissEntry)
@@ -262,9 +277,14 @@ func (vm *VM) storeNamed(objVal objects.Value, name string, v objects.Value, slo
 	incoming := o.HC()
 	handler := vm.resolveStore(o, name, v, slot.Site)
 
-	vm.Prof.HandlerMade(handler.ContextIndependent())
+	ci := handler.ContextIndependent()
+	vm.Prof.HandlerMade(ci)
+	vm.emit(handlerEvent(ci), slot.Site, name, 0)
 	vm.Prof.Charge(profiler.CostHandlerGen)
 	slot.Add(incoming, handler)
+	if slot.State == ic.Megamorphic {
+		vm.emit(trace.EvMegamorphic, slot.Site, name, 0)
+	}
 	vm.Prof.Charge(profiler.CostVectorUpdate)
 	vm.burn((vm.Prof.ICMissInstrCount() - missStart) * missBurnWork)
 	vm.Prof.EndICMiss()
@@ -388,6 +408,7 @@ func (vm *VM) loadKeyed(objVal, key objects.Value, slot *ic.Slot) (objects.Value
 	vm.observeSite(slot, o)
 	if slot.State == ic.Megamorphic {
 		vm.Prof.Hit(ic.MaxPolymorphic, false)
+		vm.emit(trace.EvICHit, slot.Site, slot.Name, int64(ic.MaxPolymorphic))
 		vm.Prof.Charge(profiler.CostGenericAccess)
 		return vm.genericKeyedLoad(o, key), nil
 	}
@@ -400,6 +421,7 @@ func (vm *VM) loadKeyed(objVal, key objects.Value, slot *ic.Slot) (objects.Value
 		case ic.LoadElement:
 			if elementAccess {
 				vm.Prof.Hit(pos, e.Preloaded)
+				vm.emit(hitEvent(e.Preloaded), slot.Site, slot.Name, int64(pos))
 				if e.Preloaded {
 					slot.Entries[pos].Preloaded = false
 				}
@@ -408,6 +430,7 @@ func (vm *VM) loadKeyed(objVal, key objects.Value, slot *ic.Slot) (objects.Value
 		case ic.KeyedNamed:
 			if !elementAccess && h.Name == key.ToString() && !vm.staleProtoHandler(h.Inner) {
 				vm.Prof.Hit(pos, e.Preloaded)
+				vm.emit(hitEvent(e.Preloaded), slot.Site, h.Name, int64(pos))
 				if e.Preloaded {
 					slot.Entries[pos].Preloaded = false
 				}
@@ -416,16 +439,21 @@ func (vm *VM) loadKeyed(objVal, key objects.Value, slot *ic.Slot) (objects.Value
 		}
 		// Same hidden class, different key flavour or name: per-entry
 		// caching cannot discriminate further; go megamorphic.
-		vm.Prof.Miss(vm.classifyMiss(slot.Site, o))
+		kind := vm.classifyMiss(slot.Site, o)
+		vm.Prof.Miss(kind)
+		vm.emit(missEvent(kind), slot.Site, slot.Name, 0)
 		vm.Prof.BeginICMiss()
 		vm.Prof.Charge(profiler.CostMissEntry + profiler.CostGenericAccess)
 		slot.ForceMegamorphic()
+		vm.emit(trace.EvMegamorphic, slot.Site, slot.Name, 0)
 		vm.Prof.EndICMiss()
 		return vm.genericKeyedLoad(o, key), nil
 	}
 
 	// Keyed IC miss.
-	vm.Prof.Miss(vm.classifyMiss(slot.Site, o))
+	kind := vm.classifyMiss(slot.Site, o)
+	vm.Prof.Miss(kind)
+	vm.emit(missEvent(kind), slot.Site, slot.Name, 0)
 	vm.Prof.BeginICMiss()
 	missStart := vm.Prof.ICMissInstrCount()
 	vm.Prof.Charge(profiler.CostMissEntry)
@@ -441,9 +469,14 @@ func (vm *VM) loadKeyed(objVal, key objects.Value, slot *ic.Slot) (objects.Value
 		handler = ic.KeyedNamed{Name: key.ToString(), Inner: inner}
 		value = v
 	}
-	vm.Prof.HandlerMade(handler.ContextIndependent())
+	ci := handler.ContextIndependent()
+	vm.Prof.HandlerMade(ci)
+	vm.emit(handlerEvent(ci), slot.Site, slot.Name, 0)
 	vm.Prof.Charge(profiler.CostHandlerGen)
 	slot.Add(incoming, handler)
+	if slot.State == ic.Megamorphic {
+		vm.emit(trace.EvMegamorphic, slot.Site, slot.Name, 0)
+	}
 	vm.Prof.Charge(profiler.CostVectorUpdate)
 	vm.burn((vm.Prof.ICMissInstrCount() - missStart) * missBurnWork)
 	vm.Prof.EndICMiss()
@@ -487,6 +520,7 @@ func (vm *VM) storeKeyed(objVal, key, v objects.Value, slot *ic.Slot) error {
 	vm.observeSite(slot, o)
 	if slot.State == ic.Megamorphic {
 		vm.Prof.Hit(ic.MaxPolymorphic, false)
+		vm.emit(trace.EvICHit, slot.Site, slot.Name, int64(ic.MaxPolymorphic))
 		vm.Prof.Charge(profiler.CostGenericAccess)
 		vm.genericKeyedStore(o, key, v)
 		return nil
@@ -497,6 +531,7 @@ func (vm *VM) storeKeyed(objVal, key, v objects.Value, slot *ic.Slot) error {
 		case ic.StoreElement:
 			if elementAccess {
 				vm.Prof.Hit(pos, e.Preloaded)
+				vm.emit(hitEvent(e.Preloaded), slot.Site, slot.Name, int64(pos))
 				if e.Preloaded {
 					slot.Entries[pos].Preloaded = false
 				}
@@ -506,6 +541,7 @@ func (vm *VM) storeKeyed(objVal, key, v objects.Value, slot *ic.Slot) error {
 		case ic.KeyedNamed:
 			if !elementAccess && h.Name == key.ToString() {
 				vm.Prof.Hit(pos, e.Preloaded)
+				vm.emit(hitEvent(e.Preloaded), slot.Site, h.Name, int64(pos))
 				if e.Preloaded {
 					slot.Entries[pos].Preloaded = false
 				}
@@ -514,17 +550,22 @@ func (vm *VM) storeKeyed(objVal, key, v objects.Value, slot *ic.Slot) error {
 				return nil
 			}
 		}
-		vm.Prof.Miss(vm.classifyMiss(slot.Site, o))
+		kind := vm.classifyMiss(slot.Site, o)
+		vm.Prof.Miss(kind)
+		vm.emit(missEvent(kind), slot.Site, slot.Name, 0)
 		vm.Prof.BeginICMiss()
 		vm.Prof.Charge(profiler.CostMissEntry + profiler.CostGenericAccess)
 		slot.ForceMegamorphic()
+		vm.emit(trace.EvMegamorphic, slot.Site, slot.Name, 0)
 		vm.Prof.EndICMiss()
 		vm.genericKeyedStore(o, key, v)
 		return nil
 	}
 
 	// Keyed IC miss.
-	vm.Prof.Miss(vm.classifyMiss(slot.Site, o))
+	kind := vm.classifyMiss(slot.Site, o)
+	vm.Prof.Miss(kind)
+	vm.emit(missEvent(kind), slot.Site, slot.Name, 0)
 	vm.Prof.BeginICMiss()
 	missStart := vm.Prof.ICMissInstrCount()
 	vm.Prof.Charge(profiler.CostMissEntry)
@@ -540,9 +581,14 @@ func (vm *VM) storeKeyed(objVal, key, v objects.Value, slot *ic.Slot) error {
 		handler = ic.KeyedNamed{Name: name, Inner: inner}
 		vm.maybeInvalidateCtorHC(o, name)
 	}
-	vm.Prof.HandlerMade(handler.ContextIndependent())
+	ci := handler.ContextIndependent()
+	vm.Prof.HandlerMade(ci)
+	vm.emit(handlerEvent(ci), slot.Site, slot.Name, 0)
 	vm.Prof.Charge(profiler.CostHandlerGen)
 	slot.Add(incoming, handler)
+	if slot.State == ic.Megamorphic {
+		vm.emit(trace.EvMegamorphic, slot.Site, slot.Name, 0)
+	}
 	vm.Prof.Charge(profiler.CostVectorUpdate)
 	vm.burn((vm.Prof.ICMissInstrCount() - missStart) * missBurnWork)
 	vm.Prof.EndICMiss()

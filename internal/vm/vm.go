@@ -14,6 +14,7 @@ import (
 	"ricjs/internal/objects"
 	"ricjs/internal/profiler"
 	"ricjs/internal/source"
+	"ricjs/internal/trace"
 )
 
 // maxCallDepth bounds recursion, standing in for a JavaScript stack limit.
@@ -35,6 +36,12 @@ type Options struct {
 	// (0 = unlimited). The abort is a LimitError, not catchable by
 	// JavaScript code.
 	MaxSteps uint64
+	// Trace receives structured IC events (hits, misses, megamorphic
+	// transitions, handler installs, hidden-class creations) as the run
+	// executes; nil disables tracing at the cost of one branch per event
+	// site. Startup events are not traced, mirroring the profiler reset at
+	// the end of construction.
+	Trace *trace.Buffer
 	// SiteObserver, when set, is invoked for every IC-mediated object
 	// access with the site identity, access kind, and the receiver's
 	// hidden class at that moment — exactly the (site, hidden class)
@@ -54,6 +61,7 @@ type VM struct {
 
 	global  *objects.Object
 	hooks   Hooks
+	tr      *trace.Buffer
 	siteObs func(site source.Site, kind ic.AccessKind, hc *objects.HiddenClass)
 
 	// Shared root hidden classes (paper §2.2's HC0s for each object kind).
@@ -155,7 +163,51 @@ func New(opts Options) *VM {
 		vm.globalBaseline[name] = true
 	}
 	vm.Prof.Reset()
+	// Tracing attaches only after startup, so the event stream covers
+	// script execution exactly like the (just reset) profiler counters do;
+	// the trace/profiler reconciliation tests rely on this alignment.
+	vm.tr = opts.Trace
 	return vm
+}
+
+// Trace returns the VM's trace buffer (nil when tracing is disabled).
+func (vm *VM) Trace() *trace.Buffer { return vm.tr }
+
+// emit records one trace event. The nil check keeps the disabled-tracing
+// cost on the IC fast path to a single predictable branch.
+func (vm *VM) emit(t trace.Type, site source.Site, name string, n int64) {
+	if vm.tr != nil {
+		vm.tr.Emit(t, site, name, n)
+	}
+}
+
+// missEvent maps the profiler's miss classification to its event type.
+func missEvent(kind profiler.MissKind) trace.Type {
+	switch kind {
+	case profiler.MissHandler:
+		return trace.EvICMissHandler
+	case profiler.MissGlobal:
+		return trace.EvICMissGlobal
+	default:
+		return trace.EvICMissOther
+	}
+}
+
+// handlerEvent maps a handler's context-independence to its event type.
+func handlerEvent(contextIndependent bool) trace.Type {
+	if contextIndependent {
+		return trace.EvHandlerInstallCI
+	}
+	return trace.EvHandlerInstall
+}
+
+// hitEvent maps a fast-path hit to its event type; a hit on a preloaded
+// entry is one miss RIC averted.
+func hitEvent(preloaded bool) trace.Type {
+	if preloaded {
+		return trace.EvICHitPreloaded
+	}
+	return trace.EvICHit
 }
 
 // RegisterBuiltinObject records a builtin object under a stable qualified

@@ -5,8 +5,11 @@ import (
 	"hash/fnv"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"ricjs/internal/profiler"
+	"ricjs/internal/source"
+	"ricjs/internal/trace"
 )
 
 // PoolStats is the aggregate statistics snapshot of a SessionPool:
@@ -38,6 +41,11 @@ type PoolOptions struct {
 	IncludeGlobals bool
 	// MaxSteps bounds every session's scripts (0 = unlimited).
 	MaxSteps uint64
+	// TraceCapacity, when nonzero, gives every session a private trace
+	// buffer (negative values pick the default ring capacity), tagged with
+	// a pool-unique session ID and the record key's cache-shard index, and
+	// returned in SessionResult.Trace. Zero disables tracing.
+	TraceCapacity int
 }
 
 // SessionScript is one script of a session's workload.
@@ -103,6 +111,12 @@ type SessionResult struct {
 	// Degraded reports that the engine abandoned reuse mid-session and
 	// completed conventionally.
 	Degraded bool
+	// Trace is the session's trace buffer when the pool was created with
+	// TraceCapacity set (nil otherwise). Pool lifecycle events are emitted
+	// into it after the session settles, so a mid-run degradation — which
+	// resets the buffer alongside the engine's fresh profiler — cannot wipe
+	// them. Sessions that return an error drop their buffer.
+	Trace *trace.Buffer
 }
 
 // recordEntry is one key's slot in the shared record cache. ready is
@@ -151,6 +165,8 @@ type SessionPool struct {
 	wait           bool
 	includeGlobals bool
 	maxSteps       uint64
+	traceCap       int
+	sessionSeq     atomic.Uint64
 	shards         []recordShard
 	stats          profiler.PoolCounters
 }
@@ -171,6 +187,7 @@ func NewSessionPool(opts PoolOptions) *SessionPool {
 		wait:           opts.WaitForRecord,
 		includeGlobals: opts.IncludeGlobals,
 		maxSteps:       opts.MaxSteps,
+		traceCap:       opts.TraceCapacity,
 		shards:         make([]recordShard, n),
 	}
 	for i := range p.shards {
@@ -199,19 +216,41 @@ func (p *SessionPool) CachedRecords() int {
 	return n
 }
 
-// shard maps a key to its lock domain.
-func (p *SessionPool) shard(key string) *recordShard {
+// shardIndex maps a key to its lock-domain index (also the trace shard tag).
+func (p *SessionPool) shardIndex(key string) uint32 {
 	h := fnv.New32a()
 	h.Write([]byte(key)) //nolint:errcheck
-	return &p.shards[h.Sum32()%uint32(len(p.shards))]
+	return h.Sum32() % uint32(len(p.shards))
+}
+
+// shard maps a key to its lock domain.
+func (p *SessionPool) shard(key string) *recordShard {
+	return &p.shards[p.shardIndex(key)]
+}
+
+// poolEvents records what happened to one session on its way through the
+// pool, so the matching trace events can be emitted after the session
+// settles (see SessionResult.Trace). Counts mirror the PoolCounters the
+// trace reconciles against.
+type poolEvents struct {
+	hit          bool // shared-cache record served (stats.ReuseHit)
+	own          bool // cold key, this session owned the extraction
+	dedup        bool // extraction already in flight (stats.Deduped)
+	waited       bool // blocked for the in-flight record (stats.Waited)
+	conventional bool // ran record-free (stats.Conventional)
+	storeLoad    bool // record decoded from the backing store
+	storeErrs    int  // failed best-effort store operations
+	extract      bool // Initial-run record extraction
+	publish      string
 }
 
 // acquire resolves a key against the shared cache. It returns the shared
 // record when one is published (rec != nil), or the entry this caller now
 // owns and must settle (owned != nil), or (nil, nil) when the session
 // should run conventionally: extraction is in flight elsewhere and the
-// pool does not wait, or the awaited extraction failed.
-func (p *SessionPool) acquire(key string) (rec *Record, owned *recordEntry) {
+// pool does not wait, or the awaited extraction failed. ev is updated with
+// the acquisition outcome for the session's trace.
+func (p *SessionPool) acquire(key string, ev *poolEvents) (rec *Record, owned *recordEntry) {
 	sh := p.shard(key)
 	sh.mu.Lock()
 	ent, ok := sh.entries[key]
@@ -219,29 +258,36 @@ func (p *SessionPool) acquire(key string) (rec *Record, owned *recordEntry) {
 		ent = &recordEntry{ready: make(chan struct{})}
 		sh.entries[key] = ent
 		sh.mu.Unlock()
+		ev.own = true
 		return nil, ent
 	}
 	sh.mu.Unlock()
 	if ent.settled() {
 		if ent.rec != nil {
 			p.stats.ReuseHit()
+			ev.hit = true
 			return ent.rec, nil
 		}
 		// Settled without a record: a failed extraction is being retired;
 		// run conventionally rather than pile onto the retry.
 		p.stats.Conventional()
+		ev.conventional = true
 		return nil, nil
 	}
 	p.stats.Deduped()
+	ev.dedup = true
 	if p.wait {
 		p.stats.Waited()
+		ev.waited = true
 		<-ent.ready
 		if ent.rec != nil {
 			p.stats.ReuseHit()
+			ev.hit = true
 			return ent.rec, nil
 		}
 	}
 	p.stats.Conventional()
+	ev.conventional = true
 	return nil, nil
 }
 
@@ -275,14 +321,21 @@ func (p *SessionPool) Serve(req SessionRequest) (*SessionResult, error) {
 		return nil, fmt.Errorf("ricjs: pool session %q has no scripts", req.Key)
 	}
 	p.stats.Session()
+	var tr *trace.Buffer
+	if p.traceCap != 0 {
+		tr = trace.NewBuffer(p.traceCap).Tag(p.sessionSeq.Add(1), p.shardIndex(req.Key))
+	}
 
-	rec, owned := p.acquire(req.Key)
+	var ev poolEvents
+	rec, owned := p.acquire(req.Key, &ev)
 	if rec != nil {
-		res, _, err := p.runSession(req, rec, SessionReuse)
+		res, _, err := p.runSession(req, rec, SessionReuse, tr)
+		p.settleTrace(tr, res, req.Key, &ev)
 		return res, err
 	}
 	if owned == nil {
-		res, _, err := p.runSession(req, nil, SessionConventional)
+		res, _, err := p.runSession(req, nil, SessionConventional, tr)
+		p.settleTrace(tr, res, req.Key, &ev)
 		return res, err
 	}
 
@@ -292,10 +345,14 @@ func (p *SessionPool) Serve(req SessionRequest) (*SessionResult, error) {
 		stored, err := p.store.Load(req.Key)
 		if err != nil {
 			p.stats.StoreError()
+			ev.storeErrs++
 		} else if stored != nil {
 			p.stats.StoreLoad()
+			ev.storeLoad = true
 			p.publish(owned, stored)
-			res, _, rerr := p.runSession(req, stored, SessionReuse)
+			ev.publish = "store"
+			res, _, rerr := p.runSession(req, stored, SessionReuse, tr)
+			p.settleTrace(tr, res, req.Key, &ev)
 			return res, rerr
 		}
 	}
@@ -303,26 +360,74 @@ func (p *SessionPool) Serve(req SessionRequest) (*SessionResult, error) {
 	// Initial run: conventional execution that builds the IC state the
 	// extraction reads. A failure abandons the entry so the key stays
 	// retryable; waiters fall back to conventional runs.
-	res, eng, err := p.runSession(req, nil, SessionInitial)
+	res, eng, err := p.runSession(req, nil, SessionInitial, tr)
 	if err != nil {
 		p.abandon(req.Key, owned)
+		tr.Emit(trace.EvPoolAbandon, source.Site{}, req.Key, 0)
 		return nil, err
 	}
 	record := eng.ExtractRecord(req.Key)
 	p.stats.Extraction()
+	ev.extract = true
 	p.publish(owned, record)
+	ev.publish = "extract"
 	if p.store != nil {
 		if serr := p.store.Save(req.Key, record); serr != nil {
 			p.stats.StoreError()
+			ev.storeErrs++
 		}
 	}
+	p.settleTrace(tr, res, req.Key, &ev)
 	return res, nil
+}
+
+// settleTrace emits a session's pool lifecycle events and hands its buffer
+// to the result. It runs after the session's engine work is done: an
+// engine degradation resets the buffer mid-run, so emitting any earlier
+// could lose the events.
+func (p *SessionPool) settleTrace(tr *trace.Buffer, res *SessionResult, key string, ev *poolEvents) {
+	if tr == nil || res == nil {
+		return
+	}
+	none := source.Site{}
+	tr.Emit(trace.EvPoolSession, none, key, 0)
+	if ev.hit {
+		tr.Emit(trace.EvPoolAcquireHit, none, key, 0)
+	}
+	if ev.own {
+		tr.Emit(trace.EvPoolAcquireOwn, none, key, 0)
+	}
+	if ev.dedup {
+		tr.Emit(trace.EvPoolDedup, none, key, 0)
+	}
+	if ev.waited {
+		tr.Emit(trace.EvPoolWait, none, key, 0)
+	}
+	if ev.conventional {
+		tr.Emit(trace.EvPoolConventional, none, key, 0)
+	}
+	if ev.storeLoad {
+		tr.Emit(trace.EvPoolStoreLoad, none, key, 0)
+	}
+	for i := 0; i < ev.storeErrs; i++ {
+		tr.Emit(trace.EvPoolStoreError, none, key, 0)
+	}
+	if ev.extract {
+		tr.Emit(trace.EvPoolExtract, none, key, 0)
+	}
+	if ev.publish != "" {
+		tr.Emit(trace.EvPoolPublish, none, ev.publish, 0)
+	}
+	if res.Degraded {
+		tr.Emit(trace.EvPoolDegraded, none, key, 0)
+	}
+	res.Trace = tr
 }
 
 // runSession executes one session on a fresh engine. rec, when non-nil,
 // is the shared decoded record — handed to the engine by reference; the
 // engine's Reuser keeps all mutable reuse state per-session.
-func (p *SessionPool) runSession(req SessionRequest, rec *Record, mode SessionMode) (*SessionResult, *Engine, error) {
+func (p *SessionPool) runSession(req SessionRequest, rec *Record, mode SessionMode, tr *trace.Buffer) (*SessionResult, *Engine, error) {
 	eng := NewEngine(Options{
 		Cache:          p.cache,
 		Record:         rec,
@@ -331,6 +436,7 @@ func (p *SessionPool) runSession(req SessionRequest, rec *Record, mode SessionMo
 		AddressSeed:    req.AddressSeed,
 		RandSeed:       req.RandSeed,
 		MaxSteps:       p.maxSteps,
+		Trace:          tr,
 	})
 	for _, s := range req.Scripts {
 		if err := eng.Run(s.Name, s.Src); err != nil {

@@ -34,6 +34,8 @@ import (
 	"ricjs/internal/codecache"
 	"ricjs/internal/profiler"
 	"ricjs/internal/ric"
+	"ricjs/internal/source"
+	"ricjs/internal/trace"
 	"ricjs/internal/vm"
 )
 
@@ -148,6 +150,87 @@ type Options struct {
 	// class are skipped, and Stats() reports the dead/megamorphic-risk
 	// site counts. No effect in conventional (record-free) runs.
 	StaticPrefilter bool
+	// Trace receives structured IC events (hits, misses, handler installs,
+	// validations, preloads, degradations) when non-nil; see NewTrace. A nil
+	// Trace disables tracing at near-zero cost. The buffer's event stream
+	// covers exactly the profiler's lifetime: engine-startup events are
+	// excluded, and a degradation resets the buffer alongside the fresh
+	// profiler so the two stay reconcilable.
+	Trace *trace.Buffer
+}
+
+// NewTrace allocates a trace buffer to pass as Options.Trace. capacity
+// bounds the retained event ring (<= 0 picks a default); aggregate per-site
+// counts are kept for every event regardless of ring capacity.
+func NewTrace(capacity int) *trace.Buffer { return trace.NewBuffer(capacity) }
+
+// The trace subsystem lives in internal/trace; these aliases and wrappers
+// make its consumer surface — buffers, events, summaries, and the two
+// exporters — reachable from outside the module, where internal packages
+// cannot be imported.
+type (
+	// TraceBuffer is one session's event stream; see NewTrace.
+	TraceBuffer = trace.Buffer
+	// TraceEvent is one structured IC event.
+	TraceEvent = trace.Event
+	// TraceEventType identifies one kind of IC event; its String form is
+	// the stable wire name used by the exporters and golden files.
+	TraceEventType = trace.Type
+	// TraceSummary is a deterministic roll-up of an event stream; equal
+	// executions produce equal summaries.
+	TraceSummary = trace.Summary
+)
+
+// The event types, re-exported so external code can filter events and
+// query summaries by type. See the internal/trace documentation for what
+// each one means.
+const (
+	EvICHit            = trace.EvICHit
+	EvICHitPreloaded   = trace.EvICHitPreloaded
+	EvICMissHandler    = trace.EvICMissHandler
+	EvICMissGlobal     = trace.EvICMissGlobal
+	EvICMissOther      = trace.EvICMissOther
+	EvMegamorphic      = trace.EvMegamorphic
+	EvHandlerInstall   = trace.EvHandlerInstall
+	EvHandlerInstallCI = trace.EvHandlerInstallCI
+	EvHCCreated        = trace.EvHCCreated
+	EvValidatePass     = trace.EvValidatePass
+	EvValidateFail     = trace.EvValidateFail
+	EvPreloadApplied   = trace.EvPreloadApplied
+	EvPreloadRejected  = trace.EvPreloadRejected
+	EvPreloadFiltered  = trace.EvPreloadFiltered
+	EvDegrade          = trace.EvDegrade
+	EvPoolSession      = trace.EvPoolSession
+	EvPoolAcquireHit   = trace.EvPoolAcquireHit
+	EvPoolAcquireOwn   = trace.EvPoolAcquireOwn
+	EvPoolDedup        = trace.EvPoolDedup
+	EvPoolWait         = trace.EvPoolWait
+	EvPoolConventional = trace.EvPoolConventional
+	EvPoolExtract      = trace.EvPoolExtract
+	EvPoolPublish      = trace.EvPoolPublish
+	EvPoolAbandon      = trace.EvPoolAbandon
+	EvPoolStoreLoad    = trace.EvPoolStoreLoad
+	EvPoolStoreError   = trace.EvPoolStoreError
+	EvPoolDegraded     = trace.EvPoolDegraded
+	// NumTraceEventTypes bounds iteration over all event types.
+	NumTraceEventTypes = trace.NumTypes
+)
+
+// MergeTraceSummaries folds many per-session summaries into one (e.g. the
+// pool-wide view across SessionResult.Trace buffers).
+func MergeTraceSummaries(parts ...*trace.Summary) *trace.Summary {
+	return trace.MergeSummaries(parts...)
+}
+
+// WriteTraceJSONL writes events one JSON object per line.
+func WriteTraceJSONL(w io.Writer, events []trace.Event) error {
+	return trace.WriteJSONL(w, events)
+}
+
+// WriteChromeTrace writes events in the Chrome trace_event JSON format,
+// viewable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, events []trace.Event) error {
+	return trace.WriteChromeTrace(w, events)
 }
 
 // scriptRun remembers one executed script so a degraded engine can replay
@@ -229,6 +312,7 @@ func NewEngine(opts Options) *Engine {
 		Stdout:      e.runWriter(),
 		MaxSteps:    opts.MaxSteps,
 		RandSeed:    opts.RandSeed,
+		Trace:       opts.Trace,
 	})
 	if e.reuser != nil {
 		// The VM announced builtin hidden classes during construction;
@@ -245,6 +329,7 @@ func NewEngine(opts Options) *Engine {
 			Err:                decodeErr,
 		}
 		e.vm.Prof.Degrade()
+		opts.Trace.Emit(trace.EvDegrade, source.Site{}, "decode", 0)
 	}
 	return e
 }
@@ -383,13 +468,19 @@ func (e *Engine) degrade(cause *EngineError) {
 		e.router.w = e.staged
 		replayWriter = e.router
 	}
+	// The fresh VM starts with a fresh profiler; reset the trace buffer
+	// alongside it so the event stream keeps covering exactly the profiler
+	// lifetime (the replay below re-emits the session's events).
+	e.opts.Trace.Reset()
 	e.vm = vm.New(vm.Options{
 		AddressSeed: e.opts.AddressSeed,
 		Stdout:      replayWriter,
 		MaxSteps:    e.opts.MaxSteps,
 		RandSeed:    e.opts.RandSeed,
+		Trace:       e.opts.Trace,
 	})
 	e.vm.Prof.Degrade()
+	e.opts.Trace.Emit(trace.EvDegrade, source.Site{}, cause.Phase, 0)
 	for _, h := range e.history {
 		prog, err := e.cache.c.Load(h.name, h.src)
 		if err != nil {
@@ -438,6 +529,10 @@ func (e *Engine) ExtractRecord(label string) *Record {
 
 // Stats snapshots the run's statistics.
 func (e *Engine) Stats() Stats { return e.vm.Prof.Snapshot() }
+
+// Trace returns the trace buffer configured at construction (nil when
+// tracing is disabled).
+func (e *Engine) Trace() *trace.Buffer { return e.opts.Trace }
 
 // Output returns accumulated print/console output when no Stdout writer
 // was configured.
