@@ -1,0 +1,90 @@
+package ricjs_test
+
+import (
+	"testing"
+
+	"ricjs/internal/objects"
+	"ricjs/internal/vm"
+)
+
+// zeroAllocCall asserts that steady-state invocations of a warmed-up
+// compiled function allocate nothing: the frame pool supplies the
+// activation record, every IC site hits its denormalized fast path, and
+// no Value boxing occurs. One warm-up call populates the ICs and the
+// pool before measuring.
+func zeroAllocCall(t *testing.T, label string, v *vm.VM, fn objects.Value) {
+	t.Helper()
+	this := objects.Obj(v.Global())
+	if _, err := v.CallFunction(fn, this, nil); err != nil {
+		t.Fatalf("%s warm-up: %v", label, err)
+	}
+	var callErr error
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := v.CallFunction(fn, this, nil); err != nil {
+			callErr = err
+		}
+	})
+	if callErr != nil {
+		t.Fatalf("%s: %v", label, callErr)
+	}
+	if allocs != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", label, allocs)
+	}
+}
+
+// TestMonomorphicHitPathZeroAlloc pins the tentpole contract: the
+// monomorphic IC hit path — load and store — is allocation-free,
+// including the call frame around it. A regression here means either the
+// frame pool stopped recycling or something on the hit path started
+// boxing (string conversion, handler interface churn, trace emission).
+func TestMonomorphicHitPathZeroAlloc(t *testing.T) {
+	loadVM, loadFn := benchClosure(t, `
+		var obj = {a: 1, b: 2, c: 3};
+		function bench() {
+			var t = 0;
+			for (var i = 0; i < 64; i++) { t = t + obj.c; }
+			return t;
+		}
+		bench();`, "bench")
+	zeroAllocCall(t, "monomorphic load", loadVM, loadFn)
+
+	storeVM, storeFn := benchClosure(t, `
+		var obj = {a: 1, b: 2, c: 3};
+		function bench() {
+			for (var i = 0; i < 64; i++) { obj.b = i; }
+			return obj.b;
+		}
+		bench();`, "bench")
+	zeroAllocCall(t, "monomorphic store", storeVM, storeFn)
+}
+
+// TestPolymorphicHitPathZeroAlloc extends the pin to polymorphic and
+// megamorphic hits: entry-list scans and the generic stub also run
+// allocation-free once warm.
+func TestPolymorphicHitPathZeroAlloc(t *testing.T) {
+	polyVM, polyFn := benchClosure(t, `
+		var shapes = [{x: 1}, {a: 1, x: 2}, {a: 1, b: 2, x: 3}, {a: 1, b: 2, c: 3, x: 4}];
+		function bench() {
+			var t = 0;
+			for (var i = 0; i < 64; i++) { t = t + shapes[i % 4].x; }
+			return t;
+		}
+		bench();`, "bench")
+	zeroAllocCall(t, "polymorphic load", polyVM, polyFn)
+}
+
+// TestNestedCallZeroAlloc pins the frame pool across call depth: nested
+// user-function calls reuse pooled frames rather than allocating
+// activation records.
+func TestNestedCallZeroAlloc(t *testing.T) {
+	v, fn := benchClosure(t, `
+		var obj = {a: 7};
+		function inner(n) { return n + obj.a; }
+		function bench() {
+			var t = 0;
+			for (var i = 0; i < 32; i++) { t = inner(t); }
+			return t;
+		}
+		bench();`, "bench")
+	zeroAllocCall(t, "nested calls", v, fn)
+}

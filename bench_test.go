@@ -10,6 +10,8 @@ import (
 
 	"ricjs"
 	"ricjs/internal/bench"
+	"ricjs/internal/objects"
+	"ricjs/internal/vm"
 	"ricjs/internal/workloads"
 )
 
@@ -395,6 +397,139 @@ func BenchmarkEngineStartup(b *testing.B) {
 		e := NewEngine(Options{})
 		if e == nil {
 			b.Fatal("nil engine")
+		}
+	}
+}
+
+// ---- Hot-path micro-benchmarks ----
+//
+// The suite below pins the cost of the IC fast path itself (a hit must be
+// a compare-and-load, paper §2.3) rather than whole-run figures. Each
+// benchmark drives the interpreter through the public engine, then calls
+// a pre-compiled JavaScript function directly via the VM so an iteration
+// measures access-path cost, not engine or compile time. Run with
+// -benchmem: the monomorphic variants are the 0 allocs/op contract that
+// TestMonomorphicHitPathZeroAlloc enforces.
+
+// benchClosure compiles src, runs it, and returns the VM plus the global
+// function fn ready to call.
+func benchClosure(tb testing.TB, src, fn string) (*vm.VM, objects.Value) {
+	tb.Helper()
+	e := NewEngine(Options{})
+	if err := e.Run("bench.js", src); err != nil {
+		tb.Fatal(err)
+	}
+	v := e.VM()
+	fval, ok := v.Global().GetNamed(fn)
+	if !ok || !fval.IsCallable() {
+		tb.Fatalf("benchmark function %q not defined", fn)
+	}
+	return v, fval
+}
+
+// callN invokes fn b.N times, failing on any JS error.
+func callN(b *testing.B, v *vm.VM, fn objects.Value) {
+	b.Helper()
+	this := objects.Obj(v.Global())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.CallFunction(fn, this, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoadNamedMono measures a monomorphic named-load site: one
+// hidden class, LoadField handler, 128 loads per op.
+func BenchmarkLoadNamedMono(b *testing.B) {
+	v, fn := benchClosure(b, `
+		var obj = {a: 1, b: 2, c: 3};
+		function bench() {
+			var t = 0;
+			for (var i = 0; i < 128; i++) { t = t + obj.c; }
+			return t;
+		}
+		bench();`, "bench")
+	callN(b, v, fn)
+}
+
+// BenchmarkLoadNamedPoly measures a polymorphic site: four layouts cycle
+// through one load site, so hits scan the slot's entry list.
+func BenchmarkLoadNamedPoly(b *testing.B) {
+	v, fn := benchClosure(b, `
+		var shapes = [{x: 1}, {a: 1, x: 2}, {a: 1, b: 2, x: 3}, {a: 1, b: 2, c: 3, x: 4}];
+		function bench() {
+			var t = 0;
+			for (var i = 0; i < 128; i++) { t = t + shapes[i % 4].x; }
+			return t;
+		}
+		bench();`, "bench")
+	callN(b, v, fn)
+}
+
+// BenchmarkLoadNamedMegamorphic measures a megamorphic site: more
+// layouts than MaxPolymorphic force the generic access stub.
+func BenchmarkLoadNamedMegamorphic(b *testing.B) {
+	v, fn := benchClosure(b, `
+		var shapes = [{x: 1}, {a: 1, x: 2}, {a: 1, b: 2, x: 3},
+			{a: 1, b: 2, c: 3, x: 4}, {a: 1, b: 2, c: 3, d: 4, x: 5},
+			{q: 1, x: 6}];
+		function bench() {
+			var t = 0;
+			for (var i = 0; i < 128; i++) { t = t + shapes[i % 6].x; }
+			return t;
+		}
+		bench();`, "bench")
+	callN(b, v, fn)
+}
+
+// BenchmarkStoreNamedMono measures a monomorphic named-store site
+// (StoreField overwrite of an existing property).
+func BenchmarkStoreNamedMono(b *testing.B) {
+	v, fn := benchClosure(b, `
+		var obj = {a: 1, b: 2, c: 3};
+		function bench() {
+			for (var i = 0; i < 128; i++) { obj.b = i; }
+			return obj.b;
+		}
+		bench();`, "bench")
+	callN(b, v, fn)
+}
+
+// BenchmarkStoreTransition measures the add-property store path: each op
+// builds 16 fresh objects of 4 properties, so every store walks the
+// hidden-class transition table (warm: all target classes exist).
+func BenchmarkStoreTransition(b *testing.B) {
+	v, fn := benchClosure(b, `
+		function bench() {
+			var last;
+			for (var i = 0; i < 16; i++) {
+				var o = {};
+				o.a = i; o.b = i; o.c = i; o.d = i;
+				last = o;
+			}
+			return last;
+		}
+		bench();`, "bench")
+	callN(b, v, fn)
+}
+
+// BenchmarkRecordDecode measures .ric decoding throughput over a real
+// workload record (the per-session cost SessionPool amortizes).
+func BenchmarkRecordDecode(b *testing.B) {
+	p, _ := workloads.ByName("jQuery")
+	cache := NewCodeCache()
+	src := p.Source()
+	initial := NewEngine(Options{Cache: cache})
+	if err := initial.Run(p.Script, src); err != nil {
+		b.Fatal(err)
+	}
+	data := initial.ExtractRecord(p.Name).Encode()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ricjs.DecodeRecord(data); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

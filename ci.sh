@@ -69,6 +69,14 @@ for bad in point-remap point-offsets point-badversion point-bitflip point-trunca
   fi
 done
 
+echo "== perf gate: deterministic counters vs BENCH_baseline.json =="
+# Instruction counts and record sizes are bit-for-bit reproducible, so
+# they are gated exactly (tolerance 2%), with zero flake; wall-clock
+# timings are deliberately not gated. After a legitimate improvement,
+# refresh and commit the baseline:
+#   go run ./cmd/ricbench -format json | go run ./cmd/perfgate -write
+go run ./cmd/ricbench -format json | go run ./cmd/perfgate
+
 echo "== fuzz: FuzzDecodeRecord (10s) =="
 go test -run '^$' -fuzz '^FuzzDecodeRecord$' -fuzztime 10s ./internal/ric/
 

@@ -7,37 +7,77 @@
 //	ricbench -table1          # one experiment
 //	ricbench -reps 9          # more timing repetitions
 //	ricbench -ablation        # design-choice ablations
+//	ricbench -cpuprofile cpu.pprof -memprofile mem.pprof  # profile the run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ricjs/internal/bench"
 )
 
 func main() {
 	var (
-		fig1      = flag.Bool("fig1", false, "Figure 1: motivation trend data")
-		fig5      = flag.Bool("fig5", false, "Figure 5: instruction breakdown during initialization")
-		table1    = flag.Bool("table1", false, "Table 1: IC statistics in the Initial run")
-		table4    = flag.Bool("table4", false, "Table 4: IC miss rates, Initial vs Reuse")
-		fig8      = flag.Bool("fig8", false, "Figure 8: normalized instruction count of Reuse runs")
-		fig9      = flag.Bool("fig9", false, "Figure 9: normalized execution time of Reuse runs")
-		overheads = flag.Bool("overheads", false, "Section 7.3: extraction time and record size")
-		websites  = flag.Bool("websites", false, "cross-website reuse robustness")
-		ablation  = flag.Bool("ablation", false, "design-choice ablations")
-		faults    = flag.Bool("faults", false, "fault-injection sweep: corrupted records vs conventional runs")
-		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
-		snapshotF = flag.Bool("snapshot", false, "compare RIC with heap-snapshot restoration (§9)")
-		traceF    = flag.Bool("trace", false, "structured IC-event totals, Initial vs Reuse run")
-		reps      = flag.Int("reps", 5, "timing repetitions per Reuse run (median reported)")
-		parallel  = flag.Int("parallel", 0, "throughput mode: serve the workload set through a SessionPool with N workers (also measures 1 worker as the scaling baseline)")
-		sessions  = flag.Int("sessions", 0, "sessions per throughput measurement (default 8 per library)")
-		format    = flag.String("format", "text", "output format: text or json (json runs the full evaluation)")
+		fig1       = flag.Bool("fig1", false, "Figure 1: motivation trend data")
+		fig5       = flag.Bool("fig5", false, "Figure 5: instruction breakdown during initialization")
+		table1     = flag.Bool("table1", false, "Table 1: IC statistics in the Initial run")
+		table4     = flag.Bool("table4", false, "Table 4: IC miss rates, Initial vs Reuse")
+		fig8       = flag.Bool("fig8", false, "Figure 8: normalized instruction count of Reuse runs")
+		fig9       = flag.Bool("fig9", false, "Figure 9: normalized execution time of Reuse runs")
+		overheads  = flag.Bool("overheads", false, "Section 7.3: extraction time and record size")
+		websites   = flag.Bool("websites", false, "cross-website reuse robustness")
+		ablation   = flag.Bool("ablation", false, "design-choice ablations")
+		faults     = flag.Bool("faults", false, "fault-injection sweep: corrupted records vs conventional runs")
+		faultSeed  = flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
+		snapshotF  = flag.Bool("snapshot", false, "compare RIC with heap-snapshot restoration (§9)")
+		traceF     = flag.Bool("trace", false, "structured IC-event totals, Initial vs Reuse run")
+		reps       = flag.Int("reps", 5, "timing repetitions per Reuse run (median reported)")
+		parallel   = flag.Int("parallel", 0, "throughput mode: serve the workload set through a SessionPool with N workers (also measures 1 worker as the scaling baseline)")
+		sessions   = flag.Int("sessions", 0, "sessions per throughput measurement (default 8 per library)")
+		format     = flag.String("format", "text", "output format: text or json (json runs the full evaluation)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// Profiling hooks so hot-path claims in perf changes are inspectable
+	// with `go tool pprof` against the very binary that produced the
+	// evaluation numbers. Deferred teardown runs on every exit path below
+	// except the os.Exit error paths, which have nothing worth profiling.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ricbench: -cpuprofile:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ricbench: -cpuprofile:", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ricbench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ricbench: -memprofile:", err)
+			}
+		}()
+	}
 
 	measureThroughput := func() []bench.ThroughputResult {
 		counts := []int{1}

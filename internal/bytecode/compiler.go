@@ -6,6 +6,7 @@ import (
 	"ricjs/internal/ast"
 	"ricjs/internal/ic"
 	"ricjs/internal/source"
+	"ricjs/internal/symtab"
 )
 
 // CompileError is a semantic error found during compilation.
@@ -38,6 +39,12 @@ func Compile(prog *ast.Program) (*Program, error) {
 	if err := fc.compileBody(prog.Body); err != nil {
 		return nil, err
 	}
+	// Pre-render the per-call stack labels: protos are shared read-only
+	// across VMs afterwards (codecache), so the label must be fixed here,
+	// not lazily on the call path.
+	fc.proto.WalkProtos(func(p *FuncProto) {
+		p.CallLabel = p.FunctionName() + " (" + p.Script + ")"
+	})
 	return &Program{Script: prog.Script, Toplevel: fc.proto}, nil
 }
 
@@ -403,15 +410,24 @@ func (fc *funcCompiler) nameIdx(n string) uint32 {
 		}
 	}
 	fc.proto.Names = append(fc.proto.Names, n)
+	// The name pool is pre-interned at compile time: the interpreter
+	// reaches property symbols by index, never hashing the string again.
+	fc.proto.NameIDs = append(fc.proto.NameIDs, symtab.Intern(n))
 	return uint32(len(fc.proto.Names) - 1)
 }
 
-// addSite allocates a feedback slot for an object access site.
+// addSite allocates a feedback slot for an object access site. Keyed
+// sites have no static name and keep the None symbol.
 func (fc *funcCompiler) addSite(pos source.Pos, kind ic.AccessKind, name string) uint32 {
+	nameID := symtab.None
+	if name != "" {
+		nameID = symtab.Intern(name)
+	}
 	fc.proto.Sites = append(fc.proto.Sites, SiteInfo{
-		Site: source.Site{Script: fc.script, Pos: pos},
-		Kind: kind,
-		Name: name,
+		Site:   source.Site{Script: fc.script, Pos: pos},
+		Kind:   kind,
+		Name:   name,
+		NameID: nameID,
 	})
 	return uint32(len(fc.proto.Sites) - 1)
 }

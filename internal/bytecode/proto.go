@@ -6,6 +6,7 @@ import (
 
 	"ricjs/internal/ic"
 	"ricjs/internal/source"
+	"ricjs/internal/symtab"
 )
 
 // ConstKind discriminates constant-pool entries.
@@ -39,6 +40,9 @@ type SiteInfo struct {
 	Site source.Site
 	Kind ic.AccessKind
 	Name string
+	// NameID is Name pre-interned at compile time; feedback slots carry it
+	// so IC dispatch compares symbol IDs, never strings.
+	NameID symtab.ID
 }
 
 // FuncProto is a compiled function: the shared, context-independent part
@@ -53,6 +57,9 @@ type FuncProto struct {
 	// DeclPos is the function's declaration position; constructor initial
 	// hidden classes are keyed to it (paper Figure 2's Constructor HC).
 	DeclPos source.Pos
+	// CallLabel is the pre-rendered "name (script)" stack-trace label, so
+	// pushing a call frame allocates nothing.
+	CallLabel string
 
 	NumParams int
 	// NumLocals counts parameter, variable and temporary slots.
@@ -64,8 +71,12 @@ type FuncProto struct {
 	Code   []uint32
 	Consts []Const
 	Names  []string
-	Protos []*FuncProto
-	Sites  []SiteInfo
+	// NameIDs holds the interned symbol for each Names entry, in lockstep:
+	// the interpreter indexes it with the same operand it would use for
+	// Names, so named access never hashes a string at run time.
+	NameIDs []symtab.ID
+	Protos  []*FuncProto
+	Sites   []SiteInfo
 }
 
 // FunctionName implements a human-readable identity for diagnostics.

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"ricjs/internal/objects"
+	"ricjs/internal/symtab"
 )
 
 // HandlerKind discriminates handler types.
@@ -207,10 +208,12 @@ func (StoreElement) ContextIndependent() bool { return true }
 func (StoreElement) String() string { return "StoreElement" }
 
 // KeyedNamed is a named-property handler cached at a keyed access site:
-// valid only when the runtime key equals Name.
+// valid only when the runtime key equals Name. NameID is Name interned;
+// the VM checks the key by ID so a keyed hit compares integers.
 type KeyedNamed struct {
-	Name  string
-	Inner Handler
+	Name   string
+	NameID symtab.ID
+	Inner  Handler
 }
 
 // Kind implements Handler.
@@ -280,7 +283,7 @@ func (d CIDescriptor) Rebuild() (Handler, error) {
 		if _, nested := inner.(KeyedNamed); nested {
 			return nil, fmt.Errorf("ic: nested keyed descriptor")
 		}
-		return KeyedNamed{Name: d.Name, Inner: inner}, nil
+		return KeyedNamed{Name: d.Name, NameID: symtab.Intern(d.Name), Inner: inner}, nil
 	default:
 		return nil, fmt.Errorf("ic: descriptor kind %v is not context-independent", d.Kind)
 	}

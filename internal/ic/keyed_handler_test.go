@@ -1,6 +1,10 @@
 package ic
 
-import "testing"
+import (
+	"testing"
+
+	"ricjs/internal/symtab"
+)
 
 func TestKeyedHandlerKinds(t *testing.T) {
 	cases := []struct {
@@ -36,9 +40,9 @@ func TestKeyedDescribeRebuildRoundTrip(t *testing.T) {
 	handlers := []Handler{
 		LoadElement{},
 		StoreElement{},
-		KeyedNamed{Name: "prop", Inner: LoadField{Offset: 3}},
-		KeyedNamed{Name: "w", Inner: StoreField{Offset: 0}},
-		KeyedNamed{Name: "len", Inner: LoadArrayLength{}},
+		KeyedNamed{Name: "prop", NameID: symtab.Intern("prop"), Inner: LoadField{Offset: 3}},
+		KeyedNamed{Name: "w", NameID: symtab.Intern("w"), Inner: StoreField{Offset: 0}},
+		KeyedNamed{Name: "len", NameID: symtab.Intern("len"), Inner: LoadArrayLength{}},
 	}
 	for _, h := range handlers {
 		d, ok := DescribeCI(h)

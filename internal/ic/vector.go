@@ -6,6 +6,7 @@ import (
 
 	"ricjs/internal/objects"
 	"ricjs/internal/source"
+	"ricjs/internal/symtab"
 )
 
 // AccessKind says what kind of object access a feedback slot serves.
@@ -98,6 +99,23 @@ func (s State) String() string {
 // holds before going megamorphic, matching V8's limit.
 const MaxPolymorphic = 4
 
+// FastOp is the denormalized dispatch code of a cached handler. The VM's
+// hit path switches on this one byte instead of type-switching on the
+// Handler interface, so a monomorphic field access runs without an
+// interface dispatch.
+type FastOp uint8
+
+const (
+	// FastNone routes the hit through the full handler type-switch.
+	FastNone FastOp = iota
+	// FastLoadField reads the receiver's own field at FastOffset.
+	FastLoadField
+	// FastStoreField writes the receiver's own field at FastOffset.
+	FastStoreField
+	// FastLoadArrayLength reads the receiver's array length.
+	FastLoadArrayLength
+)
+
 // Entry is one (HCAddr, Handler) tuple of a slot (paper Figure 3).
 type Entry struct {
 	HC *objects.HiddenClass
@@ -105,6 +123,26 @@ type Entry struct {
 	// Preloaded marks entries installed by RIC from an ICRecord rather
 	// than by a miss; a hit on such an entry is a miss RIC averted.
 	Preloaded bool
+	// Fast and FastOffset denormalize H at install time (see FastOp);
+	// FastNone means "consult H".
+	Fast       FastOp
+	FastOffset int32
+}
+
+// fastFor classifies a handler for the denormalized hit path. Handlers
+// with validity conditions beyond the hidden-class match (prototype
+// handlers carry epochs) stay on the general path.
+func fastFor(h Handler) (FastOp, int32) {
+	switch t := h.(type) {
+	case LoadField:
+		return FastLoadField, int32(t.Offset)
+	case StoreField:
+		return FastStoreField, int32(t.Offset)
+	case LoadArrayLength:
+		return FastLoadArrayLength, 0
+	default:
+		return FastNone, 0
+	}
 }
 
 // Slot is the feedback for one object access site.
@@ -115,6 +153,9 @@ type Slot struct {
 	Kind AccessKind
 	// Name is the property (or global) name accessed at the site.
 	Name string
+	// NameID is Name interned; the VM's dispatch and the hidden-class
+	// lookups it triggers use the ID, so a slot access hashes no strings.
+	NameID symtab.ID
 
 	State   State
 	Entries []Entry
@@ -130,6 +171,19 @@ func (s *Slot) Lookup(hc *objects.HiddenClass) (e Entry, found bool, extra int) 
 		}
 	}
 	return Entry{}, false, len(s.Entries)
+}
+
+// Find is Lookup for the VM's hit path: it returns a pointer into the
+// entry list (nil when the hidden class is not cached) so a hit copies no
+// entry, plus the number of entries examined before the match.
+func (s *Slot) Find(hc *objects.HiddenClass) (*Entry, int) {
+	entries := s.Entries
+	for i := range entries {
+		if entries[i].HC == hc {
+			return &entries[i], i
+		}
+	}
+	return nil, len(entries)
 }
 
 // ForceMegamorphic tips the slot into the megamorphic state immediately,
@@ -198,7 +252,9 @@ func (s *Slot) insert(hc *objects.HiddenClass, h Handler, preloaded bool) {
 		s.Entries = nil
 		return
 	}
-	s.Entries = append(s.Entries, Entry{HC: hc, H: h, Preloaded: preloaded})
+	e := Entry{HC: hc, H: h, Preloaded: preloaded}
+	e.Fast, e.FastOffset = fastFor(h)
+	s.Entries = append(s.Entries, e)
 	switch len(s.Entries) {
 	case 1:
 		s.State = Monomorphic

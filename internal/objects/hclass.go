@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"ricjs/internal/source"
+	"ricjs/internal/symtab"
 )
 
 // Creator records what caused a hidden class to be created: either a
@@ -42,18 +43,45 @@ func (c Creator) String() string {
 	return "site:" + c.Site.String()
 }
 
+// layoutLinearMax is the layout size up to which property lookup is a
+// linear scan over the field-ID array instead of a hash-map probe. Almost
+// every hidden class in the workload set stays below it (object literals
+// and constructor shapes rarely exceed a handful of properties), so the
+// common lookup is a few integer compares over one cache line; classes
+// that grow past the threshold get an ID-keyed map as an index.
+const layoutLinearMax = 8
+
+// transLinearMax is the same threshold for the transition table.
+const transLinearMax = 8
+
 // HiddenClass describes the layout of a group of objects created the same
 // way (paper Figure 2): an object-layout table mapping property names to
 // in-object slot offsets, a transition table giving the next hidden class
-// when a property is added, and a prototype pointer.
+// when a property is added, and a prototype pointer. All name keys are
+// interned SymbolIDs (package symtab); the string forms are resolved only
+// for diagnostics and persistence.
 type HiddenClass struct {
 	id   uint32
 	addr uint64 // simulated heap address — context-dependent
 
-	fields  []string       // property names in offset order (object layout)
-	offsets map[string]int // name -> offset; nil for empty layouts
+	// fields holds the property symbol IDs in offset order: the offset of
+	// a property IS its index here, so small layouts need no side table.
+	fields []symtab.ID
+	// offsets indexes fields by ID for layouts larger than
+	// layoutLinearMax; nil below the threshold.
+	offsets map[symtab.ID]int
 
-	transitions map[string]*HiddenClass
+	// Transition table: parallel ID/target arrays scanned linearly up to
+	// transLinearMax entries, with an ID-keyed map once past it.
+	transIDs     []symtab.ID
+	transTargets []*HiddenClass
+	transMap     map[symtab.ID]*HiddenClass
+	// lastTransID/lastTransTarget form a 1-entry inline cache over the
+	// transition table: the add-property store path overwhelmingly re-adds
+	// the same property to objects of the same class (object literals and
+	// constructors in loops), so the common case is a single compare.
+	lastTransID     symtab.ID
+	lastTransTarget *HiddenClass
 
 	proto *Object
 
@@ -110,57 +138,168 @@ func (h *HiddenClass) IsDictionary() bool { return h.dictionary }
 func (h *HiddenClass) NumFields() int { return len(h.fields) }
 
 // FieldAt returns the property name stored at the given slot offset.
-func (h *HiddenClass) FieldAt(offset int) string { return h.fields[offset] }
+func (h *HiddenClass) FieldAt(offset int) string {
+	return symtab.NameOf(h.fields[offset])
+}
 
-// Fields returns the property names in offset order. The caller must not
-// modify the returned slice.
-func (h *HiddenClass) Fields() []string { return h.fields }
+// FieldIDAt returns the property symbol stored at the given slot offset.
+func (h *HiddenClass) FieldIDAt(offset int) symtab.ID { return h.fields[offset] }
+
+// FieldIDs returns the property symbols in offset order. The caller must
+// not modify the returned slice.
+func (h *HiddenClass) FieldIDs() []symtab.ID { return h.fields }
+
+// Fields returns the property names in offset order. It materializes a
+// fresh string slice from the interned IDs; hot paths should use
+// FieldIDs/FieldIDAt instead.
+func (h *HiddenClass) Fields() []string {
+	if len(h.fields) == 0 {
+		return nil
+	}
+	names := make([]string, len(h.fields))
+	for i, id := range h.fields {
+		names[i] = symtab.NameOf(id)
+	}
+	return names
+}
 
 // Offset returns the slot offset of a property in the object layout.
 func (h *HiddenClass) Offset(name string) (int, bool) {
-	if h.offsets == nil {
+	id, ok := symtab.Find(name)
+	if !ok {
 		return 0, false
 	}
-	off, ok := h.offsets[name]
-	return off, ok
+	return h.OffsetID(id)
+}
+
+// OffsetID returns the slot offset of a property symbol. Small layouts
+// are scanned linearly (a few integer compares); larger ones probe the
+// ID-keyed index. This is the hidden-class half of the IC fast path's
+// cost model: no string hashing on any layout size.
+func (h *HiddenClass) OffsetID(id symtab.ID) (int, bool) {
+	if h.offsets != nil {
+		off, ok := h.offsets[id]
+		return off, ok
+	}
+	for i, f := range h.fields {
+		if f == id {
+			return i, true
+		}
+	}
+	return 0, false
 }
 
 // TransitionTo returns the existing transition target for adding the named
 // property, if one was created before.
 func (h *HiddenClass) TransitionTo(name string) (*HiddenClass, bool) {
-	t, ok := h.transitions[name]
-	return t, ok
+	id, ok := symtab.Find(name)
+	if !ok {
+		return nil, false
+	}
+	return h.TransitionToID(id)
+}
+
+// TransitionToID returns the existing transition target for a property
+// symbol, if one was created before.
+func (h *HiddenClass) TransitionToID(id symtab.ID) (*HiddenClass, bool) {
+	if h.lastTransID == id && h.lastTransTarget != nil {
+		return h.lastTransTarget, true
+	}
+	if h.transMap != nil {
+		t, ok := h.transMap[id]
+		if ok {
+			h.lastTransID, h.lastTransTarget = id, t
+		}
+		return t, ok
+	}
+	for i, tid := range h.transIDs {
+		if tid == id {
+			t := h.transTargets[i]
+			h.lastTransID, h.lastTransTarget = id, t
+			return t, true
+		}
+	}
+	return nil, false
 }
 
 // Transition returns the hidden class an object moves to when the named
-// property is added, creating it (and linking the Next Hidden Class table,
-// paper Figure 2) on first use. created reports whether a new hidden class
-// was allocated — the caller charges profiling costs and notifies RIC only
-// in that case. creator identifies the object access site performing the
-// addition and is recorded on newly created classes.
+// property is added, creating it on first use. See TransitionID.
 func (h *HiddenClass) Transition(s *Space, name string, creator Creator) (next *HiddenClass, created bool) {
-	if t, ok := h.transitions[name]; ok {
+	return h.TransitionID(s, symtab.Intern(name), creator)
+}
+
+// TransitionID returns the hidden class an object moves to when the
+// property symbol is added, creating it (and linking the Next Hidden
+// Class table, paper Figure 2) on first use. created reports whether a
+// new hidden class was allocated — the caller charges profiling costs and
+// notifies RIC only in that case. creator identifies the object access
+// site performing the addition and is recorded on newly created classes.
+func (h *HiddenClass) TransitionID(s *Space, id symtab.ID, creator Creator) (next *HiddenClass, created bool) {
+	if t, ok := h.TransitionToID(id); ok {
 		return t, false
 	}
 	next = s.newHC(h.proto, creator)
 	next.parent = h
-	next.fields = make([]string, len(h.fields)+1)
+	next.fields = make([]symtab.ID, len(h.fields)+1)
 	copy(next.fields, h.fields)
-	next.fields[len(h.fields)] = name
-	next.offsets = make(map[string]int, len(next.fields))
-	for i, f := range next.fields {
-		next.offsets[f] = i
+	next.fields[len(h.fields)] = id
+	if len(next.fields) > layoutLinearMax {
+		next.offsets = make(map[symtab.ID]int, len(next.fields))
+		for i, f := range next.fields {
+			next.offsets[f] = i
+		}
 	}
-	if h.transitions == nil {
-		h.transitions = make(map[string]*HiddenClass, 4)
-	}
-	h.transitions[name] = next
+	h.addTransition(id, next)
 	return next, true
+}
+
+// addTransition links a new outgoing edge, spilling the linear arrays
+// into a map once the table outgrows the scan threshold.
+func (h *HiddenClass) addTransition(id symtab.ID, next *HiddenClass) {
+	if h.transMap != nil {
+		h.transMap[id] = next
+	} else if len(h.transIDs) >= transLinearMax {
+		h.transMap = make(map[symtab.ID]*HiddenClass, len(h.transIDs)+1)
+		for i, tid := range h.transIDs {
+			h.transMap[tid] = h.transTargets[i]
+		}
+		h.transMap[id] = next
+		h.transIDs, h.transTargets = nil, nil
+	} else {
+		h.transIDs = append(h.transIDs, id)
+		h.transTargets = append(h.transTargets, next)
+	}
+	h.lastTransID, h.lastTransTarget = id, next
 }
 
 // TransitionCount returns the number of outgoing transitions (for tests
 // and diagnostics).
-func (h *HiddenClass) TransitionCount() int { return len(h.transitions) }
+func (h *HiddenClass) TransitionCount() int {
+	if h.transMap != nil {
+		return len(h.transMap)
+	}
+	return len(h.transIDs)
+}
+
+// transitionNames returns the outgoing transition property names, resolved
+// to strings, for deterministic walks and diagnostics.
+func (h *HiddenClass) transitionNames() []string {
+	n := h.TransitionCount()
+	if n == 0 {
+		return nil
+	}
+	names := make([]string, 0, n)
+	if h.transMap != nil {
+		for id := range h.transMap {
+			names = append(names, symtab.NameOf(id))
+		}
+	} else {
+		for _, id := range h.transIDs {
+			names = append(names, symtab.NameOf(id))
+		}
+	}
+	return names
+}
 
 // LayoutSignature renders the layout as a canonical string, used by RIC's
 // validation tests and diagnostics to compare logical shapes across runs.
@@ -170,7 +309,7 @@ func (h *HiddenClass) LayoutSignature() string {
 	var b strings.Builder
 	b.WriteString(h.creator.String())
 	b.WriteByte('{')
-	b.WriteString(strings.Join(h.fields, ","))
+	b.WriteString(strings.Join(h.Fields(), ","))
 	b.WriteByte('}')
 	return b.String()
 }
@@ -181,13 +320,16 @@ func (h *HiddenClass) String() string {
 }
 
 func (h *HiddenClass) layoutBraces() string {
-	return "{" + strings.Join(h.fields, ",") + "}"
+	return "{" + strings.Join(h.Fields(), ",") + "}"
 }
 
 // WalkTransitions visits the transition graph rooted at h in a
 // deterministic order (property names sorted at each node), calling fn for
 // every reachable hidden class including h itself. The extraction phase
-// uses this to enumerate hidden classes in a stable order.
+// uses this to enumerate hidden classes in a stable order. Sorting is by
+// the resolved name strings, not raw symbol IDs, so the order — and with
+// it record HCIDs and golden traces — is identical no matter in which
+// order this process happened to intern the names.
 func (h *HiddenClass) WalkTransitions(fn func(*HiddenClass)) {
 	seen := map[*HiddenClass]bool{}
 	var walk func(*HiddenClass)
@@ -197,16 +339,14 @@ func (h *HiddenClass) WalkTransitions(fn func(*HiddenClass)) {
 		}
 		seen[hc] = true
 		fn(hc)
-		if len(hc.transitions) == 0 {
+		names := hc.transitionNames()
+		if len(names) == 0 {
 			return
-		}
-		names := make([]string, 0, len(hc.transitions))
-		for n := range hc.transitions {
-			names = append(names, n)
 		}
 		sort.Strings(names)
 		for _, n := range names {
-			walk(hc.transitions[n])
+			next, _ := hc.TransitionTo(n)
+			walk(next)
 		}
 	}
 	walk(h)

@@ -1,6 +1,10 @@
 package objects
 
-import "strings"
+import (
+	"strings"
+
+	"ricjs/internal/symtab"
+)
 
 // Object is a heap object. Named properties live in in-object slots at
 // offsets assigned by the hidden class; integer-indexed elements live in a
@@ -114,20 +118,64 @@ func (o *Object) OwnOffset(name string) (int, bool) {
 	return o.hc.Offset(name)
 }
 
+// OwnOffsetID is OwnOffset keyed by an interned symbol — no string
+// hashing on any path.
+func (o *Object) OwnOffsetID(id symtab.ID) (int, bool) {
+	if o.dict != nil {
+		return 0, false
+	}
+	return o.hc.OffsetID(id)
+}
+
 // Lookup searches the object and its prototype chain for a named property.
 // It returns the holder object, the slot offset within the holder (-1 for
 // dictionary-mode holders), whether the property was found, and the number
 // of generic lookup steps taken (for instruction accounting).
 func (o *Object) Lookup(name string) (holder *Object, offset int, ok bool, steps int) {
+	id, interned := symtab.Find(name)
+	if !interned {
+		// A name that was never interned cannot exist in any ID-keyed
+		// layout; only dictionary holders could carry it.
+		return o.lookupDictOnly(name)
+	}
+	return o.LookupID(id, name)
+}
+
+// LookupID is Lookup keyed by an interned symbol. name must be the
+// symbol's string form; it is consulted only for dictionary-mode holders.
+// The step accounting is identical to the string path: per layout holder,
+// offset+1 steps on a find and max(1, numFields) on a miss, plus one step
+// per prototype hop — the formulas the deterministic instruction counts
+// are built from.
+func (o *Object) LookupID(id symtab.ID, name string) (holder *Object, offset int, ok bool, steps int) {
 	for cur := o; cur != nil; {
 		if cur.dict != nil {
 			steps++
 			if _, exists := cur.dict[name]; exists {
 				return cur, -1, true, steps
 			}
-		} else if off, exists := cur.hc.Offset(name); exists {
+		} else if off, exists := cur.hc.OffsetID(id); exists {
 			steps += off + 1
 			return cur, off, true, steps
+		} else {
+			steps += max(1, cur.hc.NumFields())
+		}
+		cur = cur.Proto()
+		steps++ // prototype hop
+	}
+	return nil, 0, false, steps
+}
+
+// lookupDictOnly walks the chain for a name with no interned symbol:
+// layout holders are charged (and skipped) wholesale, dictionaries are
+// probed normally.
+func (o *Object) lookupDictOnly(name string) (holder *Object, offset int, ok bool, steps int) {
+	for cur := o; cur != nil; {
+		if cur.dict != nil {
+			steps++
+			if _, exists := cur.dict[name]; exists {
+				return cur, -1, true, steps
+			}
 		} else {
 			steps += max(1, cur.hc.NumFields())
 		}
@@ -150,12 +198,32 @@ func (o *Object) GetNamed(name string) (Value, bool) {
 	return holder.slots[off], true
 }
 
+// GetNamedID is the fused ID-keyed chain read: one walk resolves holder,
+// offset, and value without re-probing the layout (the old path did a
+// Lookup-then-Offset double probe through the string-keyed table).
+func (o *Object) GetNamedID(id symtab.ID, name string) (Value, bool) {
+	holder, off, ok, _ := o.LookupID(id, name)
+	if !ok {
+		return Undefined(), false
+	}
+	if off < 0 {
+		return holder.dict[name], true
+	}
+	return holder.slots[off], true
+}
+
 // AddOwn adds a new own property, transitioning the hidden class (for
 // fast-mode objects) or inserting into the dictionary. creator identifies
 // the object access site performing the addition; it is recorded on a newly
 // created hidden class. It returns the hidden class transitioned to (nil in
 // dictionary mode) and whether that class was newly created.
 func (o *Object) AddOwn(s *Space, name string, v Value, creator Creator) (next *HiddenClass, created bool) {
+	return o.AddOwnID(s, symtab.Intern(name), name, v, creator)
+}
+
+// AddOwnID is AddOwn keyed by an interned symbol; name must be its string
+// form (used only for dictionary-mode objects).
+func (o *Object) AddOwnID(s *Space, id symtab.ID, name string, v Value, creator Creator) (next *HiddenClass, created bool) {
 	if o.isProto {
 		// A prototype gained a property: chain lookups cached before this
 		// point may now be shadowed.
@@ -168,7 +236,7 @@ func (o *Object) AddOwn(s *Space, name string, v Value, creator Creator) (next *
 		o.dict[name] = v
 		return nil, false
 	}
-	next, created = o.hc.Transition(s, name, creator)
+	next, created = o.hc.TransitionID(s, id, creator)
 	o.hc = next
 	o.slots = append(o.slots, v)
 	return next, created
@@ -179,14 +247,19 @@ func (o *Object) AddOwn(s *Space, name string, v Value, creator Creator) (next *
 // through to the prototype holder). It reports the transition target and
 // whether a hidden class was created, like AddOwn.
 func (o *Object) SetNamed(s *Space, name string, v Value, creator Creator) (next *HiddenClass, created bool) {
+	return o.SetNamedID(s, symtab.Intern(name), name, v, creator)
+}
+
+// SetNamedID is SetNamed keyed by an interned symbol.
+func (o *Object) SetNamedID(s *Space, id symtab.ID, name string, v Value, creator Creator) (next *HiddenClass, created bool) {
 	if o.dict != nil {
-		return o.AddOwn(s, name, v, creator)
+		return o.AddOwnID(s, id, name, v, creator)
 	}
-	if off, ok := o.hc.Offset(name); ok {
+	if off, ok := o.hc.OffsetID(id); ok {
 		o.slots[off] = v
 		return nil, false
 	}
-	return o.AddOwn(s, name, v, creator)
+	return o.AddOwnID(s, id, name, v, creator)
 }
 
 // ApplyTransition performs a cached transition store (the paper's handler
@@ -227,7 +300,8 @@ func (o *Object) Delete(s *Space, name string) bool {
 func (o *Object) toDictionary(s *Space) {
 	dict := make(map[string]Value, len(o.slots))
 	keys := make([]string, 0, len(o.slots))
-	for i, name := range o.hc.Fields() {
+	for i, id := range o.hc.FieldIDs() {
+		name := symtab.NameOf(id)
 		dict[name] = o.slots[i]
 		keys = append(keys, name)
 	}

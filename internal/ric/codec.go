@@ -9,42 +9,61 @@ import (
 
 	"ricjs/internal/ic"
 	"ricjs/internal/source"
+	"ricjs/internal/symtab"
 )
 
 // Record wire format (all integers are unsigned/zigzag varints):
 //
-//	magic "RICREC" + format-version byte (currently 3)
+//	magic "RICREC" + format-version byte (currently 4)
 //	label string
 //	flags (bit 0: includes globals)
 //	script string table (count, strings)
+//	symbol table (count, strings)                  — v4 only
 //	hidden class count
-//	deps: per HCID: count × (siteRef, handlerKind, offset, name, innerKind)
+//	deps: per HCID: count × (siteRef, accessKind, nameRef,
+//	                         handlerKind, offset, nameRef, innerKind)
 //	site TOAST: count × (siteRef, pairCount × (in+1, out))
-//	builtin TOAST: count × (name, id)
+//	builtin TOAST: count × (nameRef, id)
 //	rejected sites: count × siteRef
 //	CRC32-IEEE of everything above (4 bytes little-endian)
 //
-// A siteRef is (scriptIdx, line, col). Map-ordered sections are sorted so
-// encoding is deterministic.
+// A siteRef is (scriptIdx, line, col). A nameRef is a varint index into
+// the record-local symbol table in version 4, and an inline length-prefixed
+// string in version 3. Map-ordered sections are sorted so encoding is
+// deterministic.
 //
-// The trailing checksum (format version 3) catches truncated writes and
-// bit-level corruption of persisted records before any structural decoding
-// happens. Records in older formats (version bytes 1 and 2 carried no
-// checksum) are rejected as unsupported: persisted IC state is a pure
-// cache, so the correct recovery is quarantine-and-regenerate, never a
-// compatibility shim.
+// The symbol table holds every property/builtin name the record mentions,
+// each exactly once, in first-use order of the (deterministic) section
+// walk. Decoding interns each table entry into the process-global symtab
+// once, so a record naming a property N times costs one hash instead of N;
+// the dense indices also deduplicate repeated names on disk. Process-local
+// symbol IDs are never persisted — they are not stable across executions —
+// only the record-local indices are.
+//
+// Version 3 records (names inline at each use, no symbol table) still
+// decode; Encode always emits version 4. Records in older formats (version
+// bytes 1 and 2 carried no checksum) are rejected as unsupported:
+// persisted IC state is a pure cache, so the correct recovery is
+// quarantine-and-regenerate, never a compatibility shim.
 var recordTag = []byte("RICREC")
 
 // recordVersion is the current wire-format version byte.
-const recordVersion = 3
+const recordVersion = 4
+
+// recordVersionV3 is the previous format, still accepted by Decode: it
+// differs from v4 only in carrying names inline instead of via the
+// record-local symbol table.
+const recordVersionV3 = 3
 
 // recordTrailerLen is the length of the CRC32 trailer.
 const recordTrailerLen = 4
 
 type encoder struct {
-	buf     bytes.Buffer
-	scripts map[string]uint64
-	names   []string
+	buf      bytes.Buffer
+	scripts  map[string]uint64
+	names    []string
+	syms     map[string]uint64
+	symNames []string
 }
 
 func (e *encoder) uvarint(v uint64) {
@@ -72,6 +91,23 @@ func (e *encoder) scriptIdx(s string) uint64 {
 	e.scripts[s] = i
 	e.names = append(e.names, s)
 	return i
+}
+
+// symIdx registers a name in the record-local symbol table (first use
+// assigns the next dense index) and returns its index.
+func (e *encoder) symIdx(s string) uint64 {
+	if i, ok := e.syms[s]; ok {
+		return i
+	}
+	i := uint64(len(e.symNames))
+	e.syms[s] = i
+	e.symNames = append(e.symNames, s)
+	return i
+}
+
+// sym emits a nameRef: a varint index into the symbol table.
+func (e *encoder) sym(s string) {
+	e.uvarint(e.symIdx(s))
 }
 
 func (e *encoder) site(s source.Site) {
@@ -103,17 +139,29 @@ func sortedSites[V any](m map[source.Site]V) []source.Site {
 // Its length is the record's memory overhead (paper §7.3 reports 11–118 KB
 // per library for V8).
 func (r *Record) Encode() []byte {
-	// Pre-register scripts so the string table can be emitted first: walk
-	// everything once with a throwaway encoder body.
-	e := &encoder{scripts: make(map[string]uint64)}
+	// Pre-register scripts and symbols so both tables can be emitted before
+	// the sections that reference them: walk everything once, in exactly
+	// the order the body emission below walks it, so table order equals
+	// first-use order and re-encoding a decoded record is byte-identical.
+	e := &encoder{scripts: make(map[string]uint64), syms: make(map[string]uint64)}
 	collect := func(s source.Site) { e.scriptIdx(s.Script) }
 	for _, deps := range r.Deps {
 		for _, d := range deps {
 			collect(d.Site)
+			e.symIdx(d.Name)
+			e.symIdx(d.Desc.Name)
 		}
 	}
 	for _, s := range sortedSites(r.SiteTOAST) {
 		collect(s)
+	}
+	builtinNames := make([]string, 0, len(r.BuiltinTOAST))
+	for n := range r.BuiltinTOAST {
+		builtinNames = append(builtinNames, n)
+	}
+	sort.Strings(builtinNames)
+	for _, n := range builtinNames {
+		e.symIdx(n)
 	}
 	for _, s := range sortedSites(r.RejectedSites) {
 		collect(s)
@@ -133,16 +181,21 @@ func (r *Record) Encode() []byte {
 		e.str(n)
 	}
 
+	e.uvarint(uint64(len(e.symNames)))
+	for _, n := range e.symNames {
+		e.str(n)
+	}
+
 	e.uvarint(uint64(r.HCCount))
 	for _, deps := range r.Deps {
 		e.uvarint(uint64(len(deps)))
 		for _, d := range deps {
 			e.site(d.Site)
 			e.uvarint(uint64(d.Kind))
-			e.str(d.Name)
+			e.sym(d.Name)
 			e.uvarint(uint64(d.Desc.Kind))
 			e.varint(int64(d.Desc.Offset))
-			e.str(d.Desc.Name)
+			e.sym(d.Desc.Name)
 			e.uvarint(uint64(d.Desc.Inner))
 		}
 	}
@@ -159,14 +212,9 @@ func (r *Record) Encode() []byte {
 		}
 	}
 
-	builtinNames := make([]string, 0, len(r.BuiltinTOAST))
-	for n := range r.BuiltinTOAST {
-		builtinNames = append(builtinNames, n)
-	}
-	sort.Strings(builtinNames)
 	e.uvarint(uint64(len(builtinNames)))
 	for _, n := range builtinNames {
-		e.str(n)
+		e.sym(n)
 		e.uvarint(uint64(r.BuiltinTOAST[n]))
 	}
 
@@ -184,7 +232,14 @@ func (r *Record) Encode() []byte {
 
 type decoder struct {
 	buf   *bytes.Reader
+	ver   byte
 	names []string
+	// syms/symIDs mirror the v4 record-local symbol table: each persisted
+	// name, interned into the process-global symtab exactly once at table
+	// load ("" keeps the None sentinel, matching keyed sites). Empty for
+	// v3 records, which carry names inline.
+	syms   []string
+	symIDs []symtab.ID
 }
 
 func (d *decoder) uvarint() (uint64, error) { return binary.ReadUvarint(d.buf) }
@@ -213,6 +268,27 @@ func (d *decoder) str() (string, error) {
 		return "", err
 	}
 	return string(b), nil
+}
+
+// name reads a nameRef: a symbol-table index in v4, an inline string in
+// v3. The returned ID follows the slot convention — None for the empty
+// name (keyed sites), an interned ID otherwise.
+func (d *decoder) name() (string, symtab.ID, error) {
+	if d.ver == recordVersionV3 {
+		s, err := d.str()
+		if err != nil || s == "" {
+			return s, symtab.None, err
+		}
+		return s, symtab.Intern(s), nil
+	}
+	idx, err := d.uvarint()
+	if err != nil {
+		return "", symtab.None, err
+	}
+	if idx >= uint64(len(d.syms)) {
+		return "", symtab.None, fmt.Errorf("ric: symbol index %d out of range", idx)
+	}
+	return d.syms[idx], d.symIDs[idx], nil
 }
 
 func (d *decoder) site() (source.Site, error) {
@@ -245,15 +321,17 @@ func Decode(data []byte) (*Record, error) {
 	if !bytes.Equal(data[:len(recordTag)], recordTag) {
 		return nil, fmt.Errorf("ric: bad record magic")
 	}
-	if v := data[len(recordTag)]; v != recordVersion {
-		return nil, fmt.Errorf("ric: unsupported record format version %d (want %d)", v, recordVersion)
+	ver := data[len(recordTag)]
+	if ver != recordVersion && ver != recordVersionV3 {
+		return nil, fmt.Errorf("ric: unsupported record format version %d (want %d or %d)",
+			ver, recordVersion, recordVersionV3)
 	}
 	body := data[:len(data)-recordTrailerLen]
 	stored := binary.LittleEndian.Uint32(data[len(data)-recordTrailerLen:])
 	if sum := crc32.ChecksumIEEE(body); sum != stored {
 		return nil, fmt.Errorf("ric: checksum mismatch (stored %#08x, computed %#08x)", stored, sum)
 	}
-	d := &decoder{buf: bytes.NewReader(body[len(recordTag)+1:])}
+	d := &decoder{buf: bytes.NewReader(body[len(recordTag)+1:]), ver: ver}
 	r := &Record{
 		SiteTOAST:     make(map[source.Site][]Pair),
 		BuiltinTOAST:  make(map[string]int32),
@@ -284,6 +362,30 @@ func Decode(data []byte) (*Record, error) {
 		d.names = append(d.names, s)
 	}
 
+	if ver >= recordVersion {
+		nSyms, err := d.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("ric: symbol table: %w", err)
+		}
+		if err := d.plausibleCount(nSyms, "symbol table"); err != nil {
+			return nil, err
+		}
+		d.syms = make([]string, 0, nSyms)
+		d.symIDs = make([]symtab.ID, 0, nSyms)
+		for i := uint64(0); i < nSyms; i++ {
+			s, err := d.str()
+			if err != nil {
+				return nil, fmt.Errorf("ric: symbol table: %w", err)
+			}
+			id := symtab.None
+			if s != "" {
+				id = symtab.Intern(s)
+			}
+			d.syms = append(d.syms, s)
+			d.symIDs = append(d.symIDs, id)
+		}
+	}
+
 	hcCount, err := d.uvarint()
 	if err != nil {
 		return nil, fmt.Errorf("ric: hc count: %w", err)
@@ -311,7 +413,12 @@ func Decode(data []byte) (*Record, error) {
 			if err != nil {
 				return nil, fmt.Errorf("ric: deps[%d]: %w", i, err)
 			}
-			siteName, err := d.str()
+			// Name resolution against the live symbol table happens exactly
+			// once — per table entry in v4, per occurrence in v3; every later
+			// preload comparison is an integer compare. Keyed sites persist
+			// an empty name and keep the None ID, matching the slots the VM
+			// registers for them.
+			siteName, nameID, err := d.name()
 			if err != nil {
 				return nil, fmt.Errorf("ric: deps[%d]: %w", i, err)
 			}
@@ -323,7 +430,7 @@ func Decode(data []byte) (*Record, error) {
 			if err != nil {
 				return nil, fmt.Errorf("ric: deps[%d]: %w", i, err)
 			}
-			name, err := d.str()
+			name, _, err := d.name()
 			if err != nil {
 				return nil, fmt.Errorf("ric: deps[%d]: %w", i, err)
 			}
@@ -332,9 +439,10 @@ func Decode(data []byte) (*Record, error) {
 				return nil, fmt.Errorf("ric: deps[%d]: %w", i, err)
 			}
 			r.Deps[i] = append(r.Deps[i], DepEntry{
-				Site: site,
-				Kind: ic.AccessKind(accessKind),
-				Name: siteName,
+				Site:   site,
+				Kind:   ic.AccessKind(accessKind),
+				Name:   siteName,
+				NameID: nameID,
 				Desc: ic.CIDescriptor{
 					Kind:   ic.HandlerKind(kind),
 					Offset: int32(off),
@@ -384,7 +492,7 @@ func Decode(data []byte) (*Record, error) {
 		return nil, err
 	}
 	for i := uint64(0); i < nBuiltins; i++ {
-		name, err := d.str()
+		name, _, err := d.name()
 		if err != nil {
 			return nil, fmt.Errorf("ric: builtin TOAST: %w", err)
 		}

@@ -1,0 +1,169 @@
+package ric
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ricjs/internal/symtab"
+)
+
+// TestEncodeEmitsV4 pins the current writer version: every record we
+// persist from now on carries the symbol-table section.
+func TestEncodeEmitsV4(t *testing.T) {
+	_, rec := initialRun(t, pointLib, Config{})
+	data := rec.Encode()
+	if got := data[len(recordTag)]; got != 4 {
+		t.Fatalf("Encode emitted version %d, want 4", got)
+	}
+	if _, err := Decode(data); err != nil {
+		t.Fatalf("fresh v4 record does not decode: %v", err)
+	}
+}
+
+// TestDecodeV3Compat decodes the committed v3 fixtures: persisted records
+// from before the symbol-table format must keep working, with NameIDs
+// resolved against the live symtab exactly as v4 decoding resolves them.
+func TestDecodeV3Compat(t *testing.T) {
+	for _, name := range []string{"point.ric", "array.ric"} {
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := data[len(recordTag)]; got != 3 {
+			t.Fatalf("%s: fixture is version %d, expected a v3 fixture", name, got)
+		}
+		rec, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%s: v3 record no longer decodes: %v", name, err)
+		}
+		for hcid, deps := range rec.Deps {
+			for _, d := range deps {
+				want := symtab.None
+				if d.Name != "" {
+					want = symtab.Intern(d.Name)
+				}
+				if d.NameID != want {
+					t.Fatalf("%s: HCID %d dependent %s: NameID %d, want %d",
+						name, hcid, d.Site, d.NameID, want)
+				}
+			}
+		}
+		// Upgrading on re-encode: the v3 record round-trips through the v4
+		// writer with identical content.
+		up := rec.Encode()
+		if got := up[len(recordTag)]; got != 4 {
+			t.Fatalf("%s: re-encode emitted version %d, want 4", name, got)
+		}
+		back, err := Decode(up)
+		if err != nil {
+			t.Fatalf("%s: upgraded record does not decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(back.Deps, rec.Deps) ||
+			!reflect.DeepEqual(back.SiteTOAST, rec.SiteTOAST) ||
+			!reflect.DeepEqual(back.BuiltinTOAST, rec.BuiltinTOAST) ||
+			!reflect.DeepEqual(back.RejectedSites, rec.RejectedSites) ||
+			back.HCCount != rec.HCCount || back.Script != rec.Script {
+			t.Fatalf("%s: v3→v4 upgrade changed the record", name)
+		}
+	}
+}
+
+// TestV4SymbolTableRoundTripByteIdentical pins the Initial→Reuse stability
+// contract: encode → decode → encode reproduces the same bytes, so the
+// record a Reuse session re-persists is bit-for-bit the record it loaded.
+// The symbol table makes this non-trivial — table order must be derivable
+// from the decoded record (first-use order of the deterministic walk).
+func TestV4SymbolTableRoundTripByteIdentical(t *testing.T) {
+	_, rec := initialRun(t, pointLib, Config{})
+	data := rec.Encode()
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again := back.Encode(); !bytes.Equal(again, data) {
+		t.Fatal("decode → encode is not byte-identical")
+	}
+}
+
+// TestSymbolTableDeduplicatesNames verifies the on-disk dedup: a property
+// named at many dependent sites appears in the record exactly once (in the
+// symbol table), not once per site as in v3.
+func TestSymbolTableDeduplicatesNames(t *testing.T) {
+	// The load site goes polymorphic over A and B, so it is recorded as a
+	// dependent of both hidden classes — two DepEntries naming the property.
+	src := `
+		function A(v) { this.uniquePropertyName = v; }
+		function B(v) { this.pad = 0; this.uniquePropertyName = v; }
+		var objs = [new A(1), new B(2), new A(3), new B(4)];
+		var total = 0;
+		for (var j = 0; j < 4; j++) total += objs[j].uniquePropertyName;
+		print(total);
+	`
+	_, rec := initialRun(t, src, Config{})
+	uses := 0
+	for _, deps := range rec.Deps {
+		for _, d := range deps {
+			if d.Name == "uniquePropertyName" {
+				uses++
+			}
+		}
+	}
+	if uses < 2 {
+		t.Fatalf("fixture too weak: property recorded at %d dependents, need ≥2", uses)
+	}
+	if n := bytes.Count(rec.Encode(), []byte("uniquePropertyName")); n != 1 {
+		t.Fatalf("name appears %d times in encoded record, want exactly 1", n)
+	}
+}
+
+// TestDecodeRejectsBadSymbolIndex hand-crafts a v4 record whose builtin
+// section references a symbol index past the table: structural validation
+// must reject it (the checksum is valid, so only index checking can).
+func TestDecodeRejectsBadSymbolIndex(t *testing.T) {
+	var b bytes.Buffer
+	b.Write(recordTag)
+	b.WriteByte(recordVersion)
+	uv := func(v uint64) {
+		var tmp [binary.MaxVarintLen64]byte
+		b.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+	}
+	uv(0) // label: empty string
+	uv(0) // flags
+	uv(0) // script table: empty
+	uv(0) // symbol table: empty
+	uv(1) // one hidden class
+	uv(0) // ... with no dependents
+	uv(0) // site TOAST: empty
+	uv(1) // one builtin entry
+	uv(5) // symbol index 5 — out of range
+	uv(0) // builtin HCID
+	uv(0) // rejected sites: empty
+	var trailer [recordTrailerLen]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc32.ChecksumIEEE(b.Bytes()))
+	b.Write(trailer[:])
+	if _, err := Decode(b.Bytes()); err == nil {
+		t.Fatal("out-of-range symbol index was accepted")
+	}
+}
+
+// TestDecodeStillRejectsUnknownVersions: adding v3 compat must not widen
+// the acceptance window to anything else.
+func TestDecodeStillRejectsUnknownVersions(t *testing.T) {
+	_, rec := initialRun(t, pointLib, Config{})
+	data := rec.Encode()
+	for _, v := range []byte{0, 1, 2, 5, 0x7c} {
+		mut := append([]byte{}, data...)
+		mut[len(recordTag)] = v
+		// Fix the checksum so only the version gate can reject it.
+		binary.LittleEndian.PutUint32(mut[len(mut)-recordTrailerLen:],
+			crc32.ChecksumIEEE(mut[:len(mut)-recordTrailerLen]))
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("version byte %d was accepted", v)
+		}
+	}
+}

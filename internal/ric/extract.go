@@ -119,10 +119,11 @@ func Extract(v *vm.VM, label string, cfg Config) *Record {
 					continue
 				}
 				rec.Deps[id] = append(rec.Deps[id], DepEntry{
-					Site: slot.Site,
-					Kind: slot.Kind,
-					Name: slot.Name,
-					Desc: desc,
+					Site:   slot.Site,
+					Kind:   slot.Kind,
+					Name:   slot.Name,
+					NameID: slot.NameID,
+					Desc:   desc,
 				})
 			}
 		}

@@ -38,6 +38,7 @@ func FuzzDecodeRecord(f *testing.F) {
 	corpusSeeds(f)
 	f.Add([]byte{})
 	f.Add([]byte("RICREC\x02legacy"))
+	f.Add([]byte("RICREC\x04")) // v4 header with truncated body
 	f.Add(bytes.Repeat([]byte{0xFF}, 64))
 
 	f.Fuzz(func(t *testing.T, data []byte) {

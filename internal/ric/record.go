@@ -25,6 +25,7 @@ import (
 	"ricjs/internal/bytecode"
 	"ricjs/internal/ic"
 	"ricjs/internal/source"
+	"ricjs/internal/symtab"
 )
 
 // Pair is one (incoming, outgoing) hidden-class-ID pair of a TOAST entry.
@@ -46,7 +47,13 @@ type DepEntry struct {
 	Site source.Site
 	Kind ic.AccessKind
 	Name string
-	Desc ic.CIDescriptor
+	// NameID is Name resolved against the process-global symbol table,
+	// filled once at extraction or record decode; the preload path compares
+	// it against the live slot's NameID so per-dependent matching never
+	// hashes the string again. It is never persisted (symbol IDs are not
+	// stable across processes — the wire format carries names).
+	NameID symtab.ID
+	Desc   ic.CIDescriptor
 }
 
 // Stats summarizes an extraction for the §7.3 overhead analysis.

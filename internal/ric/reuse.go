@@ -6,6 +6,7 @@ import (
 	"ricjs/internal/objects"
 	"ricjs/internal/profiler"
 	"ricjs/internal/source"
+	"ricjs/internal/symtab"
 	"ricjs/internal/trace"
 	"ricjs/internal/vm"
 )
@@ -225,7 +226,7 @@ func (r *Reuser) preloadDeps(id int32, hc *objects.HiddenClass) {
 			// ReplayPreloads retries after later script loads.
 			continue
 		}
-		if slot.Kind != dep.Kind || slot.Name != dep.Name {
+		if slot.Kind != dep.Kind || slot.NameID != dep.NameID {
 			// The live site accesses a different property (or through a
 			// different access kind) than the record saw: the record is
 			// from a different program version. Never preload.
@@ -283,17 +284,17 @@ func handlerFits(h ic.Handler, slot *ic.Slot, hc *objects.HiddenClass) bool {
 		if slot.Kind.IsStore() || slot.Kind.IsKeyed() {
 			return false
 		}
-		off, ok := hc.Offset(slot.Name)
+		off, ok := hc.OffsetID(slot.NameID)
 		return ok && off == t.Offset
 	case ic.StoreField:
 		if !slot.Kind.IsStore() || slot.Kind.IsKeyed() {
 			return false
 		}
-		off, ok := hc.Offset(slot.Name)
+		off, ok := hc.OffsetID(slot.NameID)
 		return ok && off == t.Offset
 	case ic.LoadArrayLength:
 		return !slot.Kind.IsStore() && !slot.Kind.IsKeyed() &&
-			slot.Name == "length" && isArrayClass(hc)
+			slot.NameID == symtab.SymLength && isArrayClass(hc)
 	case ic.LoadElement:
 		return slot.Kind == ic.AccessKeyedLoad && isArrayClass(hc)
 	case ic.StoreElement:
@@ -304,16 +305,16 @@ func handlerFits(h ic.Handler, slot *ic.Slot, hc *objects.HiddenClass) bool {
 			if slot.Kind != ic.AccessKeyedLoad {
 				return false
 			}
-			off, ok := hc.Offset(t.Name)
+			off, ok := hc.OffsetID(t.NameID)
 			return ok && off == inner.Offset
 		case ic.StoreField:
 			if slot.Kind != ic.AccessKeyedStore {
 				return false
 			}
-			off, ok := hc.Offset(t.Name)
+			off, ok := hc.OffsetID(t.NameID)
 			return ok && off == inner.Offset
 		case ic.LoadArrayLength:
-			return slot.Kind == ic.AccessKeyedLoad && t.Name == "length" && isArrayClass(hc)
+			return slot.Kind == ic.AccessKeyedLoad && t.NameID == symtab.SymLength && isArrayClass(hc)
 		default:
 			return false
 		}

@@ -8,6 +8,7 @@ import (
 	"ricjs/internal/objects"
 	"ricjs/internal/profiler"
 	"ricjs/internal/source"
+	"ricjs/internal/symtab"
 	"ricjs/internal/trace"
 )
 
@@ -71,24 +72,26 @@ func (vm *VM) observeSite(slot *ic.Slot, o *objects.Object) {
 // ---- Named loads ----
 
 // loadNamed performs obj.name through the inline cache: fast path on a
-// hidden-class match, runtime miss handling otherwise (paper §2.3).
-func (vm *VM) loadNamed(objVal objects.Value, name string, slot *ic.Slot) (objects.Value, error) {
+// hidden-class match, runtime miss handling otherwise (paper §2.3). The
+// property identity comes from the slot (Name and its interned NameID),
+// so the hot path never touches the string form.
+func (vm *VM) loadNamed(objVal objects.Value, slot *ic.Slot) (objects.Value, error) {
 	switch objVal.Kind() {
 	case objects.KindString:
-		return vm.stringProperty(objVal.Str(), name), nil
+		return vm.stringProperty(objVal.Str(), slot.Name), nil
 	case objects.KindNumber, objects.KindBool:
 		vm.Prof.Charge(profiler.CostGenericAccess)
 		return objects.Undefined(), nil
 	case objects.KindObject:
 		// fall through
 	default:
-		return objects.Undefined(), throwf("cannot read property %q of %s", name, objVal.ToString())
+		return objects.Undefined(), throwf("cannot read property %q of %s", slot.Name, objVal.ToString())
 	}
 	o := objVal.Obj()
 
 	if o.IsDictionary() {
 		vm.Prof.Charge(profiler.CostGenericAccess)
-		v, _ := o.GetNamed(name)
+		v, _ := o.GetNamed(slot.Name)
 		return v, nil
 	}
 	vm.observeSite(slot, o)
@@ -97,70 +100,85 @@ func (vm *VM) loadNamed(objVal objects.Value, name string, slot *ic.Slot) (objec
 		// so no miss is recorded, but the access is slower than a
 		// monomorphic hit.
 		vm.Prof.Hit(ic.MaxPolymorphic, false)
-		vm.emit(trace.EvICHit, slot.Site, name, int64(ic.MaxPolymorphic))
+		vm.emit(trace.EvICHit, slot.Site, slot.Name, int64(ic.MaxPolymorphic))
 		vm.Prof.Charge(profiler.CostGenericAccess)
-		v, _ := o.GetNamed(name)
+		v, _ := o.GetNamedID(slot.NameID, slot.Name)
 		return v, nil
 	}
-	if e, found, idx := slot.Lookup(o.HC()); found {
+	hc := o.HC()
+	if e, idx := slot.Find(hc); e != nil {
+		if e.Fast == ic.FastLoadField && !e.Preloaded {
+			// Denormalized hit: one byte compare and a direct field read.
+			// Field handlers carry no validity condition beyond the
+			// hidden-class match, so the staleness check is skipped.
+			vm.Prof.Hit(idx, false)
+			vm.emit(trace.EvICHit, slot.Site, slot.Name, int64(idx))
+			return o.Slot(int(e.FastOffset)), nil
+		}
 		if vm.staleProtoHandler(e.H) {
 			// A prototype in some chain changed shape since this handler
 			// was generated; evict it and take the miss path, which will
 			// re-resolve the property (V8's validity-cell behaviour).
-			slot.Remove(o.HC())
+			slot.Remove(hc)
 		} else {
 			vm.Prof.Hit(idx, e.Preloaded)
-			vm.emit(hitEvent(e.Preloaded), slot.Site, name, int64(idx))
+			vm.emit(hitEvent(e.Preloaded), slot.Site, slot.Name, int64(idx))
 			if e.Preloaded {
 				// A preloaded entry averts exactly one miss: its first
 				// access.
-				slot.Entries[idx].Preloaded = false
+				e.Preloaded = false
 			}
-			return vm.runLoadHandler(e.H, o, name), nil
+			if e.Fast == ic.FastLoadArrayLength {
+				return objects.Num(float64(o.Len())), nil
+			}
+			return vm.runLoadHandler(e.H, o, slot.Name), nil
 		}
 	}
 
-	// IC miss: enter the runtime (paper §2.4).
+	// IC miss: enter the runtime (paper §2.4). The miss bookkeeping is
+	// sequenced explicitly rather than deferred: a defer anywhere in this
+	// function would make every hit-path return walk the runtime's defer
+	// chain, which dominates the cost of a monomorphic hit.
 	kind := vm.classifyMiss(slot.Site, o)
 	vm.Prof.Miss(kind)
-	vm.emit(missEvent(kind), slot.Site, name, 0)
+	vm.emit(missEvent(kind), slot.Site, slot.Name, 0)
 	vm.Prof.BeginICMiss()
-	defer vm.Prof.EndICMiss()
 	missStart := vm.Prof.ICMissInstrCount()
-	defer func() { vm.burn((vm.Prof.ICMissInstrCount() - missStart) * missBurnWork) }()
 	vm.Prof.Charge(profiler.CostMissEntry)
 
 	incoming := o.HC()
-	handler, value := vm.resolveLoad(o, name, slot.Site)
+	handler, value := vm.resolveLoad(o, slot.NameID, slot.Name, slot.Site)
 
 	ci := handler.ContextIndependent()
 	vm.Prof.HandlerMade(ci)
-	vm.emit(handlerEvent(ci), slot.Site, name, 0)
+	vm.emit(handlerEvent(ci), slot.Site, slot.Name, 0)
 	vm.Prof.Charge(profiler.CostHandlerGen)
 	slot.Add(incoming, handler)
 	if slot.State == ic.Megamorphic {
-		vm.emit(trace.EvMegamorphic, slot.Site, name, 0)
+		vm.emit(trace.EvMegamorphic, slot.Site, slot.Name, 0)
 	}
 	vm.Prof.Charge(profiler.CostVectorUpdate)
+	vm.burn((vm.Prof.ICMissInstrCount() - missStart) * missBurnWork)
+	vm.Prof.EndICMiss()
 	return value, nil
 }
 
 // resolveLoad performs a generic named load and generates the handler the
 // runtime would install for it (the paper's §2.4 runtime work). Shared by
-// the named and keyed miss paths.
-func (vm *VM) resolveLoad(o *objects.Object, name string, site source.Site) (ic.Handler, objects.Value) {
+// the named and keyed miss paths; id must be name's interned symbol.
+func (vm *VM) resolveLoad(o *objects.Object, id symtab.ID, name string, site source.Site) (ic.Handler, objects.Value) {
 	switch {
-	case o.IsArray() && name == "length":
+	case o.IsArray() && id == symtab.SymLength:
 		return ic.LoadArrayLength{}, objects.Num(float64(o.Len()))
-	case o.Func() != nil && name == "prototype":
+	case o.Func() != nil && id == symtab.SymPrototype:
 		// Lazily materialize the function's prototype object; first access
 		// transitions the function object's hidden class, making this a
 		// triggering site.
 		protoObj := vm.functionPrototype(o, objects.Creator{Site: site})
-		off, _ := o.OwnOffset("prototype")
+		off, _ := o.OwnOffsetID(symtab.SymPrototype)
 		return ic.LoadField{Offset: off}, objects.Obj(protoObj)
 	default:
-		holder, off, ok, steps := o.Lookup(name)
+		holder, off, ok, steps := o.LookupID(id, name)
 		vm.Prof.Charge(uint64(steps) * profiler.CostLookupStep)
 		switch {
 		case !ok:
@@ -222,8 +240,9 @@ func (vm *VM) runLoadHandler(h ic.Handler, o *objects.Object, name string) objec
 
 // ---- Named stores ----
 
-// storeNamed performs obj.name = v through the inline cache.
-func (vm *VM) storeNamed(objVal objects.Value, name string, v objects.Value, slot *ic.Slot) error {
+// storeNamed performs obj.name = v through the inline cache. Like
+// loadNamed, the property identity comes from the slot.
+func (vm *VM) storeNamed(objVal objects.Value, v objects.Value, slot *ic.Slot) error {
 	switch objVal.Kind() {
 	case objects.KindString, objects.KindNumber, objects.KindBool:
 		// Property writes on primitives are silently dropped (sloppy mode).
@@ -232,64 +251,72 @@ func (vm *VM) storeNamed(objVal objects.Value, name string, v objects.Value, slo
 	case objects.KindObject:
 		// fall through
 	default:
-		return throwf("cannot set property %q of %s", name, objVal.ToString())
+		return throwf("cannot set property %q of %s", slot.Name, objVal.ToString())
 	}
 	o := objVal.Obj()
 
-	if o.IsArray() && name == "length" {
+	if o.IsArray() && slot.NameID == symtab.SymLength {
 		vm.Prof.Charge(profiler.CostGenericAccess)
 		o.SetLen(int(v.ToNumber()))
 		return nil
 	}
 	if o.IsDictionary() {
 		vm.Prof.Charge(profiler.CostGenericAccess)
-		o.SetNamed(vm.Space, name, v, objects.Creator{})
+		o.SetNamed(vm.Space, slot.Name, v, objects.Creator{})
 		return nil
 	}
 
 	vm.observeSite(slot, o)
 	if slot.State == ic.Megamorphic {
 		vm.Prof.Hit(ic.MaxPolymorphic, false)
-		vm.emit(trace.EvICHit, slot.Site, name, int64(ic.MaxPolymorphic))
+		vm.emit(trace.EvICHit, slot.Site, slot.Name, int64(ic.MaxPolymorphic))
 		vm.Prof.Charge(profiler.CostGenericAccess)
-		vm.genericStore(o, name, v, slot)
+		vm.genericStore(o, slot.Name, v, slot)
 		return nil
 	}
-	if e, found, idx := slot.Lookup(o.HC()); found {
-		vm.Prof.Hit(idx, e.Preloaded)
-		vm.emit(hitEvent(e.Preloaded), slot.Site, name, int64(idx))
-		if e.Preloaded {
-			slot.Entries[idx].Preloaded = false
+	if e, idx := slot.Find(o.HC()); e != nil {
+		if e.Fast == ic.FastStoreField && !e.Preloaded {
+			// Denormalized hit: one byte compare and a direct field write.
+			vm.Prof.Hit(idx, false)
+			vm.emit(trace.EvICHit, slot.Site, slot.Name, int64(idx))
+			o.SetSlot(int(e.FastOffset), v)
+			vm.maybeInvalidateCtorHCID(o, slot.NameID)
+			return nil
 		}
-		vm.runStoreHandler(e.H, o, name, v)
-		vm.maybeInvalidateCtorHC(o, name)
+		vm.Prof.Hit(idx, e.Preloaded)
+		vm.emit(hitEvent(e.Preloaded), slot.Site, slot.Name, int64(idx))
+		if e.Preloaded {
+			e.Preloaded = false
+		}
+		vm.runStoreHandler(e.H, o, slot.Name, v)
+		vm.maybeInvalidateCtorHCID(o, slot.NameID)
 		return nil
 	}
 
 	// IC miss.
 	kind := vm.classifyMiss(slot.Site, o)
 	vm.Prof.Miss(kind)
-	vm.emit(missEvent(kind), slot.Site, name, 0)
+	vm.emit(missEvent(kind), slot.Site, slot.Name, 0)
 	vm.Prof.BeginICMiss()
 	missStart := vm.Prof.ICMissInstrCount()
 	vm.Prof.Charge(profiler.CostMissEntry)
 
 	incoming := o.HC()
-	handler := vm.resolveStore(o, name, v, slot.Site)
+	handler := vm.resolveStore(o, slot.NameID, slot.Name, v, slot.Site)
 
 	ci := handler.ContextIndependent()
 	vm.Prof.HandlerMade(ci)
-	vm.emit(handlerEvent(ci), slot.Site, name, 0)
+	vm.emit(handlerEvent(ci), slot.Site, slot.Name, 0)
 	vm.Prof.Charge(profiler.CostHandlerGen)
 	slot.Add(incoming, handler)
 	if slot.State == ic.Megamorphic {
-		vm.emit(trace.EvMegamorphic, slot.Site, name, 0)
+		vm.emit(trace.EvMegamorphic, slot.Site, slot.Name, 0)
 	}
 	vm.Prof.Charge(profiler.CostVectorUpdate)
 	vm.burn((vm.Prof.ICMissInstrCount() - missStart) * missBurnWork)
 	vm.Prof.EndICMiss()
 
-	vm.maybeInvalidateCtorHC(o, name)
+	vm.maybeInvalidateCtorHCID(o, slot.NameID)
 	return nil
 }
 
@@ -297,16 +324,16 @@ func (vm *VM) storeNamed(objVal objects.Value, name string, v objects.Value, slo
 // the runtime would install for it. Shared by the named and keyed miss
 // paths. A new-property store transitions the hidden class and announces
 // the triggering event.
-func (vm *VM) resolveStore(o *objects.Object, name string, v objects.Value, site source.Site) ic.Handler {
+func (vm *VM) resolveStore(o *objects.Object, id symtab.ID, name string, v objects.Value, site source.Site) ic.Handler {
 	incoming := o.HC()
-	if off, ok := o.OwnOffset(name); ok {
+	if off, ok := o.OwnOffsetID(id); ok {
 		vm.Prof.Charge(uint64(off+1) * profiler.CostLookupStep)
 		o.SetSlot(off, v)
 		return ic.StoreField{Offset: off}
 	}
 	vm.Prof.Charge(uint64(max(1, incoming.NumFields())) * profiler.CostLookupStep)
 	creator := objects.Creator{Site: site, Global: o == vm.global}
-	next, created := o.AddOwn(vm.Space, name, v, creator)
+	next, created := o.AddOwnID(vm.Space, id, name, v, creator)
 	if created {
 		vm.notifyHC(next.Creator(), incoming, next)
 	}
@@ -352,11 +379,22 @@ func (vm *VM) maybeInvalidateCtorHC(o *objects.Object, name string) {
 	}
 }
 
+// maybeInvalidateCtorHCID is maybeInvalidateCtorHC for paths that already
+// hold the property's symbol: the store hit path uses it so the check is
+// one integer compare.
+func (vm *VM) maybeInvalidateCtorHCID(o *objects.Object, id symtab.ID) {
+	if id == symtab.SymPrototype {
+		if fd := o.Func(); fd != nil {
+			fd.CtorHC = nil
+		}
+	}
+}
+
 // declGlobal implements toplevel `var`: define the global as undefined if
 // absent. The transition is flagged Global and keyed to the variable name,
 // which is context-independent if each global is declared once.
-func (vm *VM) declGlobal(name string) {
-	if _, ok := vm.global.OwnOffset(name); ok {
+func (vm *VM) declGlobal(id symtab.ID, name string) {
+	if _, ok := vm.global.OwnOffsetID(id); ok {
 		vm.Prof.Charge(profiler.CostLookupStep)
 		return
 	}
@@ -367,7 +405,7 @@ func (vm *VM) declGlobal(name string) {
 	}
 	vm.Prof.Charge(profiler.CostGenericAccess)
 	incoming := vm.global.HC()
-	next, created := vm.global.AddOwn(vm.Space, name, objects.Undefined(),
+	next, created := vm.global.AddOwnID(vm.Space, id, name, objects.Undefined(),
 		objects.Creator{Builtin: "global:" + name, Global: true})
 	if created {
 		vm.notifyHC(next.Creator(), incoming, next)
@@ -465,8 +503,10 @@ func (vm *VM) loadKeyed(objVal, key objects.Value, slot *ic.Slot) (objects.Value
 		handler = ic.LoadElement{}
 		value = o.Elem(idx)
 	} else {
-		inner, v := vm.resolveLoad(o, key.ToString(), slot.Site)
-		handler = ic.KeyedNamed{Name: key.ToString(), Inner: inner}
+		name := key.ToString()
+		nameID := symtab.Intern(name)
+		inner, v := vm.resolveLoad(o, nameID, name, slot.Site)
+		handler = ic.KeyedNamed{Name: name, NameID: nameID, Inner: inner}
 		value = v
 	}
 	ci := handler.ContextIndependent()
@@ -577,9 +617,10 @@ func (vm *VM) storeKeyed(objVal, key, v objects.Value, slot *ic.Slot) error {
 		o.SetElem(idx, v)
 	} else {
 		name := key.ToString()
-		inner := vm.resolveStore(o, name, v, slot.Site)
-		handler = ic.KeyedNamed{Name: name, Inner: inner}
-		vm.maybeInvalidateCtorHC(o, name)
+		nameID := symtab.Intern(name)
+		inner := vm.resolveStore(o, nameID, name, v, slot.Site)
+		handler = ic.KeyedNamed{Name: name, NameID: nameID, Inner: inner}
+		vm.maybeInvalidateCtorHCID(o, nameID)
 	}
 	ci := handler.ContextIndependent()
 	vm.Prof.HandlerMade(ci)

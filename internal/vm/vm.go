@@ -14,6 +14,7 @@ import (
 	"ricjs/internal/objects"
 	"ricjs/internal/profiler"
 	"ricjs/internal/source"
+	"ricjs/internal/symtab"
 	"ricjs/internal/trace"
 )
 
@@ -101,6 +102,13 @@ type VM struct {
 	depth    int
 	rng      uint64
 	burnSink uint64
+
+	// framePool recycles activation records (frame structs plus their
+	// locals/stack backing arrays). Call-heavy hot loops otherwise spend
+	// their time allocating frames: with the pool warm, invoking a compiled
+	// function is allocation-free. LIFO order matches call nesting, so the
+	// pool depth tracks the maximum live call depth.
+	framePool []*frame
 
 	maxSteps  uint64
 	steps     uint64
@@ -347,9 +355,27 @@ func (vm *VM) RegisterProgram(prog *bytecode.Program) {
 		if _, ok := vm.feedback[p]; ok {
 			return
 		}
+		if len(p.NameIDs) != len(p.Names) {
+			// Protos built outside the compiler (tests) lack the interned
+			// name pool; registration is the last point before execution
+			// can index it.
+			p.NameIDs = make([]symtab.ID, len(p.Names))
+			for i, n := range p.Names {
+				p.NameIDs[i] = symtab.Intern(n)
+			}
+		}
+		if p.CallLabel == "" {
+			p.CallLabel = p.FunctionName() + " (" + p.Script + ")"
+		}
 		slots := make([]ic.Slot, len(p.Sites))
 		for i, si := range p.Sites {
-			slots[i] = ic.Slot{Site: si.Site, Kind: si.Kind, Name: si.Name}
+			nameID := si.NameID
+			if nameID == symtab.None && si.Name != "" {
+				// Protos built outside the compiler (tests, decoded
+				// records) may lack pre-interned site names.
+				nameID = symtab.Intern(si.Name)
+			}
+			slots[i] = ic.Slot{Site: si.Site, Kind: si.Kind, Name: si.Name, NameID: nameID}
 		}
 		v := ic.NewVector(p.FunctionName(), slots)
 		vm.feedback[p] = v
@@ -411,7 +437,7 @@ func (vm *VM) runFunction(proto *bytecode.FuncProto, closure *objects.Context, t
 		return objects.Undefined(), throwf("maximum call depth exceeded")
 	}
 	vm.depth++
-	vm.callStack = append(vm.callStack, proto.FunctionName()+" ("+proto.Script+")")
+	vm.callStack = append(vm.callStack, proto.CallLabel)
 	defer func() {
 		vm.depth--
 		vm.callStack = vm.callStack[:len(vm.callStack)-1]
@@ -424,20 +450,61 @@ func (vm *VM) runFunction(proto *bytecode.FuncProto, closure *objects.Context, t
 		vm.RegisterProgram(&bytecode.Program{Script: proto.Script, Toplevel: proto})
 		vec = vm.feedback[proto]
 	}
-	f := &frame{
-		proto:  proto,
-		vec:    vec,
-		locals: make([]objects.Value, proto.NumLocals),
-		this:   this,
-		ctx:    closure,
-	}
+	f := vm.acquireFrame(proto.NumLocals)
+	f.proto = proto
+	f.vec = vec
+	f.this = this
+	f.ctx = closure
 	for i := 0; i < proto.NumParams && i < len(args); i++ {
 		f.locals[i] = args[i]
 	}
 	if proto.NumCtxSlots > 0 {
 		f.ctx = objects.NewContext(closure, proto.NumCtxSlots)
 	}
-	return vm.exec(f)
+	v, err := vm.exec(f)
+	// Released only on the normal return path: a frame unwound by a panic
+	// (recovered at the engine boundary) is dropped, never pooled.
+	vm.releaseFrame(f)
+	return v, err
+}
+
+// acquireFrame returns a zeroed frame with numLocals undefined locals,
+// reusing pooled backing arrays when they are large enough.
+func (vm *VM) acquireFrame(numLocals int) *frame {
+	var f *frame
+	if n := len(vm.framePool); n > 0 {
+		f = vm.framePool[n-1]
+		vm.framePool = vm.framePool[:n-1]
+	} else {
+		f = &frame{}
+	}
+	if cap(f.locals) >= numLocals {
+		f.locals = f.locals[:numLocals]
+		for i := range f.locals {
+			f.locals[i] = objects.Value{}
+		}
+	} else {
+		f.locals = make([]objects.Value, numLocals)
+	}
+	return f
+}
+
+// releaseFrame returns a frame to the pool. Value slices keep their
+// capacity but drop object references so the pool never pins dead heap;
+// the full capacity is cleared because popped entries beyond the final
+// length are stale copies too.
+func (vm *VM) releaseFrame(f *frame) {
+	full := f.stack[:cap(f.stack)]
+	for i := range full {
+		full[i] = objects.Value{}
+	}
+	f.stack = f.stack[:0]
+	f.tries = f.tries[:0]
+	f.proto = nil
+	f.vec = nil
+	f.ctx = nil
+	f.this = objects.Value{}
+	vm.framePool = append(vm.framePool, f)
 }
 
 func (f *frame) push(v objects.Value) { f.stack = append(f.stack, v) }
@@ -452,283 +519,440 @@ func (f *frame) peek() objects.Value { return f.stack[len(f.stack)-1] }
 
 // exec is the interpreter loop. Every dispatched instruction charges
 // CostOp; runtime helpers charge their own costs.
+//
+// The operand stack and locals live in function-local slice headers for
+// the duration of the loop: pushes and pops then adjust a register-
+// resident length instead of writing the frame's slice header back to the
+// heap on every instruction (the dominant interpreter cost before this
+// layout). The local header is synced back to f.stack at every exit so the
+// frame pool retains the (possibly regrown) backing array; nothing reads
+// f.stack while exec runs.
 func (vm *VM) exec(f *frame) (objects.Value, error) {
 	code := f.proto.Code
 	consts := f.proto.Consts
 	names := f.proto.Names
+	locals := f.locals
+	stack := f.stack
+	prof := vm.Prof
+	maxSteps := vm.maxSteps
 	pc := 0
+	// ops counts dispatched instructions; the CostOp charge is flushed in
+	// one Charge call at every exec exit instead of per instruction. The
+	// profiler category cannot change between dispatch points (IC-miss
+	// sections open and close inside a single helper call), so the batched
+	// total attributes identically to per-op charging.
+	var ops uint64
 	for pc < len(code) {
 		op := bytecode.Op(code[pc])
-		vm.Prof.Charge(profiler.CostOp)
-		if vm.maxSteps > 0 {
+		ops++
+		if maxSteps > 0 {
 			vm.steps++
-			if vm.steps > vm.maxSteps {
+			if vm.steps > maxSteps {
+				f.stack = stack
+				prof.Charge(ops * profiler.CostOp)
 				return objects.Undefined(), &LimitError{Limit: "step budget"}
 			}
 		}
 		var err error
 		switch op {
 		case bytecode.OpLoadConst:
-			c := consts[code[pc+1]]
+			c := &consts[code[pc+1]]
 			if c.Kind == bytecode.ConstString {
-				f.push(objects.Str(c.Str))
+				stack = append(stack, objects.Str(c.Str))
 			} else {
-				f.push(objects.Num(c.Num))
+				stack = append(stack, objects.Num(c.Num))
 			}
 		case bytecode.OpLoadUndef:
-			f.push(objects.Undefined())
+			stack = append(stack, objects.Undefined())
 		case bytecode.OpLoadNull:
-			f.push(objects.Null())
+			stack = append(stack, objects.Null())
 		case bytecode.OpLoadTrue:
-			f.push(objects.Bool(true))
+			stack = append(stack, objects.Bool(true))
 		case bytecode.OpLoadFalse:
-			f.push(objects.Bool(false))
+			stack = append(stack, objects.Bool(false))
 		case bytecode.OpLoadThis:
-			f.push(f.this)
+			stack = append(stack, f.this)
 
 		case bytecode.OpLoadLocal:
-			f.push(f.locals[code[pc+1]])
+			stack = append(stack, locals[code[pc+1]])
 		case bytecode.OpStoreLocal:
-			f.locals[code[pc+1]] = f.peek()
+			locals[code[pc+1]] = stack[len(stack)-1]
 		case bytecode.OpLoadCtx:
-			f.push(f.ctx.At(int(code[pc+1])).Slots[code[pc+2]])
+			stack = append(stack, f.ctx.At(int(code[pc+1])).Slots[code[pc+2]])
 		case bytecode.OpStoreCtx:
-			f.ctx.At(int(code[pc+1])).Slots[code[pc+2]] = f.peek()
+			f.ctx.At(int(code[pc+1])).Slots[code[pc+2]] = stack[len(stack)-1]
 
+		// The four named-access ops open-code the denormalized monomorphic
+		// hit (hidden-class compare, direct field access, hit accounting)
+		// in the dispatch loop itself, V8-style: the IC fast path runs
+		// inline and only misses, polymorphic shapes, dictionaries, traced
+		// handlers, and site observers call into the runtime helper. The
+		// inline path performs exactly the accounting the helper's
+		// equivalent branch would (Prof.Hit + EvICHit), so instruction
+		// counts and traces are identical either way.
 		case bytecode.OpLoadGlobal:
+			slot := f.vec.Slot(int(code[pc+2]))
+			if o := vm.global; vm.siteObs == nil && slot.State != ic.Megamorphic && !o.IsDictionary() {
+				if e, idx := slot.Find(o.HC()); e != nil && e.Fast == ic.FastLoadField && !e.Preloaded {
+					prof.Hit(idx, false)
+					if vm.tr != nil {
+						vm.tr.Emit(trace.EvICHit, slot.Site, slot.Name, int64(idx))
+					}
+					stack = append(stack, o.Slot(int(e.FastOffset)))
+					pc += 3
+					continue
+				}
+			}
 			var v objects.Value
-			v, err = vm.loadNamed(objects.Obj(vm.global), names[code[pc+1]], f.vec.Slot(int(code[pc+2])))
+			v, err = vm.loadNamed(objects.Obj(vm.global), slot)
 			if err == nil {
-				f.push(v)
+				stack = append(stack, v)
 			}
 		case bytecode.OpStoreGlobal:
-			v := f.peek()
-			err = vm.storeNamed(objects.Obj(vm.global), names[code[pc+1]], v, f.vec.Slot(int(code[pc+2])))
+			slot := f.vec.Slot(int(code[pc+2]))
+			v := stack[len(stack)-1]
+			if o := vm.global; vm.siteObs == nil && slot.State != ic.Megamorphic && !o.IsDictionary() {
+				if e, idx := slot.Find(o.HC()); e != nil && e.Fast == ic.FastStoreField && !e.Preloaded {
+					prof.Hit(idx, false)
+					if vm.tr != nil {
+						vm.tr.Emit(trace.EvICHit, slot.Site, slot.Name, int64(idx))
+					}
+					o.SetSlot(int(e.FastOffset), v)
+					vm.maybeInvalidateCtorHCID(o, slot.NameID)
+					pc += 3
+					continue
+				}
+			}
+			err = vm.storeNamed(objects.Obj(vm.global), v, slot)
 		case bytecode.OpDeclGlobal:
-			vm.declGlobal(names[code[pc+1]])
+			vm.declGlobal(f.proto.NameIDs[code[pc+1]], names[code[pc+1]])
 
 		case bytecode.OpLoadNamed:
-			obj := f.pop()
+			slot := f.vec.Slot(int(code[pc+2]))
+			obj := stack[len(stack)-1]
+			if o := obj.Obj(); o != nil && vm.siteObs == nil && slot.State != ic.Megamorphic && !o.IsDictionary() {
+				if e, idx := slot.Find(o.HC()); e != nil && e.Fast == ic.FastLoadField && !e.Preloaded {
+					prof.Hit(idx, false)
+					if vm.tr != nil {
+						vm.tr.Emit(trace.EvICHit, slot.Site, slot.Name, int64(idx))
+					}
+					stack[len(stack)-1] = o.Slot(int(e.FastOffset))
+					pc += 3
+					continue
+				}
+			}
 			var v objects.Value
-			v, err = vm.loadNamed(obj, names[code[pc+1]], f.vec.Slot(int(code[pc+2])))
+			v, err = vm.loadNamed(obj, slot)
 			if err == nil {
-				f.push(v)
+				stack[len(stack)-1] = v
+			} else {
+				stack = stack[:len(stack)-1]
 			}
 		case bytecode.OpStoreNamed:
-			v := f.pop()
-			obj := f.pop()
-			err = vm.storeNamed(obj, names[code[pc+1]], v, f.vec.Slot(int(code[pc+2])))
+			slot := f.vec.Slot(int(code[pc+2]))
+			v := stack[len(stack)-1]
+			obj := stack[len(stack)-2]
+			// The array `length` store bypasses the IC before the slot is
+			// consulted, so it must bypass the inline path too.
+			if o := obj.Obj(); o != nil && vm.siteObs == nil && slot.State != ic.Megamorphic &&
+				!o.IsDictionary() && !(o.IsArray() && slot.NameID == symtab.SymLength) {
+				if e, idx := slot.Find(o.HC()); e != nil && e.Fast == ic.FastStoreField && !e.Preloaded {
+					prof.Hit(idx, false)
+					if vm.tr != nil {
+						vm.tr.Emit(trace.EvICHit, slot.Site, slot.Name, int64(idx))
+					}
+					o.SetSlot(int(e.FastOffset), v)
+					vm.maybeInvalidateCtorHCID(o, slot.NameID)
+					stack[len(stack)-2] = v
+					stack = stack[:len(stack)-1]
+					pc += 3
+					continue
+				}
+			}
+			stack = stack[:len(stack)-2]
+			err = vm.storeNamed(obj, v, slot)
 			if err == nil {
-				f.push(v)
+				stack = append(stack, v)
 			}
 		case bytecode.OpLoadKeyed:
-			key := f.pop()
-			obj := f.pop()
+			key := stack[len(stack)-1]
+			obj := stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
 			var v objects.Value
 			v, err = vm.loadKeyed(obj, key, f.vec.Slot(int(code[pc+1])))
 			if err == nil {
-				f.push(v)
+				stack = append(stack, v)
 			}
 		case bytecode.OpStoreKeyed:
-			v := f.pop()
-			key := f.pop()
-			obj := f.pop()
+			v := stack[len(stack)-1]
+			key := stack[len(stack)-2]
+			obj := stack[len(stack)-3]
+			stack = stack[:len(stack)-3]
 			err = vm.storeKeyed(obj, key, v, f.vec.Slot(int(code[pc+1])))
 			if err == nil {
-				f.push(v)
+				stack = append(stack, v)
 			}
 		case bytecode.OpDeleteNamed:
-			obj := f.pop()
+			obj := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
 			var ok bool
 			ok, err = vm.deleteNamed(obj, names[code[pc+1]])
 			if err == nil {
-				f.push(objects.Bool(ok))
+				stack = append(stack, objects.Bool(ok))
 			}
 		case bytecode.OpDeleteKeyed:
-			key := f.pop()
-			obj := f.pop()
+			key := stack[len(stack)-1]
+			obj := stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
 			var ok bool
 			ok, err = vm.deleteNamed(obj, key.ToString())
 			if err == nil {
-				f.push(objects.Bool(ok))
+				stack = append(stack, objects.Bool(ok))
 			}
 
 		case bytecode.OpNewObject:
-			vm.Prof.Alloc()
-			f.push(objects.Obj(vm.Space.NewObject(vm.emptyObjectHC)))
+			prof.Alloc()
+			stack = append(stack, objects.Obj(vm.Space.NewObject(vm.emptyObjectHC)))
 		case bytecode.OpNewArray:
 			n := int(code[pc+1])
 			elems := make([]objects.Value, n)
-			copy(elems, f.stack[len(f.stack)-n:])
-			f.stack = f.stack[:len(f.stack)-n]
-			vm.Prof.Alloc()
-			f.push(objects.Obj(vm.Space.NewArray(vm.arrayHC, elems)))
+			copy(elems, stack[len(stack)-n:])
+			stack = stack[:len(stack)-n]
+			prof.Alloc()
+			stack = append(stack, objects.Obj(vm.Space.NewArray(vm.arrayHC, elems)))
 		case bytecode.OpMakeClosure:
 			nested := f.proto.Protos[code[pc+1]]
-			vm.Prof.Alloc()
+			prof.Alloc()
 			fd := &objects.FunctionData{Name: nested.Name, Code: nested, Ctx: f.ctx}
-			f.push(objects.Obj(vm.Space.NewFunction(vm.functionHC, fd)))
+			stack = append(stack, objects.Obj(vm.Space.NewFunction(vm.functionHC, fd)))
 
 		case bytecode.OpAdd:
-			b, a := f.pop(), f.pop()
+			b, a := stack[len(stack)-1], stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
 			// Objects convert through ToString (our ToPrimitive), so any
 			// string or object operand makes + a concatenation.
 			if a.IsString() || b.IsString() || a.IsObject() || b.IsObject() {
-				f.push(objects.Str(a.ToString() + b.ToString()))
+				stack = append(stack, objects.Str(a.ToString()+b.ToString()))
 			} else {
-				f.push(objects.Num(a.ToNumber() + b.ToNumber()))
+				stack = append(stack, objects.Num(a.ToNumber()+b.ToNumber()))
 			}
 		case bytecode.OpSub:
-			b, a := f.pop(), f.pop()
-			f.push(objects.Num(a.ToNumber() - b.ToNumber()))
+			b, a := stack[len(stack)-1], stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			stack = append(stack, objects.Num(a.ToNumber()-b.ToNumber()))
 		case bytecode.OpMul:
-			b, a := f.pop(), f.pop()
-			f.push(objects.Num(a.ToNumber() * b.ToNumber()))
+			b, a := stack[len(stack)-1], stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			stack = append(stack, objects.Num(a.ToNumber()*b.ToNumber()))
 		case bytecode.OpDiv:
-			b, a := f.pop(), f.pop()
-			f.push(objects.Num(a.ToNumber() / b.ToNumber()))
+			b, a := stack[len(stack)-1], stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			stack = append(stack, objects.Num(a.ToNumber()/b.ToNumber()))
 		case bytecode.OpMod:
-			b, a := f.pop(), f.pop()
-			f.push(objects.Num(math.Mod(a.ToNumber(), b.ToNumber())))
+			b, a := stack[len(stack)-1], stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			stack = append(stack, objects.Num(math.Mod(a.ToNumber(), b.ToNumber())))
 		case bytecode.OpNeg:
-			f.push(objects.Num(-f.pop().ToNumber()))
+			stack[len(stack)-1] = objects.Num(-stack[len(stack)-1].ToNumber())
 		case bytecode.OpNot:
-			f.push(objects.Bool(!f.pop().Truthy()))
+			stack[len(stack)-1] = objects.Bool(!stack[len(stack)-1].Truthy())
 		case bytecode.OpTypeOf:
-			f.push(objects.Str(f.pop().TypeOf()))
+			stack[len(stack)-1] = objects.Str(stack[len(stack)-1].TypeOf())
 		case bytecode.OpBitAnd:
-			b, a := f.pop(), f.pop()
-			f.push(objects.Num(float64(toInt32(a) & toInt32(b))))
+			b, a := stack[len(stack)-1], stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			stack = append(stack, objects.Num(float64(toInt32(a)&toInt32(b))))
 		case bytecode.OpBitOr:
-			b, a := f.pop(), f.pop()
-			f.push(objects.Num(float64(toInt32(a) | toInt32(b))))
+			b, a := stack[len(stack)-1], stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			stack = append(stack, objects.Num(float64(toInt32(a)|toInt32(b))))
 		case bytecode.OpBitXor:
-			b, a := f.pop(), f.pop()
-			f.push(objects.Num(float64(toInt32(a) ^ toInt32(b))))
+			b, a := stack[len(stack)-1], stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			stack = append(stack, objects.Num(float64(toInt32(a)^toInt32(b))))
 		case bytecode.OpShl:
-			b, a := f.pop(), f.pop()
-			f.push(objects.Num(float64(toInt32(a) << (uint32(toInt32(b)) & 31))))
+			b, a := stack[len(stack)-1], stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			stack = append(stack, objects.Num(float64(toInt32(a)<<(uint32(toInt32(b))&31))))
 		case bytecode.OpShr:
-			b, a := f.pop(), f.pop()
-			f.push(objects.Num(float64(toInt32(a) >> (uint32(toInt32(b)) & 31))))
+			b, a := stack[len(stack)-1], stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			stack = append(stack, objects.Num(float64(toInt32(a)>>(uint32(toInt32(b))&31))))
 
 		case bytecode.OpEq:
-			b, a := f.pop(), f.pop()
-			f.push(objects.Bool(objects.LooseEquals(a, b)))
+			b, a := stack[len(stack)-1], stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			stack = append(stack, objects.Bool(objects.LooseEquals(a, b)))
 		case bytecode.OpNe:
-			b, a := f.pop(), f.pop()
-			f.push(objects.Bool(!objects.LooseEquals(a, b)))
+			b, a := stack[len(stack)-1], stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			stack = append(stack, objects.Bool(!objects.LooseEquals(a, b)))
 		case bytecode.OpStrictEq:
-			b, a := f.pop(), f.pop()
-			f.push(objects.Bool(objects.StrictEquals(a, b)))
+			b, a := stack[len(stack)-1], stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			stack = append(stack, objects.Bool(objects.StrictEquals(a, b)))
 		case bytecode.OpStrictNe:
-			b, a := f.pop(), f.pop()
-			f.push(objects.Bool(!objects.StrictEquals(a, b)))
+			b, a := stack[len(stack)-1], stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			stack = append(stack, objects.Bool(!objects.StrictEquals(a, b)))
+
+		// The relational operators are open-coded per case: a shared helper
+		// taking comparison closures costs two indirect calls per dispatch.
+		// IEEE semantics make a separate NaN guard redundant — every ordered
+		// comparison with a NaN operand is already false.
 		case bytecode.OpLt:
-			b, a := f.pop(), f.pop()
-			f.push(compare(a, b, func(x, y float64) bool { return x < y }, func(x, y string) bool { return x < y }))
+			b, a := stack[len(stack)-1], stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			if a.IsString() && b.IsString() {
+				stack = append(stack, objects.Bool(a.Str() < b.Str()))
+			} else {
+				stack = append(stack, objects.Bool(a.ToNumber() < b.ToNumber()))
+			}
 		case bytecode.OpLe:
-			b, a := f.pop(), f.pop()
-			f.push(compare(a, b, func(x, y float64) bool { return x <= y }, func(x, y string) bool { return x <= y }))
+			b, a := stack[len(stack)-1], stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			if a.IsString() && b.IsString() {
+				stack = append(stack, objects.Bool(a.Str() <= b.Str()))
+			} else {
+				stack = append(stack, objects.Bool(a.ToNumber() <= b.ToNumber()))
+			}
 		case bytecode.OpGt:
-			b, a := f.pop(), f.pop()
-			f.push(compare(a, b, func(x, y float64) bool { return x > y }, func(x, y string) bool { return x > y }))
+			b, a := stack[len(stack)-1], stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			if a.IsString() && b.IsString() {
+				stack = append(stack, objects.Bool(a.Str() > b.Str()))
+			} else {
+				stack = append(stack, objects.Bool(a.ToNumber() > b.ToNumber()))
+			}
 		case bytecode.OpGe:
-			b, a := f.pop(), f.pop()
-			f.push(compare(a, b, func(x, y float64) bool { return x >= y }, func(x, y string) bool { return x >= y }))
+			b, a := stack[len(stack)-1], stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			if a.IsString() && b.IsString() {
+				stack = append(stack, objects.Bool(a.Str() >= b.Str()))
+			} else {
+				stack = append(stack, objects.Bool(a.ToNumber() >= b.ToNumber()))
+			}
 		case bytecode.OpIn:
-			obj, key := f.pop(), f.pop()
+			obj, key := stack[len(stack)-1], stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
 			var ok bool
 			ok, err = vm.hasProperty(obj, key)
 			if err == nil {
-				f.push(objects.Bool(ok))
+				stack = append(stack, objects.Bool(ok))
 			}
 		case bytecode.OpInstanceOf:
-			ctor, obj := f.pop(), f.pop()
+			ctor, obj := stack[len(stack)-1], stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
 			var ok bool
 			ok, err = vm.instanceOf(obj, ctor)
 			if err == nil {
-				f.push(objects.Bool(ok))
+				stack = append(stack, objects.Bool(ok))
 			}
 
 		case bytecode.OpPop:
-			f.pop()
+			stack = stack[:len(stack)-1]
 		case bytecode.OpDup:
-			f.push(f.peek())
+			stack = append(stack, stack[len(stack)-1])
 		case bytecode.OpDup2:
-			n := len(f.stack)
-			f.push(f.stack[n-2])
-			f.push(f.stack[n-1])
+			n := len(stack)
+			stack = append(stack, stack[n-2], stack[n-1])
 		case bytecode.OpSwap:
-			n := len(f.stack)
-			f.stack[n-1], f.stack[n-2] = f.stack[n-2], f.stack[n-1]
+			n := len(stack)
+			stack[n-1], stack[n-2] = stack[n-2], stack[n-1]
 
 		case bytecode.OpJump:
 			pc = int(code[pc+1])
 			continue
 		case bytecode.OpJumpIfFalse:
-			if !f.pop().Truthy() {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if !v.Truthy() {
 				pc = int(code[pc+1])
 				continue
 			}
 		case bytecode.OpJumpIfTrue:
-			if f.pop().Truthy() {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if v.Truthy() {
 				pc = int(code[pc+1])
 				continue
 			}
 
 		case bytecode.OpCall:
 			argc := int(code[pc+1])
-			args := make([]objects.Value, argc)
-			copy(args, f.stack[len(f.stack)-argc:])
-			f.stack = f.stack[:len(f.stack)-argc]
-			fn := f.pop()
-			this := f.pop()
+			argv := stack[len(stack)-argc:]
+			fn := stack[len(stack)-argc-1]
+			this := stack[len(stack)-argc-2]
 			var v objects.Value
-			v, err = vm.CallFunction(fn, this, args)
+			// Interpreted callees get a view of the caller's stack as argv:
+			// runFunction copies parameters into the callee's locals before
+			// executing and never retains the slice, so no defensive copy —
+			// and no allocation — is needed. Natives may retain args (bind,
+			// apply), so they keep the copying path via CallFunction.
+			if fo := fn.Obj(); fo != nil && fo.Func() != nil && fo.Func().Native == nil {
+				fd := fo.Func()
+				prof.Charge(profiler.CostCall)
+				v, err = vm.runFunction(fd.Code.(*bytecode.FuncProto), fd.Ctx, this, argv)
+			} else {
+				args := make([]objects.Value, argc)
+				copy(args, argv)
+				v, err = vm.CallFunction(fn, this, args)
+			}
+			stack = stack[:len(stack)-argc-2]
 			if err == nil {
-				f.push(v)
+				stack = append(stack, v)
 			}
 		case bytecode.OpNew:
 			argc := int(code[pc+1])
 			args := make([]objects.Value, argc)
-			copy(args, f.stack[len(f.stack)-argc:])
-			f.stack = f.stack[:len(f.stack)-argc]
-			ctor := f.pop()
+			copy(args, stack[len(stack)-argc:])
+			stack = stack[:len(stack)-argc]
+			ctor := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
 			var v objects.Value
 			v, err = vm.construct(ctor, args)
 			if err == nil {
-				f.push(v)
+				stack = append(stack, v)
 			}
 
 		case bytecode.OpReturn:
-			return f.pop(), nil
+			v := stack[len(stack)-1]
+			f.stack = stack[:len(stack)-1]
+			prof.Charge(ops * profiler.CostOp)
+			return v, nil
 		case bytecode.OpReturnUndef:
+			f.stack = stack
+			prof.Charge(ops * profiler.CostOp)
 			return objects.Undefined(), nil
 
 		case bytecode.OpForInKeys:
-			subject := f.pop()
+			subject := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
 			var keys []objects.Value
 			if o := subject.Obj(); o != nil {
 				for _, k := range o.OwnKeys() {
 					keys = append(keys, objects.Str(k))
 				}
 			}
-			vm.Prof.Alloc()
-			f.push(objects.Obj(vm.Space.NewArray(vm.arrayHC, keys)))
+			prof.Alloc()
+			stack = append(stack, objects.Obj(vm.Space.NewArray(vm.arrayHC, keys)))
 
 		case bytecode.OpThrow:
-			err = &Thrown{Value: f.pop()}
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			err = &Thrown{Value: v}
 		case bytecode.OpTryPush:
 			f.tries = append(f.tries, tryEntry{
 				catchPC:    int(code[pc+1]),
 				catchSlot:  int(code[pc+2]),
-				stackDepth: len(f.stack),
+				stackDepth: len(stack),
 			})
 		case bytecode.OpTryPop:
 			f.tries = f.tries[:len(f.tries)-1]
 
 		default:
+			f.stack = stack
+			prof.Charge(ops * profiler.CostOp)
 			return objects.Undefined(), throwf("bad opcode %v at %d", op, pc)
 		}
 
@@ -740,17 +964,21 @@ func (vm *VM) exec(f *frame) (objects.Value, error) {
 				thrown.Stack = vm.captureStack()
 			}
 			if !ok || len(f.tries) == 0 {
+				f.stack = stack
+				prof.Charge(ops * profiler.CostOp)
 				return objects.Undefined(), err
 			}
 			h := f.tries[len(f.tries)-1]
 			f.tries = f.tries[:len(f.tries)-1]
-			f.stack = f.stack[:h.stackDepth]
-			f.locals[h.catchSlot] = thrown.Value
+			stack = stack[:h.stackDepth]
+			locals[h.catchSlot] = thrown.Value
 			pc = h.catchPC
 			continue
 		}
 		pc += 1 + op.OperandCount()
 	}
+	f.stack = stack
+	prof.Charge(ops * profiler.CostOp)
 	return objects.Undefined(), nil
 }
 
@@ -771,19 +999,6 @@ func min(a, b int) int {
 		return a
 	}
 	return b
-}
-
-// compare implements the relational operators: string/string compares
-// lexicographically, anything else numerically (NaN compares false).
-func compare(a, b objects.Value, nf func(x, y float64) bool, sf func(x, y string) bool) objects.Value {
-	if a.IsString() && b.IsString() {
-		return objects.Bool(sf(a.Str(), b.Str()))
-	}
-	x, y := a.ToNumber(), b.ToNumber()
-	if math.IsNaN(x) || math.IsNaN(y) {
-		return objects.Bool(false)
-	}
-	return objects.Bool(nf(x, y))
 }
 
 // toInt32 implements JavaScript ToInt32.
