@@ -27,6 +27,20 @@ echo "== pool stress: concurrent record serving under -race =="
 go test -race -count=1 -run 'TestSessionPool|TestSharedRecordImmutableUnderConcurrentReuse' .
 go test -race -count=1 -run 'TestConcurrentLoad' ./internal/codecache
 
+echo "== network chaos sweep: faulted remote record tier =="
+# Every fault mode (dead, slow, torn, corrupting, flapping server) must
+# complete all sessions with byte-identical output, materialize each key
+# exactly once, and trip the breaker exactly where expected. ricbench
+# exits nonzero if any mode breaks its degradation contract.
+go run ./cmd/ricbench -netfaults >/dev/null
+
+echo "== ricserved smoke: one extraction fleet-wide =="
+# Builds and runs the real server binary, serves the same key from two
+# pooled clients, and asserts exactly one extraction across the fleet
+# plus a clean SIGTERM drain. The partition and store-fault tests ride
+# along under -race.
+go test -race -count=1 -run 'TestRicservedFleetSmoke|TestRemote|TestSessionPoolStoreFaultsUnderRace' .
+
 echo "== golden traces: drift check =="
 # The committed per-workload event summaries under testdata/traces/ must
 # match what the engine emits today. Regenerate deliberately with

@@ -35,6 +35,9 @@ type FaultFS struct {
 	RemoveErr error
 	// MkdirErr fails MkdirAll (store creation).
 	MkdirErr error
+	// ReadDirErr fails ReadDir (the listing step of Keys and
+	// Quarantined).
+	ReadDirErr error
 }
 
 var _ ricjs.FS = (*FaultFS)(nil)
@@ -80,7 +83,12 @@ func (f *FaultFS) Remove(path string) error {
 }
 
 // ReadDir implements ricjs.FS.
-func (f *FaultFS) ReadDir(path string) ([]fs.DirEntry, error) { return f.Base.ReadDir(path) }
+func (f *FaultFS) ReadDir(path string) ([]fs.DirEntry, error) {
+	if f.ReadDirErr != nil {
+		return nil, f.ReadDirErr
+	}
+	return f.Base.ReadDir(path)
+}
 
 // OSFS returns the production filesystem, for wrapping.
 func OSFS() ricjs.FS { return ricjs.NewOSFS() }

@@ -1,0 +1,202 @@
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// NetMode names one network fault class injected between a record-service
+// client and its server. Where the FaultFS models a failing disk under the
+// RecordStore, these model a failing network under the remote record tier:
+// the engine's guarantee is the same — any of them may slow a run's first
+// execution, none may change its output or crash it.
+type NetMode string
+
+const (
+	// NetNone passes requests through untouched (the healthy baseline a
+	// chaos sweep compares against).
+	NetNone NetMode = "net-none"
+	// NetConnRefused fails every request as if nothing listens on the
+	// port: a dead or partitioned server. The client must burn its retry
+	// budget, trip the breaker, and degrade to the local tier.
+	NetConnRefused NetMode = "conn-refused"
+	// NetSlowPeer delays every request past the client's deadline: a
+	// congested or GC-pausing peer. Indistinguishable from a dead one at
+	// the client, which is the point — the deadline converts slowness into
+	// a bounded failure.
+	NetSlowPeer NetMode = "slow-peer"
+	// NetTruncate cuts every response body off mid-stream: a connection
+	// torn by a partition while the server was sending. The client must
+	// detect the short body and treat the attempt as failed, never decode
+	// a prefix.
+	NetTruncate NetMode = "truncate-body"
+	// NetCorrupt flips bits in every response body: a broken proxy or
+	// memory corruption on the wire. HTTP has no payload checksum, so the
+	// bytes arrive "successfully" — the record codec's CRC must catch
+	// them, and the client fall back to the local tier.
+	NetCorrupt NetMode = "corrupt-body"
+	// NetFlap alternates windows of healthy and refused requests: a
+	// flapping link or a server in a crash loop. Exercises breaker
+	// open/half-open/close transitions and proves partial availability is
+	// used when offered, never trusted when absent.
+	NetFlap NetMode = "flapping"
+)
+
+// NetModes returns every network fault mode, chaos-sweep order, healthy
+// baseline first.
+func NetModes() []NetMode {
+	return []NetMode{NetNone, NetConnRefused, NetSlowPeer, NetTruncate, NetCorrupt, NetFlap}
+}
+
+// ErrConnRefused is the injected connection-refused error.
+var ErrConnRefused error = syscall.ECONNREFUSED
+
+// NetFault is a deterministic fault-injecting http.RoundTripper wrapped
+// around a real transport. It is safe for concurrent use; the request
+// counter that drives flapping and FailFirst is shared across goroutines,
+// so concurrent behaviour is deterministic in aggregate (how many
+// requests fault) though not in per-request interleaving.
+type NetFault struct {
+	// Base performs the real round trips (required except for
+	// NetConnRefused, which never reaches it).
+	Base http.RoundTripper
+	// Mode selects the fault.
+	Mode NetMode
+	// Latency is the NetSlowPeer injected delay (default 50ms; set it
+	// above the client's RequestTimeout).
+	Latency time.Duration
+	// FlapPeriod is the NetFlap window length in requests: the first
+	// FlapPeriod requests fail, the next FlapPeriod succeed, and so on
+	// (default 3).
+	FlapPeriod uint64
+	// FailFirst, when nonzero, applies the fault only to the first
+	// FailFirst requests and passes the rest through — a fault that heals,
+	// for breaker-recovery tests.
+	FailFirst uint64
+
+	seq atomic.Uint64
+}
+
+var _ http.RoundTripper = (*NetFault)(nil)
+
+// RoundTrip implements http.RoundTripper.
+func (n *NetFault) RoundTrip(req *http.Request) (*http.Response, error) {
+	i := n.seq.Add(1) - 1
+	if n.FailFirst > 0 && i >= n.FailFirst {
+		return n.Base.RoundTrip(req)
+	}
+	switch n.Mode {
+	case NetConnRefused:
+		return nil, fmt.Errorf("faultinject: dial %s: %w", req.URL.Host, ErrConnRefused)
+	case NetSlowPeer:
+		d := n.Latency
+		if d <= 0 {
+			d = 50 * time.Millisecond
+		}
+		// Honour the request context so the client's deadline, not this
+		// sleep, decides when the attempt dies.
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(d):
+		}
+		return n.Base.RoundTrip(req)
+	case NetTruncate:
+		resp, err := n.Base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		return truncateBody(resp)
+	case NetCorrupt:
+		resp, err := n.Base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		return corruptBody(resp, i)
+	case NetFlap:
+		period := n.FlapPeriod
+		if period == 0 {
+			period = 3
+		}
+		if (i/period)%2 == 0 {
+			return nil, fmt.Errorf("faultinject: dial %s: %w (flap)", req.URL.Host, ErrConnRefused)
+		}
+		return n.Base.RoundTrip(req)
+	default:
+		return n.Base.RoundTrip(req)
+	}
+}
+
+// Faulted reports how many requests have been touched by the transport.
+func (n *NetFault) Faulted() uint64 { return n.seq.Load() }
+
+// truncateBody rewraps a response so its body yields only half the
+// declared Content-Length and then dies with an unexpected-EOF — the
+// client sees a well-formed header and a torn payload.
+func truncateBody(resp *http.Response) (*http.Response, error) {
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 2 {
+		// Nothing to cut; deliver a read error instead so the mode still
+		// faults tiny responses.
+		resp.Body = &tornReader{r: bytes.NewReader(data)}
+		return resp, nil
+	}
+	resp.Body = &tornReader{r: bytes.NewReader(data[:len(data)/2])}
+	return resp, nil
+}
+
+// tornReader yields its underlying bytes and then fails with ErrUnexpectedEOF
+// instead of a clean EOF, like a connection reset mid-body.
+type tornReader struct {
+	r    *bytes.Reader
+	mu   sync.Mutex
+	done bool
+}
+
+func (t *tornReader) Read(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n, err := t.r.Read(p)
+	if err == io.EOF {
+		t.done = true
+		if n > 0 {
+			return n, nil
+		}
+		return 0, io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (t *tornReader) Close() error { return nil }
+
+// corruptBody flips one bit per 64 bytes of the response payload,
+// deterministically seeded by the request index, and fixes up
+// Content-Length bookkeeping (the length is unchanged; only content rots).
+func corruptBody(resp *http.Response, seq uint64) (*http.Response, error) {
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > 0 {
+		for off := 0; off < len(data); off += 64 {
+			i := (off + int(seq)) % len(data)
+			data[i] ^= 1 << (seq % 8)
+		}
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(data))
+	return resp, nil
+}

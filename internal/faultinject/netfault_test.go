@@ -1,0 +1,131 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+const netBody = "0123456789abcdef0123456789abcdef"
+
+func netBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, netBody) //nolint:errcheck
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func netGet(t *testing.T, rt http.RoundTripper, url string) (string, error) {
+	t.Helper()
+	c := &http.Client{Transport: rt}
+	resp, err := c.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+func TestNetFaultModes(t *testing.T) {
+	ts := netBackend(t)
+
+	t.Run("none", func(t *testing.T) {
+		nf := &NetFault{Base: ts.Client().Transport, Mode: NetNone}
+		got, err := netGet(t, nf, ts.URL)
+		if err != nil || got != netBody {
+			t.Fatalf("passthrough = %q, %v", got, err)
+		}
+	})
+
+	t.Run("conn-refused", func(t *testing.T) {
+		nf := &NetFault{Mode: NetConnRefused} // never reaches Base
+		_, err := netGet(t, nf, ts.URL)
+		if !errors.Is(err, ErrConnRefused) {
+			t.Fatalf("err = %v, want ErrConnRefused", err)
+		}
+	})
+
+	t.Run("slow-peer-honours-context", func(t *testing.T) {
+		nf := &NetFault{Base: ts.Client().Transport, Mode: NetSlowPeer, Latency: time.Minute}
+		req, _ := http.NewRequest("GET", ts.URL, nil)
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		_, err := nf.RoundTrip(req.WithContext(ctx))
+		if err == nil {
+			t.Fatal("slow peer answered despite an expired deadline")
+		}
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Fatalf("slow peer held the request %v; the context deadline must cut it short", elapsed)
+		}
+	})
+
+	t.Run("truncate", func(t *testing.T) {
+		nf := &NetFault{Base: ts.Client().Transport, Mode: NetTruncate}
+		got, err := netGet(t, nf, ts.URL)
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("read err = %v, want ErrUnexpectedEOF", err)
+		}
+		if len(got) >= len(netBody) {
+			t.Fatalf("read %d bytes of %d; the body must be cut short", len(got), len(netBody))
+		}
+	})
+
+	t.Run("corrupt", func(t *testing.T) {
+		nf := &NetFault{Base: ts.Client().Transport, Mode: NetCorrupt}
+		got, err := netGet(t, nf, ts.URL)
+		if err != nil {
+			t.Fatalf("corrupt mode must deliver 'successfully': %v", err)
+		}
+		if len(got) != len(netBody) {
+			t.Fatalf("length changed: %d vs %d (only content may rot)", len(got), len(netBody))
+		}
+		if got == netBody {
+			t.Fatal("body arrived unmodified")
+		}
+		// Deterministic per request index: a fresh transport corrupts the
+		// same way.
+		got2, _ := netGet(t, &NetFault{Base: ts.Client().Transport, Mode: NetCorrupt}, ts.URL)
+		if got2 != got {
+			t.Fatalf("corruption not deterministic: %q vs %q", got, got2)
+		}
+	})
+
+	t.Run("flapping", func(t *testing.T) {
+		nf := &NetFault{Base: ts.Client().Transport, Mode: NetFlap, FlapPeriod: 2}
+		var outcomes []bool
+		for i := 0; i < 8; i++ {
+			_, err := netGet(t, nf, ts.URL)
+			outcomes = append(outcomes, err == nil)
+		}
+		want := []bool{false, false, true, true, false, false, true, true}
+		for i := range want {
+			if outcomes[i] != want[i] {
+				t.Fatalf("flap outcomes = %v, want %v", outcomes, want)
+			}
+		}
+	})
+
+	t.Run("fail-first-heals", func(t *testing.T) {
+		nf := &NetFault{Base: ts.Client().Transport, Mode: NetConnRefused, FailFirst: 2}
+		for i := 0; i < 2; i++ {
+			if _, err := netGet(t, nf, ts.URL); err == nil {
+				t.Fatalf("request %d passed before the fault healed", i)
+			}
+		}
+		got, err := netGet(t, nf, ts.URL)
+		if err != nil || got != netBody {
+			t.Fatalf("healed request = %q, %v", got, err)
+		}
+		if nf.Faulted() != 3 {
+			t.Fatalf("Faulted() = %d, want 3 requests seen", nf.Faulted())
+		}
+	})
+}

@@ -16,6 +16,14 @@ type PoolCounters struct {
 	waited       atomic.Uint64
 	conventional atomic.Uint64
 	degraded     atomic.Uint64
+
+	quarantined     atomic.Uint64
+	remoteHits      atomic.Uint64
+	remoteMisses    atomic.Uint64
+	remoteErrors    atomic.Uint64
+	remotePublishes atomic.Uint64
+	remoteWaits     atomic.Uint64
+	remoteDegraded  atomic.Uint64
 }
 
 // Session records one session entering the pool.
@@ -52,6 +60,33 @@ func (p *PoolCounters) Conventional() { p.conventional.Add(1) }
 // Degraded records a session whose engine abandoned reuse mid-run.
 func (p *PoolCounters) Degraded() { p.degraded.Add(1) }
 
+// Quarantined records a corrupt stored record set aside (.ric.bad)
+// during a pool session's store load. Without this counter a fleet
+// silently eating quarantined records is invisible at pool level.
+func (p *PoolCounters) Quarantined() { p.quarantined.Add(1) }
+
+// RemoteHit records a record served by the remote record service.
+func (p *PoolCounters) RemoteHit() { p.remoteHits.Add(1) }
+
+// RemoteMiss records the remote service answering "no record" for a key.
+func (p *PoolCounters) RemoteMiss() { p.remoteMisses.Add(1) }
+
+// RemoteError records a failed remote-tier operation (timeout, refused
+// connection, torn/corrupt payload, or a breaker short-circuit).
+func (p *PoolCounters) RemoteError() { p.remoteErrors.Add(1) }
+
+// RemotePublish records an extracted record published to the remote
+// service for the rest of the fleet.
+func (p *PoolCounters) RemotePublish() { p.remotePublishes.Add(1) }
+
+// RemoteWait records a session that waited on another node's in-flight
+// extraction (this node lost the cluster claim).
+func (p *PoolCounters) RemoteWait() { p.remoteWaits.Add(1) }
+
+// RemoteDegraded records a session that fell off the remote tier and
+// continued down the local ladder; at most one per session.
+func (p *PoolCounters) RemoteDegraded() { p.remoteDegraded.Add(1) }
+
 // PoolSnapshot is an immutable copy of a pool's aggregate statistics.
 type PoolSnapshot struct {
 	// Sessions is the number of sessions served.
@@ -74,6 +109,26 @@ type PoolSnapshot struct {
 	ConventionalRuns uint64
 	// DegradedSessions counts sessions whose engine degraded mid-run.
 	DegradedSessions uint64
+	// QuarantinedRecords counts corrupt stored records quarantined during
+	// pool store loads (renamed to .ric.bad, key treated as cold).
+	QuarantinedRecords uint64
+	// RemoteHits counts records served by the remote record service.
+	RemoteHits uint64
+	// RemoteMisses counts remote lookups the service answered with "no
+	// record" (cold fleet cache).
+	RemoteMisses uint64
+	// RemoteErrors counts failed remote-tier operations, including breaker
+	// short-circuits.
+	RemoteErrors uint64
+	// RemotePublishes counts extracted records published to the service.
+	RemotePublishes uint64
+	// RemoteWaits counts sessions that waited on a peer node's extraction.
+	RemoteWaits uint64
+	// RemoteDegradedSessions counts sessions that fell off the remote tier
+	// (service error or peer extraction that never arrived) and continued
+	// down the ladder — the counter that makes a dead or partitioned
+	// record server visible.
+	RemoteDegradedSessions uint64
 }
 
 // RecordsDecoded returns how many times a record was materialized in
@@ -94,5 +149,13 @@ func (p *PoolCounters) Snapshot() PoolSnapshot {
 		WaitedSessions:     p.waited.Load(),
 		ConventionalRuns:   p.conventional.Load(),
 		DegradedSessions:   p.degraded.Load(),
+
+		QuarantinedRecords:     p.quarantined.Load(),
+		RemoteHits:             p.remoteHits.Load(),
+		RemoteMisses:           p.remoteMisses.Load(),
+		RemoteErrors:           p.remoteErrors.Load(),
+		RemotePublishes:        p.remotePublishes.Load(),
+		RemoteWaits:            p.remoteWaits.Load(),
+		RemoteDegradedSessions: p.remoteDegraded.Load(),
 	}
 }

@@ -1,0 +1,130 @@
+package recordserv
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the circuit breaker's position.
+type breakerState int
+
+const (
+	// breakerClosed passes requests through, counting consecutive failures.
+	breakerClosed breakerState = iota
+	// breakerOpen short-circuits every request until the cooldown elapses.
+	breakerOpen
+	// breakerHalfOpen admits exactly one probe request; its outcome decides
+	// between closing and re-opening.
+	breakerHalfOpen
+)
+
+// String returns the state name ("closed", "open", "half-open").
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker is a consecutive-failure circuit breaker. After Threshold
+// failures in a row it opens: requests are refused locally (no network
+// touch) until Cooldown elapses, at which point one probe is admitted.
+// A successful probe closes the breaker; a failed one re-opens it for
+// another cooldown. The breaker exists so a dead or partitioned record
+// server costs each session at most one bounded timeout — after the
+// budget is spent, degradation to the local tier is instantaneous.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu        sync.Mutex
+	state     breakerState
+	failures  int       // consecutive failures while closed
+	openedAt  time.Time // when the breaker last opened
+	probing   bool      // a half-open probe is in flight
+	opens     uint64    // times the breaker tripped open
+	shortCirc uint64    // requests refused without touching the network
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a request may proceed. A refusal is a short
+// circuit: the caller must fail fast with ErrUnavailable.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			b.probing = true
+			return true
+		}
+		b.shortCirc++
+		return false
+	case breakerHalfOpen:
+		if b.probing {
+			// One probe at a time; everyone else keeps failing fast.
+			b.shortCirc++
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// report records a request outcome and moves the state machine.
+func (b *breaker) report(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		if success {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.threshold {
+			b.trip()
+		}
+	case breakerHalfOpen:
+		b.probing = false
+		if success {
+			b.state = breakerClosed
+			b.failures = 0
+		} else {
+			b.trip()
+		}
+	case breakerOpen:
+		// A late report from a request admitted before the trip; the
+		// breaker is already open, nothing to move.
+	}
+}
+
+// trip opens the breaker. Callers hold b.mu.
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.probing = false
+	b.opens++
+}
+
+// snapshot returns the state and counters.
+func (b *breaker) snapshot() (state breakerState, opens, shortCircuits uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.opens, b.shortCirc
+}

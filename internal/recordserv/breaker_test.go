@@ -1,0 +1,81 @@
+package recordserv
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerStateMachine walks the full closed → open → half-open →
+// closed cycle on a manual clock.
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(3, time.Second, func() time.Time { return now })
+
+	// Below the threshold the breaker stays closed, and a success resets
+	// the consecutive-failure count.
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.report(false)
+	}
+	b.allow()
+	b.report(true)
+	for i := 0; i < 2; i++ {
+		b.allow()
+		b.report(false)
+	}
+	if state, opens, _ := b.snapshot(); state != breakerClosed || opens != 0 {
+		t.Fatalf("after interleaved success: state %v, opens %d", state, opens)
+	}
+
+	// The third consecutive failure trips it.
+	b.allow()
+	b.report(false)
+	if state, opens, _ := b.snapshot(); state != breakerOpen || opens != 1 {
+		t.Fatalf("after threshold: state %v, opens %d", state, opens)
+	}
+
+	// Open: requests are refused without touching the network.
+	for i := 0; i < 5; i++ {
+		if b.allow() {
+			t.Fatal("open breaker admitted a request before cooldown")
+		}
+	}
+	if _, _, short := b.snapshot(); short != 5 {
+		t.Fatalf("short circuits = %d, want 5", short)
+	}
+
+	// Cooldown elapses: exactly one probe is admitted, concurrent
+	// requests keep failing fast.
+	now = now.Add(time.Second)
+	if !b.allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// A failed probe re-opens for another full cooldown.
+	b.report(false)
+	if state, opens, _ := b.snapshot(); state != breakerOpen || opens != 2 {
+		t.Fatalf("after failed probe: state %v, opens %d", state, opens)
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted a request")
+	}
+
+	// A successful probe closes it again.
+	now = now.Add(time.Second)
+	if !b.allow() {
+		t.Fatal("second probe refused")
+	}
+	b.report(true)
+	if state, _, _ := b.snapshot(); state != breakerClosed {
+		t.Fatalf("after successful probe: state %v", state)
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker refused a request")
+	}
+	b.report(true)
+}

@@ -1,0 +1,473 @@
+package recordserv
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Typed results of client operations. Callers branch on these with
+// errors.Is; anything else is a transport- or server-level failure that
+// already consumed its retry budget.
+var (
+	// ErrNotFound means the server answered and has no record for the key
+	// (a cache miss, not a failure — the breaker counts it as a success).
+	ErrNotFound = errors.New("recordserv: no record for key")
+	// ErrUnavailable means the circuit breaker is open: the server has
+	// exceeded its failure budget and requests fail fast, without touching
+	// the network, until the breaker half-opens.
+	ErrUnavailable = errors.New("recordserv: server unavailable (breaker open)")
+	// ErrRejected means the server refused a publish (the record failed
+	// server-side validation). Not retryable: the bytes are the problem.
+	ErrRejected = errors.New("recordserv: record rejected by server")
+)
+
+// Options configures a Client. The zero value of every field has a
+// production default; tests shrink the time knobs and inject clocks.
+type Options struct {
+	// BaseURL locates the server, e.g. "http://127.0.0.1:9464".
+	BaseURL string
+	// Owner identifies this node in extraction claims. Empty derives a
+	// per-client unique name.
+	Owner string
+	// Transport performs the HTTP round trips; nil uses a private
+	// http.Transport. Fault harnesses inject a faulty one here.
+	Transport http.RoundTripper
+	// RequestTimeout bounds every attempt (default 2s). A slow peer is a
+	// failed peer: past the deadline the attempt is abandoned and the
+	// retry/breaker machinery takes over.
+	RequestTimeout time.Duration
+	// MaxRetries is how many times a failed attempt is retried (default 2,
+	// so 3 attempts total). Definitive answers (404, 304, 409, 422) are
+	// never retried.
+	MaxRetries int
+	// BackoffBase is the first retry's backoff (default 10ms); each retry
+	// doubles it, capped at BackoffCap (default 250ms). Full jitter is
+	// applied: the sleep is uniform in [0, backoff].
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// JitterSeed makes the backoff jitter deterministic for tests; 0 seeds
+	// from the owner name.
+	JitterSeed int64
+	// BreakerThreshold is how many consecutive failed operations trip the
+	// breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before admitting
+	// a half-open probe (default 5s).
+	BreakerCooldown time.Duration
+	// Now and Sleep inject the clock (defaults: time.Now, time.Sleep).
+	Now   func() time.Time
+	Sleep func(time.Duration)
+}
+
+// ClientStats is a snapshot of a client's operation counters.
+type ClientStats struct {
+	// Ops counts logical operations (Fetch/Publish/Invalidate/Claim/Release).
+	Ops uint64
+	// Attempts counts HTTP attempts, including retries.
+	Attempts uint64
+	// Retries counts attempts beyond each operation's first.
+	Retries uint64
+	// Failures counts logical operations that exhausted their retry budget
+	// (or were rejected) — the breaker's failure signal.
+	Failures uint64
+	// ShortCircuits counts operations refused instantly by the open breaker.
+	ShortCircuits uint64
+	// BreakerOpens counts breaker trips; BreakerState is the current state
+	// ("closed", "open", "half-open").
+	BreakerOpens uint64
+	BreakerState string
+	// FetchHits/FetchMisses/NotModified break down Fetch outcomes; a
+	// NotModified hit revalidated the cached copy without a body transfer.
+	FetchHits   uint64
+	FetchMisses uint64
+	NotModified uint64
+	// Publishes/Invalidates/ClaimsWon/ClaimsLost/Releases count the
+	// mutating operations that reached a definitive server answer.
+	Publishes   uint64
+	Invalidates uint64
+	ClaimsWon   uint64
+	ClaimsLost  uint64
+	Releases    uint64
+}
+
+// ClaimTicket is the outcome of a Claim: either this node owns the
+// extraction lease, or another node does and RetryAfter hints when its
+// lease expires.
+type ClaimTicket struct {
+	Granted    bool
+	Holder     string
+	RetryAfter time.Duration
+}
+
+// cachedRecord is the client's last-seen copy of a key, kept for
+// If-None-Match revalidation: a 304 serves these bytes with no transfer.
+type cachedRecord struct {
+	data []byte
+	etag string
+}
+
+// Client talks to a record server with per-request deadlines, bounded
+// retries with exponential backoff and full jitter, and a circuit
+// breaker. All methods are safe for concurrent use. Every failure mode
+// maps to an error the caller can degrade on — a Client never panics and
+// never blocks longer than (MaxRetries+1) × RequestTimeout plus backoff.
+type Client struct {
+	base    *url.URL
+	owner   string
+	http    *http.Client
+	timeout time.Duration
+	retries int
+	backoff time.Duration
+	bcap    time.Duration
+	breaker *breaker
+	sleep   func(time.Duration)
+
+	jmu sync.Mutex
+	rng *rand.Rand
+
+	cmu   sync.Mutex
+	cache map[string]cachedRecord
+
+	mu    sync.Mutex
+	stats ClientStats
+}
+
+// NewClient creates a client for the server at opts.BaseURL.
+func NewClient(opts Options) (*Client, error) {
+	base, err := url.Parse(opts.BaseURL)
+	if err != nil || base.Scheme == "" || base.Host == "" {
+		return nil, fmt.Errorf("recordserv: bad base URL %q", opts.BaseURL)
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 2 * time.Second
+	}
+	if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	} else if opts.MaxRetries == 0 {
+		opts.MaxRetries = 2
+	}
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = 10 * time.Millisecond
+	}
+	if opts.BackoffCap <= 0 {
+		opts.BackoffCap = 250 * time.Millisecond
+	}
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = 3
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 5 * time.Second
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	sleep := opts.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	transport := opts.Transport
+	if transport == nil {
+		transport = &http.Transport{}
+	}
+	owner := opts.Owner
+	if owner == "" {
+		owner = fmt.Sprintf("node-%08x", rand.Uint32())
+	}
+	seed := opts.JitterSeed
+	if seed == 0 {
+		for _, c := range owner {
+			seed = seed*131 + int64(c)
+		}
+	}
+	return &Client{
+		base:    base,
+		owner:   owner,
+		http:    &http.Client{Transport: transport},
+		timeout: opts.RequestTimeout,
+		retries: opts.MaxRetries,
+		backoff: opts.BackoffBase,
+		bcap:    opts.BackoffCap,
+		breaker: newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, now),
+		sleep:   sleep,
+		rng:     rand.New(rand.NewSource(seed)),
+		cache:   make(map[string]cachedRecord),
+	}, nil
+}
+
+// Owner returns the node identity used in extraction claims.
+func (c *Client) Owner() string { return c.owner }
+
+// Stats snapshots the client's counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	st := c.stats
+	c.mu.Unlock()
+	state, opens, short := c.breaker.snapshot()
+	st.BreakerState = state.String()
+	st.BreakerOpens = opens
+	st.ShortCircuits = short
+	return st
+}
+
+// Available reports whether the breaker currently admits requests — used
+// by callers to skip optional remote work (e.g. waiting on a peer's
+// extraction) when the server is known-dead.
+func (c *Client) Available() bool {
+	state, _, _ := c.breaker.snapshot()
+	return state != breakerOpen
+}
+
+func (c *Client) count(f func(*ClientStats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}
+
+// jitter returns a uniform duration in [0, d] under the client's seeded rng.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(c.rng.Int63n(int64(d) + 1))
+}
+
+// response is one attempt's definitive answer.
+type response struct {
+	status     int
+	etag       string
+	body       []byte
+	retryAfter time.Duration
+}
+
+// transient marks an attempt failure that is worth retrying: transport
+// errors, deadline hits, 5xx answers, and torn response bodies.
+type transient struct{ err error }
+
+func (t transient) Error() string { return t.err.Error() }
+func (t transient) Unwrap() error { return t.err }
+
+// do runs one logical operation: breaker gate, then up to 1+MaxRetries
+// attempts with backoff, then a single breaker report. ifNoneMatch is
+// attached to GETs when nonempty.
+func (c *Client) do(method, path string, query url.Values, body []byte, ifNoneMatch string) (*response, error) {
+	c.count(func(s *ClientStats) { s.Ops++ })
+	if !c.breaker.allow() {
+		c.count(func(s *ClientStats) { s.ShortCircuits++ })
+		return nil, ErrUnavailable
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		c.count(func(s *ClientStats) { s.Attempts++ })
+		if attempt > 0 {
+			c.count(func(s *ClientStats) { s.Retries++ })
+		}
+		resp, err := c.attempt(method, path, query, body, ifNoneMatch)
+		if err == nil {
+			c.breaker.report(true)
+			return resp, nil
+		}
+		lastErr = err
+		var tr transient
+		if !errors.As(err, &tr) || attempt >= c.retries {
+			break
+		}
+		// Exponential backoff with full jitter: sleep uniform in
+		// [0, min(base<<attempt, cap)], so a thundering herd of clients
+		// retrying against a recovering server spreads out.
+		d := c.backoff << uint(attempt)
+		if d > c.bcap || d <= 0 {
+			d = c.bcap
+		}
+		c.sleep(c.jitter(d))
+	}
+	c.count(func(s *ClientStats) { s.Failures++ })
+	c.breaker.report(false)
+	return nil, lastErr
+}
+
+// attempt performs one HTTP round trip under the per-request deadline and
+// classifies the outcome: a *response for definitive answers, a transient
+// error for anything retryable, a permanent error otherwise.
+func (c *Client) attempt(method, path string, query url.Values, body []byte, ifNoneMatch string) (*response, error) {
+	u := *c.base
+	u.Path = path
+	if query != nil {
+		u.RawQuery = query.Encode()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u.String(), rd)
+	if err != nil {
+		return nil, fmt.Errorf("recordserv: build request: %w", err)
+	}
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, transient{fmt.Errorf("recordserv: %s %s: %w", method, path, err)}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxRecordBytes+1))
+	if err != nil {
+		// A body that dies mid-read is a torn response (partition or
+		// crashed peer mid-send); the request as a whole is retryable.
+		return nil, transient{fmt.Errorf("recordserv: %s %s: read body: %w", method, path, err)}
+	}
+	if resp.ContentLength > 0 && int64(len(data)) < resp.ContentLength {
+		return nil, transient{fmt.Errorf("recordserv: %s %s: truncated body (%d of %d bytes)",
+			method, path, len(data), resp.ContentLength)}
+	}
+	if resp.StatusCode >= 500 {
+		return nil, transient{fmt.Errorf("recordserv: %s %s: server error %d", method, path, resp.StatusCode)}
+	}
+	out := &response{status: resp.StatusCode, etag: resp.Header.Get("ETag"), body: data}
+	// Retry-After is whole seconds by HTTP convention; garbage counts as
+	// absent rather than failing the request.
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
+			out.retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return out, nil
+}
+
+// Fetch retrieves the record published under key. When the client has a
+// cached copy it revalidates with If-None-Match; a 304 answer serves the
+// cached bytes without a body transfer. The returned etag identifies the
+// version for subsequent revalidation. A missing key is ErrNotFound; an
+// open breaker is ErrUnavailable.
+func (c *Client) Fetch(key string) (data []byte, etag string, err error) {
+	c.cmu.Lock()
+	cached, hasCached := c.cache[key]
+	c.cmu.Unlock()
+	inm := ""
+	if hasCached {
+		inm = cached.etag
+	}
+	resp, err := c.do(http.MethodGet, "/v1/records/"+url.PathEscape(key), nil, nil, inm)
+	if err != nil {
+		return nil, "", err
+	}
+	switch resp.status {
+	case http.StatusOK:
+		c.count(func(s *ClientStats) { s.FetchHits++ })
+		c.cmu.Lock()
+		c.cache[key] = cachedRecord{data: resp.body, etag: resp.etag}
+		c.cmu.Unlock()
+		return resp.body, resp.etag, nil
+	case http.StatusNotModified:
+		c.count(func(s *ClientStats) { s.NotModified++; s.FetchHits++ })
+		return cached.data, cached.etag, nil
+	case http.StatusNotFound:
+		c.count(func(s *ClientStats) { s.FetchMisses++ })
+		return nil, "", ErrNotFound
+	default:
+		return nil, "", fmt.Errorf("recordserv: fetch %q: unexpected status %d", key, resp.status)
+	}
+}
+
+// Publish uploads an encoded record under key and returns its new etag.
+// Server-side validation failure is ErrRejected.
+func (c *Client) Publish(key string, data []byte) (etag string, err error) {
+	resp, err := c.do(http.MethodPut, "/v1/records/"+url.PathEscape(key), nil, data, "")
+	if err != nil {
+		return "", err
+	}
+	switch resp.status {
+	case http.StatusNoContent:
+		c.count(func(s *ClientStats) { s.Publishes++ })
+		c.cmu.Lock()
+		c.cache[key] = cachedRecord{data: data, etag: resp.etag}
+		c.cmu.Unlock()
+		return resp.etag, nil
+	case http.StatusUnprocessableEntity, http.StatusRequestEntityTooLarge:
+		return "", fmt.Errorf("%w: %s", ErrRejected, bytes.TrimSpace(resp.body))
+	default:
+		return "", fmt.Errorf("recordserv: publish %q: unexpected status %d", key, resp.status)
+	}
+}
+
+// Invalidate removes the record published under key fleet-wide.
+func (c *Client) Invalidate(key string) error {
+	resp, err := c.do(http.MethodDelete, "/v1/records/"+url.PathEscape(key), nil, nil, "")
+	if err != nil {
+		return err
+	}
+	if resp.status != http.StatusNoContent {
+		return fmt.Errorf("recordserv: invalidate %q: unexpected status %d", key, resp.status)
+	}
+	c.count(func(s *ClientStats) { s.Invalidates++ })
+	c.cmu.Lock()
+	delete(c.cache, key)
+	c.cmu.Unlock()
+	return nil
+}
+
+// Claim asks for the cluster-wide extraction lease on key. Exactly one
+// node holds it at a time; a ClaimTicket with Granted=false names the
+// holder and hints when its lease expires.
+func (c *Client) Claim(key string, ttl time.Duration) (ClaimTicket, error) {
+	q := url.Values{"owner": {c.owner}}
+	if ttl > 0 {
+		q.Set("ttl", ttl.String())
+	}
+	resp, err := c.do(http.MethodPost, "/v1/claims/"+url.PathEscape(key), q, nil, "")
+	if err != nil {
+		return ClaimTicket{}, err
+	}
+	switch resp.status {
+	case http.StatusOK:
+		c.count(func(s *ClientStats) { s.ClaimsWon++ })
+		return ClaimTicket{Granted: true, Holder: c.owner}, nil
+	case http.StatusConflict:
+		c.count(func(s *ClientStats) { s.ClaimsLost++ })
+		return ClaimTicket{Holder: string(bytes.TrimSpace(resp.body)), RetryAfter: resp.retryAfter}, nil
+	default:
+		return ClaimTicket{}, fmt.Errorf("recordserv: claim %q: unexpected status %d", key, resp.status)
+	}
+}
+
+// Release drops this node's extraction lease on key (normally implicit in
+// Publish; used when an extraction fails and the key must free up).
+func (c *Client) Release(key string) error {
+	q := url.Values{"owner": {c.owner}}
+	resp, err := c.do(http.MethodDelete, "/v1/claims/"+url.PathEscape(key), q, nil, "")
+	if err != nil {
+		return err
+	}
+	if resp.status != http.StatusNoContent {
+		return fmt.Errorf("recordserv: release %q: unexpected status %d", key, resp.status)
+	}
+	c.count(func(s *ClientStats) { s.Releases++ })
+	return nil
+}
+
+// Health probes the server's liveness endpoint once (no retries beyond
+// the standard budget).
+func (c *Client) Health() error {
+	resp, err := c.do(http.MethodGet, "/v1/health", nil, nil, "")
+	if err != nil {
+		return err
+	}
+	if resp.status != http.StatusOK {
+		return fmt.Errorf("recordserv: health: unexpected status %d", resp.status)
+	}
+	return nil
+}

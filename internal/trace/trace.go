@@ -115,6 +115,33 @@ const (
 	// mid-run.
 	EvPoolDegraded
 
+	// EvPoolQuarantine is a corrupt stored record set aside (renamed to
+	// .ric.bad) during a pool session's store load; the session proceeds
+	// down the tier ladder as if the key were cold.
+	EvPoolQuarantine
+	// EvPoolRemoteHit is a record served by the remote record service
+	// (fetched or revalidated via ETag).
+	EvPoolRemoteHit
+	// EvPoolRemoteMiss is the remote record service answering that it has
+	// no record for the key (a cold fleet cache, not a failure).
+	EvPoolRemoteMiss
+	// EvPoolRemoteError is a failed remote-tier operation: timeout,
+	// connection refused, torn or corrupt payload, or the client's
+	// circuit breaker refusing the request. N is 1 when the breaker
+	// short-circuited (no network touch).
+	EvPoolRemoteError
+	// EvPoolRemotePublish is an extracted record published to the remote
+	// record service for the rest of the fleet.
+	EvPoolRemotePublish
+	// EvPoolRemoteWait is a session waiting on another node's in-flight
+	// extraction (cluster-level single-flight; this node lost the claim).
+	EvPoolRemoteWait
+	// EvPoolRemoteDegraded is a session falling off the remote tier — the
+	// service erred, timed out, or a peer's extraction never arrived —
+	// and continuing down the ladder (local store → extract →
+	// conventional). At most one per session.
+	EvPoolRemoteDegraded
+
 	// NumTypes is the number of event types (array sizing).
 	NumTypes
 )
@@ -147,6 +174,14 @@ var typeNames = [NumTypes]string{
 	EvPoolStoreLoad:    "pool-store-load",
 	EvPoolStoreError:   "pool-store-error",
 	EvPoolDegraded:     "pool-degraded",
+
+	EvPoolQuarantine:     "pool-quarantine",
+	EvPoolRemoteHit:      "pool-remote-hit",
+	EvPoolRemoteMiss:     "pool-remote-miss",
+	EvPoolRemoteError:    "pool-remote-error",
+	EvPoolRemotePublish:  "pool-remote-publish",
+	EvPoolRemoteWait:     "pool-remote-wait",
+	EvPoolRemoteDegraded: "pool-remote-degraded",
 }
 
 // String returns the stable wire name of the event type. These names are

@@ -28,6 +28,14 @@ type PoolOptions struct {
 	// records are saved back (both best-effort — store I/O failure never
 	// fails a session, it only shows up in Stats().StoreErrors).
 	Store *RecordStore
+	// Remote optionally layers the distributed record service above the
+	// local store: cold keys try a remote fetch first, extraction is
+	// coordinated fleet-wide through claims, and extracted records are
+	// published for other nodes. Strictly best-effort — a dead, slow,
+	// partitioned, or corrupt-serving server never fails a session, it
+	// only pushes the session down the tier ladder (remote → store →
+	// extract → conventional), visibly in Stats() and the trace.
+	Remote *RemoteTier
 	// Shards is the number of record-cache shards (default 16). More
 	// shards reduce lock contention between sessions of distinct keys.
 	Shards int
@@ -162,6 +170,7 @@ type recordShard struct {
 type SessionPool struct {
 	cache          *CodeCache
 	store          *RecordStore
+	remote         *RemoteTier
 	wait           bool
 	includeGlobals bool
 	maxSteps       uint64
@@ -184,6 +193,7 @@ func NewSessionPool(opts PoolOptions) *SessionPool {
 	p := &SessionPool{
 		cache:          cache,
 		store:          opts.Store,
+		remote:         opts.Remote,
 		wait:           opts.WaitForRecord,
 		includeGlobals: opts.IncludeGlobals,
 		maxSteps:       opts.MaxSteps,
@@ -242,6 +252,15 @@ type poolEvents struct {
 	storeErrs    int  // failed best-effort store operations
 	extract      bool // Initial-run record extraction
 	publish      string
+
+	quarantine     bool // store load quarantined a corrupt record
+	remoteHit      bool // record served by the remote service
+	remoteMiss     bool // remote service had no record for the key
+	remoteErrs     int  // failed remote-tier operations
+	remotePublish  bool // extracted record published to the service
+	remoteWait     bool // waited on a peer node's extraction
+	remoteDegraded bool // fell off the remote tier (at most once)
+	abandon        bool // owned entry settled without a record
 }
 
 // acquire resolves a key against the shared cache. It returns the shared
@@ -339,10 +358,30 @@ func (p *SessionPool) Serve(req SessionRequest) (*SessionResult, error) {
 		return res, err
 	}
 
-	// Cold key, this session owns the extraction. A backing-store load
-	// beats re-extracting: the record was produced by a previous process.
+	// Cold key, this session owns the in-process extraction slot. The tier
+	// ladder runs remote service → backing store → extraction, every rung
+	// best-effort: a failed tier pushes the session down, never out.
+	if p.remote != nil {
+		if rec := p.remoteAcquire(req.Key, &ev); rec != nil {
+			p.publish(owned, rec)
+			ev.publish = "remote"
+			// Warm the local tier so the next process on this host skips
+			// the network.
+			p.storeSave(req.Key, rec, &ev)
+			res, _, rerr := p.runSession(req, rec, SessionReuse, tr)
+			p.settleTrace(tr, res, req.Key, &ev)
+			return res, rerr
+		}
+	}
+
+	// A backing-store load beats re-extracting: the record was produced by
+	// a previous process on this host.
 	if p.store != nil {
-		stored, err := p.store.Load(req.Key)
+		stored, quarantined, err := p.store.LoadStatus(req.Key)
+		if quarantined {
+			p.stats.Quarantined()
+			ev.quarantine = true
+		}
 		if err != nil {
 			p.stats.StoreError()
 			ev.storeErrs++
@@ -351,9 +390,63 @@ func (p *SessionPool) Serve(req SessionRequest) (*SessionResult, error) {
 			ev.storeLoad = true
 			p.publish(owned, stored)
 			ev.publish = "store"
+			// The fleet cache missed but this host has the record: warm the
+			// remote tier for every other node.
+			if p.remote != nil && ev.remoteMiss {
+				p.remotePublish(req.Key, stored, &ev)
+			}
 			res, _, rerr := p.runSession(req, stored, SessionReuse, tr)
 			p.settleTrace(tr, res, req.Key, &ev)
 			return res, rerr
+		}
+	}
+
+	// Cluster-level single-flight: before extracting, claim the key
+	// fleet-wide. Losing the claim means another node is extracting right
+	// now — wait for its publication (bounded) or run conventionally, the
+	// same discipline the in-process cache applies, lifted to the cluster.
+	claimed := false
+	if p.remote != nil && p.remote.available() {
+		granted, ok := p.remote.claim(req.Key)
+		switch {
+		case !ok:
+			// Coordination is down; extract locally, the worst case being a
+			// duplicated extraction somewhere else in the fleet.
+			p.stats.RemoteError()
+			ev.remoteErrs++
+			p.remoteDegrade(&ev)
+		case !granted:
+			if p.wait {
+				p.stats.RemoteWait()
+				ev.remoteWait = true
+				rec, outcome := p.remote.awaitPublication(req.Key)
+				if rec != nil {
+					p.stats.RemoteHit()
+					ev.remoteHit = true
+					p.publish(owned, rec)
+					ev.publish = "remote"
+					p.storeSave(req.Key, rec, &ev)
+					res, _, rerr := p.runSession(req, rec, SessionReuse, tr)
+					p.settleTrace(tr, res, req.Key, &ev)
+					return res, rerr
+				}
+				if outcome == remoteError {
+					p.stats.RemoteError()
+					ev.remoteErrs++
+				}
+				p.remoteDegrade(&ev)
+			}
+			// Don't pile onto the peer's extraction: run conventionally and
+			// leave the key retryable in-process.
+			p.abandon(req.Key, owned)
+			ev.abandon = true
+			p.stats.Conventional()
+			ev.conventional = true
+			res, _, rerr := p.runSession(req, nil, SessionConventional, tr)
+			p.settleTrace(tr, res, req.Key, &ev)
+			return res, rerr
+		default:
+			claimed = true
 		}
 	}
 
@@ -363,6 +456,9 @@ func (p *SessionPool) Serve(req SessionRequest) (*SessionResult, error) {
 	res, eng, err := p.runSession(req, nil, SessionInitial, tr)
 	if err != nil {
 		p.abandon(req.Key, owned)
+		if claimed {
+			p.remote.release(req.Key)
+		}
 		tr.Emit(trace.EvPoolAbandon, source.Site{}, req.Key, 0)
 		return nil, err
 	}
@@ -371,14 +467,78 @@ func (p *SessionPool) Serve(req SessionRequest) (*SessionResult, error) {
 	ev.extract = true
 	p.publish(owned, record)
 	ev.publish = "extract"
-	if p.store != nil {
-		if serr := p.store.Save(req.Key, record); serr != nil {
-			p.stats.StoreError()
-			ev.storeErrs++
+	p.storeSave(req.Key, record, &ev)
+	if p.remote != nil {
+		if !p.remotePublish(req.Key, record, &ev) && claimed {
+			// The lease cannot be settled by publication; free it so the
+			// fleet's key does not stay locked until TTL expiry.
+			p.remote.release(req.Key)
 		}
 	}
 	p.settleTrace(tr, res, req.Key, &ev)
 	return res, nil
+}
+
+// remoteAcquire resolves a cold key against the remote tier, counting the
+// outcome. Only a decoded record comes back; every failure mode returns
+// nil and pushes the session down the ladder.
+func (p *SessionPool) remoteAcquire(key string, ev *poolEvents) *Record {
+	rec, outcome := p.remote.fetch(key)
+	switch outcome {
+	case remoteHit:
+		p.stats.RemoteHit()
+		ev.remoteHit = true
+		return rec
+	case remoteMiss:
+		p.stats.RemoteMiss()
+		ev.remoteMiss = true
+		return nil
+	default:
+		p.stats.RemoteError()
+		ev.remoteErrs++
+		p.remoteDegrade(ev)
+		return nil
+	}
+}
+
+// remotePublish uploads a record to the service best-effort, counting the
+// outcome; a failure marks the session remote-degraded.
+func (p *SessionPool) remotePublish(key string, rec *Record, ev *poolEvents) bool {
+	if !p.remote.available() {
+		p.stats.RemoteError()
+		ev.remoteErrs++
+		p.remoteDegrade(ev)
+		return false
+	}
+	if p.remote.publishRecord(key, rec) {
+		p.stats.RemotePublish()
+		ev.remotePublish = true
+		return true
+	}
+	p.stats.RemoteError()
+	ev.remoteErrs++
+	p.remoteDegrade(ev)
+	return false
+}
+
+// remoteDegrade marks the session as having fallen off the remote tier,
+// at most once per session.
+func (p *SessionPool) remoteDegrade(ev *poolEvents) {
+	if !ev.remoteDegraded {
+		p.stats.RemoteDegraded()
+		ev.remoteDegraded = true
+	}
+}
+
+// storeSave persists a record to the backing store best-effort.
+func (p *SessionPool) storeSave(key string, rec *Record, ev *poolEvents) {
+	if p.store == nil {
+		return
+	}
+	if serr := p.store.Save(key, rec); serr != nil {
+		p.stats.StoreError()
+		ev.storeErrs++
+	}
 }
 
 // settleTrace emits a session's pool lifecycle events and hands its buffer
@@ -417,6 +577,30 @@ func (p *SessionPool) settleTrace(tr *trace.Buffer, res *SessionResult, key stri
 	}
 	if ev.publish != "" {
 		tr.Emit(trace.EvPoolPublish, none, ev.publish, 0)
+	}
+	if ev.abandon {
+		tr.Emit(trace.EvPoolAbandon, none, key, 0)
+	}
+	if ev.quarantine {
+		tr.Emit(trace.EvPoolQuarantine, none, key, 0)
+	}
+	if ev.remoteHit {
+		tr.Emit(trace.EvPoolRemoteHit, none, key, 0)
+	}
+	if ev.remoteMiss {
+		tr.Emit(trace.EvPoolRemoteMiss, none, key, 0)
+	}
+	for i := 0; i < ev.remoteErrs; i++ {
+		tr.Emit(trace.EvPoolRemoteError, none, key, 0)
+	}
+	if ev.remotePublish {
+		tr.Emit(trace.EvPoolRemotePublish, none, key, 0)
+	}
+	if ev.remoteWait {
+		tr.Emit(trace.EvPoolRemoteWait, none, key, 0)
+	}
+	if ev.remoteDegraded {
+		tr.Emit(trace.EvPoolRemoteDegraded, none, key, 0)
 	}
 	if res.Degraded {
 		tr.Emit(trace.EvPoolDegraded, none, key, 0)

@@ -1,0 +1,154 @@
+package ricjs
+
+import (
+	"errors"
+	"time"
+
+	"ricjs/internal/recordserv"
+)
+
+// RemoteTierOptions configures how a SessionPool uses the distributed
+// record service. The zero value of every field has a sane default.
+type RemoteTierOptions struct {
+	// ClaimTTL is the extraction lease this node requests on a cold key
+	// (default recordserv.DefaultClaimTTL). If this process dies
+	// mid-extraction, the lease expires and another node takes over.
+	ClaimTTL time.Duration
+	// WaitTimeout bounds how long a session waits for another node's
+	// in-flight extraction before degrading to a conventional run
+	// (default 2s). Only consulted when the pool's WaitForRecord is set.
+	WaitTimeout time.Duration
+	// PollInterval is how often a waiting session revalidates the key
+	// against the service (default 50ms).
+	PollInterval time.Duration
+	// Sleep injects the wait clock for tests (default time.Sleep).
+	Sleep func(time.Duration)
+}
+
+// RemoteTier adapts a recordserv.Client into the SessionPool's top
+// storage tier. The pool's degradation ladder is, in order: remote
+// service → local RecordStore → local extraction → conventional run.
+// Every remote operation is best-effort — a dead, slow, partitioned, or
+// lying record server can never fail a session, only push it down the
+// ladder; the cost is bounded by the client's deadline/retry/breaker
+// budget and visible in PoolStats and the trace.
+type RemoteTier struct {
+	c        *recordserv.Client
+	claimTTL time.Duration
+	waitFor  time.Duration
+	poll     time.Duration
+	sleep    func(time.Duration)
+}
+
+// NewRemoteTier wraps a record-service client for use as a pool tier.
+func NewRemoteTier(client *recordserv.Client, opts RemoteTierOptions) *RemoteTier {
+	if opts.ClaimTTL <= 0 {
+		opts.ClaimTTL = recordserv.DefaultClaimTTL
+	}
+	if opts.WaitTimeout <= 0 {
+		opts.WaitTimeout = 2 * time.Second
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 50 * time.Millisecond
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = time.Sleep
+	}
+	return &RemoteTier{
+		c:        client,
+		claimTTL: opts.ClaimTTL,
+		waitFor:  opts.WaitTimeout,
+		poll:     opts.PollInterval,
+		sleep:    opts.Sleep,
+	}
+}
+
+// DialRemoteTier is the one-line constructor: a default client for the
+// service at baseURL, wrapped as a pool tier.
+func DialRemoteTier(baseURL string) (*RemoteTier, error) {
+	c, err := recordserv.NewClient(recordserv.Options{BaseURL: baseURL})
+	if err != nil {
+		return nil, err
+	}
+	return NewRemoteTier(c, RemoteTierOptions{}), nil
+}
+
+// Client returns the underlying record-service client (for its Stats and
+// direct fetch/publish/invalidate use outside a pool).
+func (r *RemoteTier) Client() *recordserv.Client { return r.c }
+
+// remoteOutcome classifies one remote lookup for the pool's counters.
+type remoteOutcome int
+
+const (
+	remoteHit remoteOutcome = iota
+	remoteMiss
+	remoteError
+)
+
+// fetch resolves key against the service and decodes the payload. Corrupt
+// payloads — bytes that arrived "successfully" but fail the record
+// codec's checksum, the wire-corruption case HTTP cannot detect — count
+// as errors, and the poisoned fleet-cache entry is invalidated
+// best-effort so it cannot keep serving.
+func (r *RemoteTier) fetch(key string) (*Record, remoteOutcome) {
+	data, _, err := r.c.Fetch(key)
+	if err != nil {
+		if errors.Is(err, recordserv.ErrNotFound) {
+			return nil, remoteMiss
+		}
+		return nil, remoteError
+	}
+	rec, derr := DecodeRecord(data)
+	if derr != nil {
+		_ = r.c.Invalidate(key)
+		return nil, remoteError
+	}
+	return rec, remoteHit
+}
+
+// claim asks for the cluster-wide extraction lease on key. granted=false
+// with ok=true means another node holds it; ok=false means the service
+// was unreachable and cluster coordination is off for this key.
+func (r *RemoteTier) claim(key string) (granted, ok bool) {
+	t, err := r.c.Claim(key, r.claimTTL)
+	if err != nil {
+		return false, false
+	}
+	return t.Granted, true
+}
+
+// release frees this node's lease after a failed extraction (publish
+// releases implicitly).
+func (r *RemoteTier) release(key string) { _ = r.c.Release(key) }
+
+// publishRecord uploads an extracted record, returning false on any
+// failure (including server-side rejection).
+func (r *RemoteTier) publishRecord(key string, rec *Record) bool {
+	_, err := r.c.Publish(key, rec.Encode())
+	return err == nil
+}
+
+// awaitPublication polls for another node's in-flight extraction until it
+// lands or the wait budget runs out. ETag revalidation makes the polls
+// cheap: until the publication, each is a 404; after it, one transfer.
+func (r *RemoteTier) awaitPublication(key string) (*Record, remoteOutcome) {
+	deadline := time.Now().Add(r.waitFor)
+	for {
+		rec, outcome := r.fetch(key)
+		if rec != nil {
+			return rec, remoteHit
+		}
+		if outcome == remoteError && !r.c.Available() {
+			// Breaker open: the service is gone, no point polling it.
+			return nil, remoteError
+		}
+		if !time.Now().Before(deadline) {
+			return nil, outcome
+		}
+		r.sleep(r.poll)
+	}
+}
+
+// available reports whether the client's breaker admits requests.
+func (r *RemoteTier) available() bool { return r.c.Available() }

@@ -192,25 +192,35 @@ func (s *RecordStore) writeKeySidecar(key string) error {
 // reported as absent, so one bad write can never wedge future sessions
 // while the evidence of what went wrong is preserved.
 func (s *RecordStore) Load(key string) (*Record, error) {
+	rec, _, err := s.LoadStatus(key)
+	return rec, err
+}
+
+// LoadStatus is Load with quarantine visibility: quarantined reports that
+// this call found a corrupt record and set it aside. Load swallows that
+// fact by design (a quarantine is self-healing, not an error), but
+// fleet-level callers — the SessionPool — must count it, or a store
+// silently eating .ric.bad files is invisible in aggregate stats.
+func (s *RecordStore) LoadStatus(key string) (rec *Record, quarantined bool, err error) {
 	data, err := s.fs.ReadFile(s.path(key))
 	if os.IsNotExist(err) {
-		return nil, nil
+		return nil, false, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("ricjs: load record: %w", err)
+		return nil, false, fmt.Errorf("ricjs: load record: %w", err)
 	}
-	rec, err := DecodeRecord(data)
-	if err != nil {
+	rec, derr := DecodeRecord(data)
+	if derr != nil {
 		// Self-heal: set the corrupt record aside; the next Initial run
 		// regenerates it. A quarantine that itself fails leaves the poison
 		// in place — every future Load would re-decode and re-fail — so
 		// that failure is surfaced instead of swallowed.
 		if qerr := s.Quarantine(key); qerr != nil {
-			return nil, fmt.Errorf("ricjs: load record: corrupt record survived: %w", qerr)
+			return nil, false, fmt.Errorf("ricjs: load record: corrupt record survived: %w", qerr)
 		}
-		return nil, nil
+		return nil, true, nil
 	}
-	return rec, nil
+	return rec, false, nil
 }
 
 // Quarantine moves the record stored under a key (if any) to its
