@@ -11,7 +11,10 @@ cd "$(dirname "$0")"
 echo "== go vet =="
 go vet ./...
 
-echo "== opcheck: opcode exhaustiveness =="
+echo "== opcheck: opcode + value-type-table exhaustiveness =="
+# Runs both analyzers: opcheck (disassembly entry, VM dispatch case,
+# transfer case per opcode) and typecheck-transfer (opValueKind case per
+# named opcode, so typed-shape inference never silently weakens).
 go run ./cmd/opcheck ./internal/bytecode ./internal/vm ./internal/analysis
 
 echo "== go build =="
@@ -70,13 +73,13 @@ check_cover ./internal/ric 79.0
 check_cover ./internal/trace 93.0
 
 echo "== riclint: offline record verification =="
-# Truthful fixtures must pass all three layers (integrity, site existence,
-# static cross-check)...
-go run ./cmd/riclint -js lib.js=testdata/point.js testdata/point.ric testdata/array.ric
+# Truthful fixtures must pass all four layers (integrity, site existence,
+# static cross-check, typed-shape soundness)...
+go run ./cmd/riclint -js lib.js=testdata/point.js testdata/point.ric testdata/array.ric testdata/point-typed.ric
 # ...and every fault-injected fixture must be rejected without executing:
-# remapped ids and skewed offsets by the analysis cross-check, corrupt
-# bytes at decode.
-for bad in point-remap point-offsets point-badversion point-bitflip point-truncated; do
+# remapped ids and skewed offsets by the analysis cross-check, forged
+# slot-type claims by the typed recomputation, corrupt bytes at decode.
+for bad in point-remap point-offsets point-badversion point-bitflip point-truncated point-forgedclaim point-badtype; do
   if go run ./cmd/riclint -js lib.js=testdata/point.js "testdata/$bad.ric" >/dev/null 2>&1; then
     echo "ci.sh: riclint accepted lying fixture $bad.ric" >&2
     exit 1

@@ -1,6 +1,8 @@
 // Command opcheck checks the bytecode instruction set for exhaustive
 // handling: every bytecode.Op must have a disassembly mnemonic, a VM
-// dispatch case, and a transfer function in the static shape analysis.
+// dispatch case, a transfer function in the static shape analysis
+// (opcheck analyzer), and a case in the opValueKind value-type table
+// that decides typed-shape claims (typecheck-transfer analyzer).
 // ci.sh runs it right after go vet:
 //
 //	go run ./cmd/opcheck ./internal/bytecode ./internal/vm ./internal/analysis
@@ -9,6 +11,9 @@ package main
 import (
 	"ricjs/internal/lint/opcheck"
 	"ricjs/internal/lint/singlechecker"
+	"ricjs/internal/lint/typecheck"
 )
 
-func main() { singlechecker.Main(opcheck.NewAnalyzer()) }
+func main() {
+	singlechecker.Main(opcheck.NewAnalyzer(), typecheck.NewAnalyzer())
+}

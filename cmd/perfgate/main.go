@@ -6,7 +6,10 @@
 // unlike wall-clock timings, which perfgate deliberately ignores. The gate
 // diffs `conventionalInstructions`, `ricInstructions`, and `recordBytes`
 // per workload against the committed BENCH_baseline.json and fails on any
-// regression beyond the tolerance (default 2%).
+// regression beyond the tolerance (default 2%). `typedFastHits` is gated
+// in the opposite direction — it counts loads the Reuse run served through
+// the typed-slot fast path, so a drop means typed-shape inference silently
+// lost coverage.
 //
 // Usage:
 //
@@ -29,6 +32,9 @@ type gated struct {
 	ConventionalInstructions uint64 `json:"conventionalInstructions"`
 	RICInstructions          uint64 `json:"ricInstructions"`
 	RecordBytes              uint64 `json:"recordBytes"`
+	StaticTypes              struct {
+		TypedFastHits uint64 `json:"typedFastHits"`
+	} `json:"staticTypes"`
 }
 
 type baseline struct {
@@ -102,6 +108,34 @@ func main() {
 			}
 		}
 	}
+	// checkFloor gates a counter where MORE is better (typed fast hits):
+	// a drop beyond the tolerance means the typed pipeline silently lost
+	// coverage, which no runtime test would catch — outputs stay correct.
+	checkFloor := func(workload, metric string, old, now uint64) {
+		if old == now {
+			return
+		}
+		if old == 0 {
+			// A metric absent from the committed baseline (0) appearing now
+			// is a new capability, not a delta; -write records it.
+			fmt.Printf("perfgate: change     %-14s %-26s %12d -> %12d  (new metric)\n",
+				workload, metric, old, now)
+			improvements++
+			return
+		}
+		delta := (float64(now) - float64(old)) / float64(old) * 100
+		if -delta > *tolerance {
+			fmt.Printf("perfgate: REGRESSION %-14s %-26s %12d -> %12d  %+.2f%% (floor %+.2f%%)\n",
+				workload, metric, old, now, delta, -*tolerance)
+			regressions++
+			return
+		}
+		fmt.Printf("perfgate: change     %-14s %-26s %12d -> %12d  %+.2f%%\n",
+			workload, metric, old, now, delta)
+		if delta > 0 {
+			improvements++
+		}
+	}
 	for _, w := range current.Workloads {
 		old, ok := byName[w.Name]
 		if !ok {
@@ -113,6 +147,7 @@ func main() {
 		check(w.Name, "conventionalInstructions", old.ConventionalInstructions, w.ConventionalInstructions)
 		check(w.Name, "ricInstructions", old.RICInstructions, w.RICInstructions)
 		check(w.Name, "recordBytes", old.RecordBytes, w.RecordBytes)
+		checkFloor(w.Name, "typedFastHits", old.StaticTypes.TypedFastHits, w.StaticTypes.TypedFastHits)
 	}
 	for name := range byName {
 		fmt.Printf("perfgate: workload %q disappeared from the benchmark\n", name)

@@ -4,7 +4,10 @@
 //
 // With -analyze, the static shape analysis runs over all files jointly
 // (scripts share the global object) and each site's predicted hidden-class
-// set is printed alongside the site table.
+// set is printed alongside the site table, each hidden class annotated
+// with the slot types the value-type lattice inferred for it ("typed
+// shapes" — the claims a .ric record would carry). Predictions are listed
+// deterministically: sites in table order, hidden classes by shape id.
 //
 // Usage:
 //
@@ -19,12 +22,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"ricjs/internal/analysis"
 	"ricjs/internal/bytecode"
+	"ricjs/internal/objects"
 	"ricjs/internal/parser"
 )
 
@@ -36,7 +42,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: ricdis [-sites] [-analyze] script.js [more.js ...]")
 		os.Exit(2)
 	}
+	os.Exit(run(os.Stdout, os.Stderr, *sitesOnly, *analyze, flag.Args()))
+}
 
+// run is main minus the process plumbing, so the golden test can drive it.
+func run(out, errw io.Writer, sitesOnly, analyze bool, paths []string) int {
 	// Compile everything first: -analyze needs the whole program, and a
 	// broken file must not hide errors in the ones after it.
 	type unit struct {
@@ -45,10 +55,10 @@ func main() {
 	}
 	var units []unit
 	failed := false
-	for _, path := range flag.Args() {
+	for _, path := range paths {
 		prog, err := compileFile(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ricdis:", err)
+			fmt.Fprintln(errw, "ricdis:", err)
 			failed = true
 			continue
 		}
@@ -56,31 +66,32 @@ func main() {
 	}
 
 	var res *analysis.Result
-	if *analyze && len(units) > 0 {
+	if analyze && len(units) > 0 {
 		progs := make([]*bytecode.Program, len(units))
 		for i, u := range units {
 			progs[i] = u.prog
 		}
 		res = analysis.Analyze(progs...)
 		if res.GlobalTop() {
-			fmt.Fprintln(os.Stderr, "ricdis: warning: analysis widened to ⊤; predictions are vacuous")
+			fmt.Fprintln(errw, "ricdis: warning: analysis widened to ⊤; predictions are vacuous")
 		}
 	}
 
 	for _, u := range units {
 		u.prog.Toplevel.WalkProtos(func(p *bytecode.FuncProto) {
-			if !*sitesOnly && !*analyze {
-				fmt.Print(p.Disassemble())
+			if !sitesOnly && !analyze {
+				fmt.Fprint(out, p.Disassemble())
 			}
-			printSites(p, res)
-			if !*sitesOnly && !*analyze {
-				fmt.Println()
+			printSites(out, p, res)
+			if !sitesOnly && !analyze {
+				fmt.Fprintln(out)
 			}
 		})
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func compileFile(path string) (*bytecode.Program, error) {
@@ -95,22 +106,24 @@ func compileFile(path string) (*bytecode.Program, error) {
 	return bytecode.Compile(prog)
 }
 
-func printSites(p *bytecode.FuncProto, res *analysis.Result) {
+func printSites(out io.Writer, p *bytecode.FuncProto, res *analysis.Result) {
 	if len(p.Sites) == 0 {
 		return
 	}
-	fmt.Printf("sites of %s:\n", p.FunctionName())
+	fmt.Fprintf(out, "sites of %s:\n", p.FunctionName())
 	for i, s := range p.Sites {
-		fmt.Printf("  [%d] %s %s %q", i, s.Site, s.Kind, s.Name)
+		fmt.Fprintf(out, "  [%d] %s %s %q", i, s.Site, s.Kind, s.Name)
 		if res != nil {
-			fmt.Printf("  %s", predictionText(res.At(s.Site)))
+			fmt.Fprintf(out, "  %s", predictionText(res, res.At(s.Site)))
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 }
 
-// predictionText renders one site prediction for the -analyze listing.
-func predictionText(pred *analysis.SitePrediction) string {
+// predictionText renders one site prediction for the -analyze listing:
+// the predicted hidden classes by shape id, each with its inferred slot
+// types.
+func predictionText(res *analysis.Result, pred *analysis.SitePrediction) string {
 	if pred == nil {
 		return "(no prediction)"
 	}
@@ -120,9 +133,11 @@ func predictionText(pred *analysis.SitePrediction) string {
 	case pred.Top:
 		return "⊤"
 	}
-	names := make([]string, len(pred.Shapes))
-	for i, s := range pred.Shapes {
-		names[i] = s.String()
+	shapes := append([]*analysis.Shape(nil), pred.Shapes...)
+	sort.Slice(shapes, func(i, j int) bool { return shapes[i].ID < shapes[j].ID })
+	names := make([]string, len(shapes))
+	for i, s := range shapes {
+		names[i] = s.String() + typedText(res, s)
 	}
 	text := "{" + strings.Join(names, ", ") + "}"
 	if pred.MegamorphicRisk {
@@ -132,4 +147,20 @@ func predictionText(pred *analysis.SitePrediction) string {
 		text += " maybe-dictionary"
 	}
 	return text
+}
+
+// typedText renders a shape's inferred slot types ("<x:smallint,y:float>"),
+// or "" when no slot is typed. Fields print in offset order.
+func typedText(res *analysis.Result, s *analysis.Shape) string {
+	tags := res.SlotTypes(s)
+	var parts []string
+	for off, t := range tags {
+		if off < s.NumFields() && objects.ValidSlotTag(t) {
+			parts = append(parts, s.Fields[off]+":"+t.String())
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "<" + strings.Join(parts, ",") + ">"
 }

@@ -150,6 +150,10 @@ func printStats(e *ricjs.Engine) {
 		fmt.Fprintf(os.Stderr, "RIC: %d validations (%d failures), %d preloads, %d misses averted\n",
 			s.Validations, s.ValFailures, s.Preloads, s.MissesSaved)
 	}
+	if s.TypedFastHits > 0 {
+		fmt.Fprintf(os.Stderr, "typed slots: %d loads served through the typed fast path\n",
+			s.TypedFastHits)
+	}
 }
 
 func dumpRecord(path string) error {
@@ -168,6 +172,7 @@ func dumpRecord(path string) error {
 	fmt.Printf("  builtin entries:   %d\n", s.BuiltinEntries)
 	fmt.Printf("  dependent slots:   %d\n", s.DependentSlots)
 	fmt.Printf("  rejected sites:    %d (context-dependent handlers)\n", s.RejectedSites)
+	fmt.Printf("  typed slot claims: %d\n", s.TypedSlotClaims)
 	return nil
 }
 

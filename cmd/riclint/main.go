@@ -1,5 +1,5 @@
 // Command riclint verifies .ric record files offline — without executing
-// any JavaScript. Each record is checked in three layers:
+// any JavaScript. Each record is checked in four layers:
 //
 //  1. integrity: the wire format, version, and checksum (Decode);
 //  2. site existence: every site reference must resolve to a live access
@@ -7,7 +7,11 @@
 //  3. semantic cross-check: the HC validation table, triggering-site
 //     table, and handler offsets must be consistent with a static shape
 //     analysis of the scripts (Record.VerifyStatic) — catching
-//     checksum-valid records that lie (remapped ids, skewed offsets).
+//     checksum-valid records that lie (remapped ids, skewed offsets);
+//  4. typed-shape soundness: every slot-type claim in the record must be
+//     at or above what the value-type lattice infers for that slot from
+//     bytecode (Record.VerifyTyped) — catching forged claims that would
+//     let a Reuse session serve unboxed reads of differently-typed slots.
 //
 // Scripts are supplied with repeated -js flags mapping the script name a
 // record uses to a source file. Records referencing scripts that were not
@@ -108,5 +112,8 @@ func lint(path string, progs []*bytecode.Program, res *analysis.Result) error {
 	if err := rec.Validate(progs...); err != nil {
 		return err
 	}
-	return rec.VerifyStatic(res)
+	if err := rec.VerifyStatic(res); err != nil {
+		return err
+	}
+	return rec.VerifyTyped(res)
 }

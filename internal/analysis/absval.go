@@ -4,15 +4,28 @@ import (
 	"sort"
 
 	"ricjs/internal/bytecode"
+	"ricjs/internal/objects"
 )
 
-// Primitive bit-set components of an abstract value.
+// Primitive bit-set components of an abstract value. Numbers split into
+// two components forming the value-type lattice's only non-trivial chain:
+// pInt (SmallInt — integral, int32 range) ⊑ pInt|pFlo (any number).
 const (
 	pUndef uint8 = 1 << iota
 	pNull
 	pBool
-	pNum
+	// pInt is an integral number in int32 range (an unboxable SmallInt).
+	// Only operations that guarantee the range produce it: int32-range
+	// integer constants and the ToInt32 bit operations. General arithmetic
+	// widens to pNum — no bounded integer class is inductive under
+	// addition, so claiming otherwise would be unsound.
+	pInt
+	// pFlo is a number that may fall outside the SmallInt class.
+	pFlo
 	pStr
+
+	// pNum is the full number component, SmallInt ⊔ Float.
+	pNum = pInt | pFlo
 )
 
 // absVal is an abstract JS value: a may-set of primitive kinds plus a
@@ -106,6 +119,45 @@ func (v absVal) leq(w absVal) bool {
 	return true
 }
 
+// numKind classifies a numeric constant into the lattice's number
+// components: SmallInt when the runtime SmallInt predicate holds, Float
+// otherwise.
+func numKind(f float64) uint8 {
+	if objects.IsSmallInt(f) {
+		return pInt
+	}
+	return pFlo
+}
+
+// slotTypeOf collapses an abstract value into the slot-type lattice
+// element used for typed-shape claims. ⊤ and empty (⊥) values, and any
+// mix of objects with primitives, are unclaimable.
+func slotTypeOf(v absVal) objects.SlotType {
+	if v.top {
+		return objects.SlotTypeNone
+	}
+	t := objects.SlotTypeBottom
+	if len(v.objs) > 0 {
+		t = objects.SlotTypeObject
+	}
+	if v.prims&pInt != 0 {
+		t = t.Join(objects.SlotTypeSmallInt)
+	}
+	if v.prims&pFlo != 0 {
+		t = t.Join(objects.SlotTypeFloat)
+	}
+	if v.prims&pStr != 0 {
+		t = t.Join(objects.SlotTypeString)
+	}
+	if v.prims&pBool != 0 {
+		t = t.Join(objects.SlotTypeBoolean)
+	}
+	if v.prims&(pUndef|pNull) != 0 {
+		t = t.Join(objects.SlotTypeNullUndef)
+	}
+	return t
+}
+
 // cell is a monotone container for an abstract value (an object field, a
 // context slot, a function parameter, ...). update returns whether the
 // cell grew, which drives the fixpoint.
@@ -195,6 +247,12 @@ type absObj struct {
 	// prototype chain is unknown.
 	protos   map[*absObj]bool
 	protoTop bool
+
+	// roots accumulates the root shape of every lineage this object ever
+	// held. Unlike the shape set it survives widening and escape, so the
+	// typed-shape pass can still tell WHICH lineages an untrackable object
+	// may reach (and poison exactly those) after the precise set is gone.
+	roots map[*Shape]bool
 
 	// escaped marks objects reachable from ⊤ (unknown code may mutate
 	// them arbitrarily); their shape set is ⊤ and their fields are ⊤.

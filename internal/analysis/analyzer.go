@@ -168,6 +168,20 @@ func (a *analyzer) shapeAdd(o *absObj, s *Shape) {
 	if o.shapes.add(s) {
 		a.changed = true
 	}
+	a.recordRoot(o, s.root)
+}
+
+// recordRoot notes that o may hold shapes of r's lineage. Root membership
+// only grows and is read only after the fixpoint, so it does not drive
+// a.changed.
+func (a *analyzer) recordRoot(o *absObj, r *Shape) {
+	if r == nil || o.roots[r] {
+		return
+	}
+	if o.roots == nil {
+		o.roots = make(map[*Shape]bool, 1)
+	}
+	o.roots[r] = true
 }
 
 func (a *analyzer) addProto(o, p *absObj) {
@@ -424,7 +438,10 @@ func (a *analyzer) runFn(fi *fnInfo) {
 		entry.locals[i] = primVal(pUndef)
 	}
 	for i := 0; i < proto.NumParams && i < len(entry.locals); i++ {
-		entry.locals[i] = entry.locals[i].join(fi.params[i].get())
+		// Strong set, not join: missing-argument undefined is already
+		// accounted in the param cell by every call transfer, so seeding
+		// pUndef here would taint params that are always passed.
+		entry.locals[i] = fi.params[i].get()
 	}
 	states := make([]*frameState, n)
 	states[0] = entry

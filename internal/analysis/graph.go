@@ -51,7 +51,13 @@ type Shape struct {
 
 	offsets     map[string]int
 	transitions map[string]*Shape
+	// root caches the lineage root (the ancestor with Parent == nil; self
+	// for roots), so lineage checks need no walking.
+	root *Shape
 }
+
+// Root returns the root shape of this shape's transition lineage.
+func (s *Shape) Root() *Shape { return s.root }
 
 // HasField reports whether the layout contains a property.
 func (s *Shape) HasField(name string) bool {
@@ -143,6 +149,11 @@ func (g *Graph) newShape(parent *Shape, fields []string) *Shape {
 	}
 	for i, f := range fields {
 		s.offsets[f] = i
+	}
+	if parent == nil {
+		s.root = s
+	} else {
+		s.root = parent.root
 	}
 	g.shapes = append(g.shapes, s)
 	return s

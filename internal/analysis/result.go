@@ -73,6 +73,12 @@ type Result struct {
 	order     []*SitePrediction
 	scripts   map[string]bool
 	globalTop bool
+
+	// slotTypes holds the typed-shape verdicts: for each shape with at
+	// least one typed slot, a SlotType per slot offset (SlotTypeNone for
+	// untyped slots). A typed slot is a claim: no instance of the shape
+	// ever holds a value outside the type in that slot.
+	slotTypes map[*Shape][]objects.SlotType
 }
 
 // buildResult expands site records into predictions. This runs after the
@@ -117,6 +123,7 @@ func (a *analyzer) buildResult() *Result {
 		p.MegamorphicRisk = top || overPolymorphic(p.Shapes)
 		r.sites[p.Site] = p
 	}
+	r.slotTypes = a.typedShapes()
 	r.order = make([]*SitePrediction, 0, len(r.sites))
 	for _, p := range r.sites {
 		r.order = append(r.order, p)
@@ -221,3 +228,37 @@ func (r *Result) ShapeForCreator(creator string) *Shape {
 
 // ShapeCount returns the size of the static graph.
 func (r *Result) ShapeCount() int { return len(r.graph.shapes) }
+
+// SlotTypes returns the typed-shape tags for a shape: one SlotType per
+// slot offset (SlotTypeNone for untyped slots), or nil when the shape has
+// no typed slots. The caller must not modify the returned slice.
+func (r *Result) SlotTypes(s *Shape) []objects.SlotType { return r.slotTypes[s] }
+
+// SlotTypeAt returns the static type claim for one slot of a shape, or
+// SlotTypeNone when the slot is untyped.
+func (r *Result) SlotTypeAt(s *Shape, offset int) objects.SlotType {
+	tags := r.slotTypes[s]
+	if offset < 0 || offset >= len(tags) {
+		return objects.SlotTypeNone
+	}
+	return tags[offset]
+}
+
+// TypedStats reports how many shapes carry at least one typed slot and
+// the total number of typed slots — the staticTypes figures ricbench
+// publishes.
+func (r *Result) TypedStats() (typedShapes, typedSlots int) {
+	for _, tags := range r.slotTypes {
+		n := 0
+		for _, t := range tags {
+			if t != objects.SlotTypeNone {
+				n++
+			}
+		}
+		if n > 0 {
+			typedShapes++
+			typedSlots += n
+		}
+	}
+	return typedShapes, typedSlots
+}

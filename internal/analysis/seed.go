@@ -82,11 +82,15 @@ func (a *analyzer) seedObjFor(v *vm.VM, o *objects.Object) *absObj {
 		// The global's transition lineage depends on the load order of
 		// scripts, so its shape is unknowable statically — but its fields
 		// are tracked precisely: toplevel var bindings live here and the
-		// analysis needs them to resolve cross-function dataflow.
+		// analysis needs them to resolve cross-function dataflow. Its root
+		// IS statically known, so record it: the widened global then
+		// poisons only its own lineage for typed-shape claims, not every
+		// lineage in the program.
 		ao.shapes.widen()
+		a.recordRoot(ao, a.mirrorHC(o.HC()).root)
 		a.global = ao
 	} else {
-		ao.shapes.add(a.mirrorHC(o.HC()))
+		a.shapeAdd(ao, a.mirrorHC(o.HC()))
 	}
 	for _, key := range o.OwnNamedKeys() {
 		val, ok, _ := o.GetOwn(key)
@@ -115,7 +119,7 @@ func (a *analyzer) seedVal(v *vm.VM, val objects.Value) absVal {
 	case objects.KindBool:
 		return primVal(pBool)
 	case objects.KindNumber:
-		return primVal(pNum)
+		return primVal(numKind(val.Num()))
 	case objects.KindString:
 		return primVal(pStr)
 	case objects.KindObject:

@@ -38,22 +38,19 @@ func (a *analyzer) step(fi *fnInfo, pc int, st *frameState) []succ {
 
 	case bytecode.OpLoadConst:
 		kind := absVal(primVal(pNum))
-		if idx := arg(1); idx < len(proto.Consts) && proto.Consts[idx].Kind == bytecode.ConstString {
-			kind = primVal(pStr)
+		if idx := arg(1); idx < len(proto.Consts) {
+			switch c := proto.Consts[idx]; c.Kind {
+			case bytecode.ConstString:
+				kind = primVal(pStr)
+			case bytecode.ConstNumber:
+				kind = primVal(numKind(c.Num))
+			}
 		}
 		st.push(kind)
 		return one()
-	case bytecode.OpLoadUndef:
-		st.push(primVal(pUndef))
-		return one()
-	case bytecode.OpLoadNull:
-		st.push(primVal(pNull))
-		return one()
-	case bytecode.OpLoadTrue:
-		st.push(primVal(pBool))
-		return one()
-	case bytecode.OpLoadFalse:
-		st.push(primVal(pBool))
+	case bytecode.OpLoadUndef, bytecode.OpLoadNull,
+		bytecode.OpLoadTrue, bytecode.OpLoadFalse:
+		st.push(primVal(fixedOpKind(op)))
 		return one()
 	case bytecode.OpLoadThis:
 		st.push(fi.this.get())
@@ -216,112 +213,22 @@ func (a *analyzer) step(fi *fnInfo, pc int, st *frameState) []succ {
 		x := st.pop()
 		st.push(addVal(x, b))
 		return one()
-	case bytecode.OpSub:
+	case bytecode.OpSub, bytecode.OpMul, bytecode.OpDiv, bytecode.OpMod,
+		bytecode.OpBitAnd, bytecode.OpBitOr, bytecode.OpBitXor,
+		bytecode.OpShl, bytecode.OpShr,
+		bytecode.OpEq, bytecode.OpNe, bytecode.OpStrictEq, bytecode.OpStrictNe,
+		bytecode.OpLt, bytecode.OpLe, bytecode.OpGt, bytecode.OpGe,
+		bytecode.OpIn, bytecode.OpInstanceOf:
+		// Binary ops with a result kind fixed by the opcode: arithmetic is
+		// any-number, the ToInt32 bit ops are SmallInt, comparisons are
+		// boolean. opValueKind is the single source of truth.
 		st.pop()
 		st.pop()
-		st.push(primVal(pNum))
+		st.push(primVal(fixedOpKind(op)))
 		return one()
-	case bytecode.OpMul:
+	case bytecode.OpNeg, bytecode.OpNot, bytecode.OpTypeOf:
 		st.pop()
-		st.pop()
-		st.push(primVal(pNum))
-		return one()
-	case bytecode.OpDiv:
-		st.pop()
-		st.pop()
-		st.push(primVal(pNum))
-		return one()
-	case bytecode.OpMod:
-		st.pop()
-		st.pop()
-		st.push(primVal(pNum))
-		return one()
-	case bytecode.OpNeg:
-		st.pop()
-		st.push(primVal(pNum))
-		return one()
-	case bytecode.OpNot:
-		st.pop()
-		st.push(primVal(pBool))
-		return one()
-	case bytecode.OpTypeOf:
-		st.pop()
-		st.push(primVal(pStr))
-		return one()
-	case bytecode.OpBitAnd:
-		st.pop()
-		st.pop()
-		st.push(primVal(pNum))
-		return one()
-	case bytecode.OpBitOr:
-		st.pop()
-		st.pop()
-		st.push(primVal(pNum))
-		return one()
-	case bytecode.OpBitXor:
-		st.pop()
-		st.pop()
-		st.push(primVal(pNum))
-		return one()
-	case bytecode.OpShl:
-		st.pop()
-		st.pop()
-		st.push(primVal(pNum))
-		return one()
-	case bytecode.OpShr:
-		st.pop()
-		st.pop()
-		st.push(primVal(pNum))
-		return one()
-	case bytecode.OpEq:
-		st.pop()
-		st.pop()
-		st.push(primVal(pBool))
-		return one()
-	case bytecode.OpNe:
-		st.pop()
-		st.pop()
-		st.push(primVal(pBool))
-		return one()
-	case bytecode.OpStrictEq:
-		st.pop()
-		st.pop()
-		st.push(primVal(pBool))
-		return one()
-	case bytecode.OpStrictNe:
-		st.pop()
-		st.pop()
-		st.push(primVal(pBool))
-		return one()
-	case bytecode.OpLt:
-		st.pop()
-		st.pop()
-		st.push(primVal(pBool))
-		return one()
-	case bytecode.OpLe:
-		st.pop()
-		st.pop()
-		st.push(primVal(pBool))
-		return one()
-	case bytecode.OpGt:
-		st.pop()
-		st.pop()
-		st.push(primVal(pBool))
-		return one()
-	case bytecode.OpGe:
-		st.pop()
-		st.pop()
-		st.push(primVal(pBool))
-		return one()
-	case bytecode.OpIn:
-		st.pop()
-		st.pop()
-		st.push(primVal(pBool))
-		return one()
-	case bytecode.OpInstanceOf:
-		st.pop()
-		st.pop()
-		st.push(primVal(pBool))
+		st.push(primVal(fixedOpKind(op)))
 		return one()
 
 	// ---- Stack shuffling ----
@@ -588,7 +495,7 @@ func (a *analyzer) fnPrototype(o *absObj, creator string) *cell {
 		po = a.newObj(o.label + ".prototype")
 		if root := a.graph.Builtin("FunctionPrototype"); root != nil {
 			s, _ := a.graph.Transition(root, "constructor", "builtin:FunctionPrototype.constructor")
-			po.shapes.add(s)
+			a.shapeAdd(po, s)
 		} else {
 			po.shapes.widen()
 		}
@@ -819,7 +726,7 @@ func (a *analyzer) constructProto(fnObj *absObj, p *bytecode.FuncProto, args []a
 	inst := a.instances[p]
 	if inst == nil {
 		inst = a.newObj("new " + p.FunctionName())
-		inst.shapes.add(a.graph.Root(creator))
+		a.shapeAdd(inst, a.graph.Root(creator))
 		a.instances[p] = inst
 		a.changed = true
 	}

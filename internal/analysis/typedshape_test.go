@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"testing"
+
+	"ricjs/internal/bytecode"
+	"ricjs/internal/objects"
+	"ricjs/internal/parser"
+)
+
+const typedPointSrc = `
+	function Point(x, y) { this.x = x; this.y = y; }
+	Point.prototype.norm2 = function () { return this.x * this.x + this.y * this.y; };
+	var pts = [];
+	for (var i = 0; i < 8; i++) pts.push(new Point(i, i + 1));
+	var total = 0;
+	for (var j = 0; j < pts.length; j++) total += pts[j].norm2();
+	print('total', total);
+`
+
+func analyzeSrc(t *testing.T, script, src string) *Result {
+	t.Helper()
+	ast, err := parser.Parse(script, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := bytecode.Compile(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(prog)
+}
+
+// findShape returns the unique shape whose field list equals fields.
+func findShape(t *testing.T, r *Result, fields ...string) *Shape {
+	t.Helper()
+	var found *Shape
+outer:
+	for _, s := range r.graph.shapes {
+		if len(s.Fields) != len(fields) {
+			continue
+		}
+		for i, f := range fields {
+			if s.Fields[i] != f {
+				continue outer
+			}
+		}
+		if found != nil {
+			t.Fatalf("shape %v is not unique", fields)
+		}
+		found = s
+	}
+	if found == nil {
+		t.Fatalf("no shape with fields %v", fields)
+	}
+	return found
+}
+
+func TestTypedShapesPointInstance(t *testing.T) {
+	r := analyzeSrc(t, "lib.js", typedPointSrc)
+	if r.GlobalTop() {
+		t.Fatal("analysis gave up")
+	}
+	xy := findShape(t, r, "x", "y")
+
+	// y only ever holds i+1 — a number — so the slot is typed Float.
+	if got := r.SlotTypeAt(xy, 1); got != objects.SlotTypeFloat {
+		t.Errorf("slot y: got %v, want float", got)
+	}
+	// x holds the toplevel var i, whose hoisted-undefined state the
+	// flow-insensitive global cell cannot exclude: undefined ⊔ number has
+	// no single slot type, so x must stay untyped. This pins the sound
+	// direction — a claim here would be wrong if script ever read i early.
+	if got := r.SlotTypeAt(xy, 0); got != objects.SlotTypeNone {
+		t.Errorf("slot x: got %v, want none (undef-tainted)", got)
+	}
+}
+
+func TestTypedShapesBuiltinMath(t *testing.T) {
+	r := analyzeSrc(t, "lib.js", `print(Math.PI);`)
+	m := r.Builtin("Math")
+	if m == nil {
+		t.Fatal("no Math shape")
+	}
+	tags := r.SlotTypes(m)
+	if tags == nil {
+		t.Fatal("Math shape has no typed slots")
+	}
+	found := false
+	for off, f := range m.Fields {
+		if f == "PI" {
+			found = true
+			if tags[off] != objects.SlotTypeFloat {
+				t.Errorf("Math.PI slot: got %v, want float", tags[off])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("Math shape has no PI field")
+	}
+}
+
+// An untrackable object with a known lineage poisons that lineage only.
+func TestTypedShapesPoisonIsPerLineage(t *testing.T) {
+	r := analyzeSrc(t, "lib.js", `
+		function A(v) { this.v = v; }
+		function B(w) { this.w = w; }
+		var a = new A(1.5);
+		var b = new B(2.5);
+		delete b.w; // dictionary-demotion risk: poisons B's lineage only
+		print(a.v, b.w);
+	`)
+	av := findShape(t, r, "v")
+	if got := r.SlotTypeAt(av, 0); got != objects.SlotTypeFloat {
+		t.Errorf("A.v slot: got %v, want float", got)
+	}
+	bw := findShape(t, r, "w")
+	if got := r.SlotTypeAt(bw, 0); got != objects.SlotTypeNone {
+		t.Errorf("B.w slot: got %v, want none (lineage poisoned)", got)
+	}
+}
+
+// Escaped receivers (here: thrown, reaching statically-unknown handler
+// code) disable claims for their whole lineage.
+func TestTypedShapesEscapeDisablesClaims(t *testing.T) {
+	r := analyzeSrc(t, "lib.js", `
+		function C(n) { this.n = n; }
+		function boom(o) { if (o.n > 2) throw o; }
+		var c = new C(1);
+		boom(c);
+		print(c.n);
+	`)
+	cn := findShape(t, r, "n")
+	if got := r.SlotTypeAt(cn, 0); got != objects.SlotTypeNone {
+		t.Errorf("C.n slot: got %v, want none (escaped)", got)
+	}
+}

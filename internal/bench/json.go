@@ -64,6 +64,19 @@ type JSONLibrary struct {
 	RecordBytes    int     `json:"recordBytes"`
 	DependentSlots int     `json:"dependentSlots"`
 	MissesAverted  uint64  `json:"missesAverted"`
+
+	// Typed-shape static inference: what the extraction-time analysis
+	// inferred and how often the Reuse run served the typed fast path.
+	StaticTypes JSONStaticTypes `json:"staticTypes"`
+}
+
+// JSONStaticTypes is one library's typed-shape summary. All four values
+// are deterministic, so perfgate gates typedFastHits exactly.
+type JSONStaticTypes struct {
+	SitesAnalyzed int    `json:"sitesAnalyzed"`
+	TypedShapes   int    `json:"typedShapes"`
+	TypedSlots    int    `json:"typedSlots"`
+	TypedFastHits uint64 `json:"typedFastHits"`
 }
 
 // JSONAverages carries the headline averages.
@@ -127,6 +140,12 @@ func BuildJSON(runs []LibraryRun, website *WebsiteRun) JSONResults {
 			RecordBytes:         r.RecordBytes,
 			DependentSlots:      r.RecordStats.DependentSlots,
 			MissesAverted:       r.RIC.MissesSaved,
+			StaticTypes: JSONStaticTypes{
+				SitesAnalyzed: r.StaticTypes.SitesAnalyzed,
+				TypedShapes:   r.StaticTypes.TypedShapes,
+				TypedSlots:    r.StaticTypes.TypedSlots,
+				TypedFastHits: r.StaticTypes.TypedFastHits,
+			},
 		}
 		out.Libraries = append(out.Libraries, lib)
 		out.Averages.InitialMissRatePct += lib.InitialMissRatePct / n

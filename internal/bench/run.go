@@ -25,6 +25,7 @@ type LibraryRun struct {
 	ExtractTime  time.Duration
 	RecordBytes  int
 	RecordStats  RecordStats
+	StaticTypes  StaticTypeStats
 	ValidatedHCs int
 }
 
@@ -35,6 +36,17 @@ type RecordStats struct {
 	TriggeringSites int
 	DependentSlots  int
 	RejectedSites   int
+	TypedSlotClaims int
+}
+
+// StaticTypeStats summarizes the typed-shape pipeline for one library:
+// what the extraction-time analysis inferred and how often the Reuse run
+// actually served loads through the typed fast path.
+type StaticTypeStats struct {
+	SitesAnalyzed int
+	TypedShapes   int
+	TypedSlots    int
+	TypedFastHits uint64
 }
 
 // InstrReduction returns the fractional dynamic-instruction reduction of
@@ -102,8 +114,11 @@ func MeasureLibrary(p workloads.Profile, opts Options) (LibraryRun, error) {
 			TriggeringSites: record.Stats().TriggeringSites,
 			DependentSlots:  record.Stats().DependentSlots,
 			RejectedSites:   record.Stats().RejectedSites,
+			TypedSlotClaims: record.Stats().TypedSlotClaims,
 		},
 	}
+	run.StaticTypes.SitesAnalyzed, run.StaticTypes.TypedShapes, run.StaticTypes.TypedSlots =
+		initial.StaticTypeStats()
 
 	// Two warmup rounds settle allocator and cache state before timing;
 	// the first round also captures the (deterministic) statistics.
@@ -134,6 +149,7 @@ func MeasureLibrary(p workloads.Profile, opts Options) (LibraryRun, error) {
 		if i == 0 {
 			run.RIC = reuse.Stats()
 			run.ValidatedHCs = reuse.ValidatedHCs()
+			run.StaticTypes.TypedFastHits = run.RIC.TypedFastHits
 		}
 	}
 	run.ConvTime = median(convTimes)

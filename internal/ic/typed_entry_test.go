@@ -1,0 +1,47 @@
+package ic
+
+import (
+	"testing"
+
+	"ricjs/internal/objects"
+)
+
+// TestInsertUpgradesToTypedFast checks the install-time denormalization:
+// a LoadField handler on a hidden class that carries a verified slot-type
+// claim for the field becomes a FastLoadFieldTyped entry; without a claim
+// (or for non-field handlers) it stays on the plain fast path.
+func TestInsertUpgradesToTypedFast(t *testing.T) {
+	_, hcs := hcChain(t, 2)
+	hcs[0].SetSlotType(0, objects.SlotTypeSmallInt)
+
+	var s Slot
+	s.Add(hcs[0], LoadField{Offset: 0})
+	s.Add(hcs[1], LoadField{Offset: 1}) // hcs[1] claims nothing
+
+	e, _ := s.Find(hcs[0])
+	if e == nil || e.Fast != FastLoadFieldTyped || e.FastOffset != 0 {
+		t.Fatalf("claimed slot entry = %+v, want FastLoadFieldTyped at offset 0", e)
+	}
+	e, extra := s.Find(hcs[1])
+	if e == nil || e.Fast != FastLoadField || extra != 1 {
+		t.Fatalf("unclaimed slot entry = %+v (extra %d), want plain FastLoadField", e, extra)
+	}
+	if e, _ := s.Find(nil); e != nil {
+		t.Fatal("Find on an uncached class must return nil")
+	}
+
+	// The typed upgrade snapshots no claim: the entry only redirects
+	// dispatch to read the hidden class at hit time, so clearing the claim
+	// afterward leaves the entry in place (the VM re-checks ValidSlotTag).
+	hcs[0].ClearSlotType(0)
+	if e, _ := s.Find(hcs[0]); e == nil || e.Fast != FastLoadFieldTyped {
+		t.Fatal("entry must not be invalidated by claim deoptimization")
+	}
+
+	// Stores never take the typed path, claim or not.
+	var st Slot
+	st.Add(hcs[0], StoreField{Offset: 0})
+	if e, _ := st.Find(hcs[0]); e == nil || e.Fast != FastStoreField {
+		t.Fatalf("store entry = %+v, want FastStoreField", e)
+	}
+}

@@ -114,6 +114,11 @@ const (
 	FastStoreField
 	// FastLoadArrayLength reads the receiver's array length.
 	FastLoadArrayLength
+	// FastLoadFieldTyped reads the receiver's own field at FastOffset
+	// through the typed-slot path: the hidden class carries a verified
+	// static type for the slot, so the read skips the boxed value's
+	// dynamic type dispatch (and SmallInt slots unbox to int32).
+	FastLoadFieldTyped
 )
 
 // Entry is one (HCAddr, Handler) tuple of a slot (paper Figure 3).
@@ -254,6 +259,17 @@ func (s *Slot) insert(hc *objects.HiddenClass, h Handler, preloaded bool) {
 	}
 	e := Entry{HC: hc, H: h, Preloaded: preloaded}
 	e.Fast, e.FastOffset = fastFor(h)
+	if e.Fast == FastLoadField {
+		// Upgrade to the typed path when the hidden class carries a
+		// verified static type for the slot: the load then switches on the
+		// claim instead of the boxed value's dynamic kind. The dispatch
+		// reads the claim from the hidden class at hit time — not a copy
+		// captured here — so a claim the store path deoptimized is dead the
+		// instant it is cleared, with no entry invalidation needed.
+		if t := hc.SlotType(int(e.FastOffset)); objects.ValidSlotTag(t) {
+			e.Fast = FastLoadFieldTyped
+		}
+	}
 	s.Entries = append(s.Entries, e)
 	switch len(s.Entries) {
 	case 1:

@@ -1,6 +1,7 @@
-// Package singlechecker drives a single Analyzer from a command's main
-// function, mirroring golang.org/x/tools/go/analysis/singlechecker: each
-// argument is a package directory, diagnostics print as
+// Package singlechecker drives one or more Analyzers from a command's
+// main function, mirroring golang.org/x/tools/go/analysis/singlechecker
+// (and, with several analyzers, multichecker): each argument is a package
+// directory, parsed once and fed to every analyzer; diagnostics print as
 // "file:line:col: message", and the process exits 1 when any were
 // reported (2 on usage or parse errors).
 package singlechecker
@@ -19,12 +20,19 @@ import (
 	"ricjs/internal/lint/analysis"
 )
 
-// Main runs the analyzer over the package directories on the command line
-// and exits the process with the appropriate status.
-func Main(a *analysis.Analyzer) {
+// Main runs the analyzers over the package directories on the command
+// line and exits the process with the appropriate status.
+func Main(analyzers ...*analysis.Analyzer) {
+	if len(analyzers) == 0 {
+		fmt.Fprintln(os.Stderr, "singlechecker: no analyzers")
+		os.Exit(2)
+	}
+	progName := analyzers[0].Name
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "%s: %s\n\nusage: %s package-dir [more dirs ...]\n",
-			a.Name, strings.SplitN(a.Doc, "\n", 2)[0], a.Name)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		fmt.Fprintf(os.Stderr, "\nusage: %s package-dir [more dirs ...]\n", progName)
 	}
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -34,12 +42,14 @@ func Main(a *analysis.Analyzer) {
 
 	fset := token.NewFileSet()
 	bad := false
-	report := func(d analysis.Diagnostic) {
-		bad = true
-		if d.Pos.IsValid() {
-			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
-		} else {
-			fmt.Fprintf(os.Stderr, "%s: %s\n", a.Name, d.Message)
+	reportFor := func(a *analysis.Analyzer) func(analysis.Diagnostic) {
+		return func(d analysis.Diagnostic) {
+			bad = true
+			if d.Pos.IsValid() {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+			} else {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", a.Name, d.Message)
+			}
 		}
 	}
 
@@ -48,7 +58,7 @@ func Main(a *analysis.Analyzer) {
 			return !strings.HasSuffix(fi.Name(), "_test.go")
 		}, 0)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", a.Name, err)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progName, err)
 			os.Exit(2)
 		}
 		names := make([]string, 0, len(pkgs))
@@ -67,22 +77,27 @@ func Main(a *analysis.Analyzer) {
 			for _, p := range paths {
 				files = append(files, pkg.Files[p])
 			}
-			pass := &analysis.Pass{
-				Analyzer: a,
-				Fset:     fset,
-				Files:    files,
-				Pkg:      name,
-				Report:   report,
-			}
-			if _, err := a.Run(pass); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %s: %v\n", a.Name, dir, err)
-				os.Exit(2)
+			for _, a := range analyzers {
+				pass := &analysis.Pass{
+					Analyzer: a,
+					Fset:     fset,
+					Files:    files,
+					Pkg:      name,
+					Report:   reportFor(a),
+				}
+				if _, err := a.Run(pass); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: %s: %v\n", a.Name, dir, err)
+					os.Exit(2)
+				}
 			}
 		}
 	}
-	if a.End != nil {
-		for _, d := range a.End() {
-			report(d)
+	for _, a := range analyzers {
+		if a.End != nil {
+			report := reportFor(a)
+			for _, d := range a.End() {
+				report(d)
+			}
 		}
 	}
 	if bad {

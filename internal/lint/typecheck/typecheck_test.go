@@ -1,0 +1,161 @@
+package typecheck
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"ricjs/internal/lint/analysis"
+)
+
+// runOn feeds synthetic package sources (name -> file source) through a
+// fresh analyzer and returns End's diagnostics plus any reported during
+// Run.
+func runOn(t *testing.T, pkgs map[string]string) []string {
+	t.Helper()
+	a := NewAnalyzer()
+	fset := token.NewFileSet()
+	var msgs []string
+	report := func(d analysis.Diagnostic) { msgs = append(msgs, d.Message) }
+	for name, src := range pkgs {
+		f, err := parser.ParseFile(fset, name+".go", src, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		pass := &analysis.Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    []*ast.File{f},
+			Pkg:      name,
+			Report:   report,
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("run %s: %v", name, err)
+		}
+	}
+	for _, d := range a.End() {
+		msgs = append(msgs, d.Message)
+	}
+	return msgs
+}
+
+const goodBytecode = `package bytecode
+type Op uint32
+const (
+	OpNop Op = iota
+	OpHalt
+	numOps
+)
+var opNames = [numOps]string{OpNop: "Nop", OpHalt: "Halt"}
+`
+
+const goodAnalysis = `package analysis
+import "ricjs/internal/bytecode"
+func opValueKind(op bytecode.Op) (uint8, bool) {
+	switch op {
+	case bytecode.OpNop:
+		return 0, false
+	case bytecode.OpHalt:
+		return 0, false
+	}
+	return 0, false
+}
+`
+
+func TestTypecheckClean(t *testing.T) {
+	msgs := runOn(t, map[string]string{
+		"bytecode": goodBytecode,
+		"analysis": goodAnalysis,
+	})
+	if len(msgs) != 0 {
+		t.Fatalf("clean packages produced diagnostics: %v", msgs)
+	}
+}
+
+func TestTypecheckMissingCase(t *testing.T) {
+	msgs := runOn(t, map[string]string{
+		"bytecode": goodBytecode,
+		"analysis": `package analysis
+import "ricjs/internal/bytecode"
+func opValueKind(op bytecode.Op) (uint8, bool) {
+	switch op {
+	case bytecode.OpNop:
+		return 0, false
+	}
+	return 0, false
+}
+// transfer's switch covers OpHalt — it must NOT satisfy the table check.
+func transfer(op bytecode.Op) {
+	switch op {
+	case bytecode.OpHalt:
+	}
+}
+`,
+	})
+	all := strings.Join(msgs, "\n")
+	if !strings.Contains(all, "OpHalt has no case in opValueKind") {
+		t.Errorf("missing diagnostic for OpHalt, got:\n%s", all)
+	}
+	if strings.Contains(all, "OpNop has no case") {
+		t.Errorf("false positive on covered OpNop:\n%s", all)
+	}
+}
+
+func TestTypecheckMissingInputs(t *testing.T) {
+	all := strings.Join(runOn(t, map[string]string{"bytecode": goodBytecode}), "\n")
+	if !strings.Contains(all, "package analysis was not analyzed") {
+		t.Errorf("expected a missing-package diagnostic, got:\n%s", all)
+	}
+	all = strings.Join(runOn(t, map[string]string{
+		"bytecode": goodBytecode,
+		"analysis": `package analysis
+func unrelated() {}
+`,
+	}), "\n")
+	if !strings.Contains(all, "no opValueKind function") {
+		t.Errorf("expected a missing-table diagnostic, got:\n%s", all)
+	}
+}
+
+// TestTypecheckRealPackages runs the analyzer over the actual repo
+// packages the CI invocation targets; the live value-type table must be
+// exhaustive.
+func TestTypecheckRealPackages(t *testing.T) {
+	a := NewAnalyzer()
+	fset := token.NewFileSet()
+	var msgs []string
+	report := func(d analysis.Diagnostic) {
+		pos := ""
+		if d.Pos.IsValid() {
+			pos = fset.Position(d.Pos).String() + ": "
+		}
+		msgs = append(msgs, pos+d.Message)
+	}
+	for pkg, dir := range map[string]string{
+		"bytecode": "../../bytecode",
+		"analysis": "../../analysis",
+	} {
+		pkgs, err := parser.ParseDir(fset, dir, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files := []*ast.File{}
+		for _, p := range pkgs {
+			for _, f := range p.Files {
+				files = append(files, f)
+			}
+		}
+		pass := &analysis.Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Report: report}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, d := range a.End() {
+		report(d)
+	}
+	if len(msgs) != 0 {
+		t.Fatalf("live value-type table is not exhaustive:\n%s", strings.Join(msgs, "\n"))
+	}
+}

@@ -146,6 +146,8 @@ type Counters struct {
 	staticFiltered uint64 // record preloads skipped on static evidence
 	staticDead     uint64 // gauge: sites the analysis proved unreachable
 	staticRisk     uint64 // gauge: sites the analysis flags as megamorphic risk
+
+	typedFastHits uint64 // monomorphic hits served by a typed-slot handler
 }
 
 // Charge adds n abstract instructions to the current category.
@@ -236,6 +238,13 @@ func (c *Counters) StaticSiteFlags(dead, risk uint64) {
 	c.staticRisk = risk
 }
 
+// TypedFastHit records a monomorphic IC hit served through the typed-slot
+// fast path (the dynamic type check was skipped on the strength of a
+// static slot-type claim). It is a gauge alongside the ordinary hit
+// accounting: the typed path charges exactly what the untyped hit does,
+// so instruction counts stay byte-identical with and without claims.
+func (c *Counters) TypedFastHit() { c.typedFastHits++ }
+
 // Degrade records that the engine abandoned a reuse run because of a
 // record-attributable failure and retried conventionally (record-free).
 func (c *Counters) Degrade() { c.degradedRuns++ }
@@ -286,6 +295,10 @@ type Snapshot struct {
 	StaticFilteredPreloads uint64
 	StaticDeadSites        uint64
 	StaticMegamorphicRisk  uint64
+
+	// TypedFastHits counts monomorphic hits served by the typed-slot fast
+	// path (zero when no typed-shape claims were applied).
+	TypedFastHits uint64
 }
 
 // Snapshot captures the current statistics.
@@ -311,6 +324,7 @@ func (c *Counters) Snapshot() Snapshot {
 		StaticFilteredPreloads: c.staticFiltered,
 		StaticDeadSites:        c.staticDead,
 		StaticMegamorphicRisk:  c.staticRisk,
+		TypedFastHits:          c.typedFastHits,
 	}
 }
 

@@ -8,29 +8,33 @@ import (
 	"sort"
 
 	"ricjs/internal/ic"
+	"ricjs/internal/objects"
 	"ricjs/internal/source"
 	"ricjs/internal/symtab"
 )
 
 // Record wire format (all integers are unsigned/zigzag varints):
 //
-//	magic "RICREC" + format-version byte (currently 4)
+//	magic "RICREC" + format-version byte (currently 5)
 //	label string
 //	flags (bit 0: includes globals)
 //	script string table (count, strings)
-//	symbol table (count, strings)                  — v4 only
+//	symbol table (count, strings)                  — v4 and later
 //	hidden class count
 //	deps: per HCID: count × (siteRef, accessKind, nameRef,
 //	                         handlerKind, offset, nameRef, innerKind)
 //	site TOAST: count × (siteRef, pairCount × (in+1, out))
 //	builtin TOAST: count × (nameRef, id)
 //	rejected sites: count × siteRef
+//	typed shapes: count × (hcid, claimCount × (offset, typeTag byte))
+//	                                               — v5 only
 //	CRC32-IEEE of everything above (4 bytes little-endian)
 //
 // A siteRef is (scriptIdx, line, col). A nameRef is a varint index into
-// the record-local symbol table in version 4, and an inline length-prefixed
-// string in version 3. Map-ordered sections are sorted so encoding is
-// deterministic.
+// the record-local symbol table in versions 4+, and an inline
+// length-prefixed string in version 3. Map-ordered sections are sorted so
+// encoding is deterministic; the typed-shape section is sorted by hidden
+// class id, then slot offset.
 //
 // The symbol table holds every property/builtin name the record mentions,
 // each exactly once, in first-use order of the (deterministic) section
@@ -40,19 +44,27 @@ import (
 // symbol IDs are never persisted — they are not stable across executions —
 // only the record-local indices are.
 //
-// Version 3 records (names inline at each use, no symbol table) still
-// decode; Encode always emits version 4. Records in older formats (version
-// bytes 1 and 2 carried no checksum) are rejected as unsupported:
-// persisted IC state is a pure cache, so the correct recovery is
-// quarantine-and-regenerate, never a compatibility shim.
+// A typeTag is one objects.SlotType byte; tags outside the valid claim
+// range (⊤, ⊥, or unknown values) are rejected at decode, so a record can
+// never smuggle a claim the lattice cannot express.
+//
+// Version 3 records (names inline at each use, no symbol table) and
+// version 4 records (symbol table, no typed shapes) still decode; Encode
+// always emits version 5. Records in older formats (version bytes 1 and 2
+// carried no checksum) are rejected as unsupported: persisted IC state is
+// a pure cache, so the correct recovery is quarantine-and-regenerate,
+// never a compatibility shim.
 var recordTag = []byte("RICREC")
 
 // recordVersion is the current wire-format version byte.
-const recordVersion = 4
+const recordVersion = 5
 
-// recordVersionV3 is the previous format, still accepted by Decode: it
-// differs from v4 only in carrying names inline instead of via the
-// record-local symbol table.
+// recordVersionV4 is the previous format, still accepted by Decode: it
+// differs from v5 only in carrying no typed-shape claims section.
+const recordVersionV4 = 4
+
+// recordVersionV3 is the format before the record-local symbol table,
+// still accepted by Decode: it carries names inline at each use.
 const recordVersionV3 = 3
 
 // recordTrailerLen is the length of the CRC32 trailer.
@@ -224,6 +236,23 @@ func (r *Record) Encode() []byte {
 		e.site(s)
 	}
 
+	typedIDs := make([]int32, 0, len(r.TypedSlots))
+	for id := range r.TypedSlots {
+		typedIDs = append(typedIDs, id)
+	}
+	sort.Slice(typedIDs, func(i, j int) bool { return typedIDs[i] < typedIDs[j] })
+	e.uvarint(uint64(len(typedIDs)))
+	for _, id := range typedIDs {
+		claims := append([]SlotClaim(nil), r.TypedSlots[id]...)
+		sort.Slice(claims, func(i, j int) bool { return claims[i].Offset < claims[j].Offset })
+		e.uvarint(uint64(id))
+		e.uvarint(uint64(len(claims)))
+		for _, c := range claims {
+			e.uvarint(uint64(c.Offset))
+			e.buf.WriteByte(byte(c.Type))
+		}
+	}
+
 	var trailer [recordTrailerLen]byte
 	binary.LittleEndian.PutUint32(trailer[:], crc32.ChecksumIEEE(e.buf.Bytes()))
 	e.buf.Write(trailer[:])
@@ -322,9 +351,9 @@ func Decode(data []byte) (*Record, error) {
 		return nil, fmt.Errorf("ric: bad record magic")
 	}
 	ver := data[len(recordTag)]
-	if ver != recordVersion && ver != recordVersionV3 {
-		return nil, fmt.Errorf("ric: unsupported record format version %d (want %d or %d)",
-			ver, recordVersion, recordVersionV3)
+	if ver != recordVersion && ver != recordVersionV4 && ver != recordVersionV3 {
+		return nil, fmt.Errorf("ric: unsupported record format version %d (want %d, %d or %d)",
+			ver, recordVersion, recordVersionV4, recordVersionV3)
 	}
 	body := data[:len(data)-recordTrailerLen]
 	stored := binary.LittleEndian.Uint32(data[len(data)-recordTrailerLen:])
@@ -336,6 +365,7 @@ func Decode(data []byte) (*Record, error) {
 		SiteTOAST:     make(map[source.Site][]Pair),
 		BuiltinTOAST:  make(map[string]int32),
 		RejectedSites: make(map[source.Site]bool),
+		TypedSlots:    make(map[int32][]SlotClaim),
 	}
 	var err error
 	if r.Script, err = d.str(); err != nil {
@@ -362,7 +392,7 @@ func Decode(data []byte) (*Record, error) {
 		d.names = append(d.names, s)
 	}
 
-	if ver >= recordVersion {
+	if ver >= recordVersionV4 {
 		nSyms, err := d.uvarint()
 		if err != nil {
 			return nil, fmt.Errorf("ric: symbol table: %w", err)
@@ -518,6 +548,45 @@ func Decode(data []byte) (*Record, error) {
 		r.RejectedSites[site] = true
 	}
 
+	if ver >= recordVersion {
+		nTyped, err := d.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("ric: typed shapes: %w", err)
+		}
+		if err := d.plausibleCount(nTyped, "typed shapes"); err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < nTyped; i++ {
+			id, err := d.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("ric: typed shapes: %w", err)
+			}
+			nClaims, err := d.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("ric: typed shapes[%d]: %w", id, err)
+			}
+			if err := d.plausibleCount(nClaims, "typed shape claims"); err != nil {
+				return nil, err
+			}
+			claims := make([]SlotClaim, 0, nClaims)
+			for j := uint64(0); j < nClaims; j++ {
+				off, err := d.uvarint()
+				if err != nil {
+					return nil, fmt.Errorf("ric: typed shapes[%d]: %w", id, err)
+				}
+				tag, err := d.buf.ReadByte()
+				if err != nil {
+					return nil, fmt.Errorf("ric: typed shapes[%d]: %w", id, err)
+				}
+				if !objects.ValidSlotTag(objects.SlotType(tag)) {
+					return nil, fmt.Errorf("ric: typed shapes[%d]: invalid slot type tag %d", id, tag)
+				}
+				claims = append(claims, SlotClaim{Offset: int32(off), Type: objects.SlotType(tag)})
+			}
+			r.TypedSlots[int32(id)] = claims
+		}
+	}
+
 	if d.buf.Len() != 0 {
 		return nil, fmt.Errorf("ric: %d trailing bytes", d.buf.Len())
 	}
@@ -534,5 +603,8 @@ func Decode(data []byte) (*Record, error) {
 		r.Stats.DependentSlots += len(deps)
 	}
 	r.Stats.ContextIndependentHandlers = r.Stats.DependentSlots
+	for _, claims := range r.TypedSlots {
+		r.Stats.TypedSlotClaims += len(claims)
+	}
 	return r, nil
 }

@@ -12,16 +12,16 @@ import (
 	"ricjs/internal/symtab"
 )
 
-// TestEncodeEmitsV4 pins the current writer version: every record we
-// persist from now on carries the symbol-table section.
-func TestEncodeEmitsV4(t *testing.T) {
+// TestEncodeEmitsV5 pins the current writer version: every record we
+// persist from now on carries the symbol-table and typed-shape sections.
+func TestEncodeEmitsV5(t *testing.T) {
 	_, rec := initialRun(t, pointLib, Config{})
 	data := rec.Encode()
-	if got := data[len(recordTag)]; got != 4 {
-		t.Fatalf("Encode emitted version %d, want 4", got)
+	if got := data[len(recordTag)]; got != 5 {
+		t.Fatalf("Encode emitted version %d, want 5", got)
 	}
 	if _, err := Decode(data); err != nil {
-		t.Fatalf("fresh v4 record does not decode: %v", err)
+		t.Fatalf("fresh v5 record does not decode: %v", err)
 	}
 }
 
@@ -53,11 +53,11 @@ func TestDecodeV3Compat(t *testing.T) {
 				}
 			}
 		}
-		// Upgrading on re-encode: the v3 record round-trips through the v4
-		// writer with identical content.
+		// Upgrading on re-encode: the v3 record round-trips through the
+		// current writer with identical content.
 		up := rec.Encode()
-		if got := up[len(recordTag)]; got != 4 {
-			t.Fatalf("%s: re-encode emitted version %d, want 4", name, got)
+		if got := up[len(recordTag)]; got != recordVersion {
+			t.Fatalf("%s: re-encode emitted version %d, want %d", name, got, recordVersion)
 		}
 		back, err := Decode(up)
 		if err != nil {
@@ -68,7 +68,42 @@ func TestDecodeV3Compat(t *testing.T) {
 			!reflect.DeepEqual(back.BuiltinTOAST, rec.BuiltinTOAST) ||
 			!reflect.DeepEqual(back.RejectedSites, rec.RejectedSites) ||
 			back.HCCount != rec.HCCount || back.Script != rec.Script {
-			t.Fatalf("%s: v3→v4 upgrade changed the record", name)
+			t.Fatalf("%s: v3 upgrade changed the record", name)
+		}
+	}
+}
+
+// TestDecodeV4Compat decodes the committed v4 fixtures: records persisted
+// before the typed-shape section must keep working, carrying no claims.
+func TestDecodeV4Compat(t *testing.T) {
+	for _, name := range []string{"point-v4.ric", "array-v4.ric"} {
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := data[len(recordTag)]; got != 4 {
+			t.Fatalf("%s: fixture is version %d, expected a v4 fixture", name, got)
+		}
+		rec, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%s: v4 record no longer decodes: %v", name, err)
+		}
+		if len(rec.TypedSlots) != 0 {
+			t.Fatalf("%s: v4 record decoded with %d typed-shape rows", name, len(rec.TypedSlots))
+		}
+		up := rec.Encode()
+		if got := up[len(recordTag)]; got != recordVersion {
+			t.Fatalf("%s: re-encode emitted version %d, want %d", name, got, recordVersion)
+		}
+		back, err := Decode(up)
+		if err != nil {
+			t.Fatalf("%s: upgraded record does not decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(back.Deps, rec.Deps) ||
+			!reflect.DeepEqual(back.SiteTOAST, rec.SiteTOAST) ||
+			!reflect.DeepEqual(back.BuiltinTOAST, rec.BuiltinTOAST) ||
+			back.HCCount != rec.HCCount {
+			t.Fatalf("%s: v4 upgrade changed the record", name)
 		}
 	}
 }
@@ -151,12 +186,12 @@ func TestDecodeRejectsBadSymbolIndex(t *testing.T) {
 	}
 }
 
-// TestDecodeStillRejectsUnknownVersions: adding v3 compat must not widen
-// the acceptance window to anything else.
+// TestDecodeStillRejectsUnknownVersions: adding v3/v4 compat must not
+// widen the acceptance window to anything else.
 func TestDecodeStillRejectsUnknownVersions(t *testing.T) {
 	_, rec := initialRun(t, pointLib, Config{})
 	data := rec.Encode()
-	for _, v := range []byte{0, 1, 2, 5, 0x7c} {
+	for _, v := range []byte{0, 1, 2, 6, 0x7c} {
 		mut := append([]byte{}, data...)
 		mut[len(recordTag)] = v
 		// Fix the checksum so only the version gate can reject it.

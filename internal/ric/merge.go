@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ricjs/internal/objects"
 	"ricjs/internal/source"
 )
 
@@ -143,6 +144,54 @@ func Merge(records ...*Record) (*Record, error) {
 		}
 	}
 
+	// Typed-shape claims: an appended row keeps its claims verbatim; a
+	// unified row (builtins shared by several records) keeps a claim only
+	// when every contributing record makes one, joined in the lattice. A
+	// record that carries no claim for a slot is treated as claiming ⊤
+	// there — it may have seen stores the others did not — so the claim is
+	// dropped rather than narrowed beyond what all inputs can justify.
+	type offsetClaim struct {
+		t objects.SlotType
+		n int
+	}
+	rows := make(map[int32]int)                      // merged id -> contributing rows
+	claims := make(map[int32]map[int32]*offsetClaim) // merged id -> offset -> joined claim
+	for i, r := range records {
+		for old := int32(0); old < r.HCCount; old++ {
+			id := remap[i][old]
+			rows[id]++
+			for _, c := range r.TypedSlots[old] {
+				m := claims[id]
+				if m == nil {
+					m = make(map[int32]*offsetClaim)
+					claims[id] = m
+				}
+				if oc := m[c.Offset]; oc == nil {
+					m[c.Offset] = &offsetClaim{t: c.Type, n: 1}
+				} else {
+					oc.t = oc.t.Join(c.Type)
+					oc.n++
+				}
+			}
+		}
+	}
+	for id, m := range claims {
+		var merged []SlotClaim
+		for off, oc := range m {
+			if oc.n == rows[id] && objects.ValidSlotTag(oc.t) {
+				merged = append(merged, SlotClaim{Offset: off, Type: oc.t})
+			}
+		}
+		if len(merged) == 0 {
+			continue
+		}
+		sort.Slice(merged, func(i, j int) bool { return merged[i].Offset < merged[j].Offset })
+		if out.TypedSlots == nil {
+			out.TypedSlots = make(map[int32][]SlotClaim)
+		}
+		out.TypedSlots[id] = merged
+	}
+
 	out.Stats = Stats{
 		HiddenClasses:   int(out.HCCount),
 		TriggeringSites: len(out.SiteTOAST),
@@ -153,6 +202,9 @@ func Merge(records ...*Record) (*Record, error) {
 		out.Stats.DependentSlots += len(deps)
 	}
 	out.Stats.ContextIndependentHandlers = out.Stats.DependentSlots
+	for _, cs := range out.TypedSlots {
+		out.Stats.TypedSlotClaims += len(cs)
+	}
 
 	if err := out.validateShape(); err != nil {
 		return nil, fmt.Errorf("ric: merge produced invalid record: %w", err)

@@ -24,6 +24,7 @@ import (
 
 	"ricjs/internal/bytecode"
 	"ricjs/internal/ic"
+	"ricjs/internal/objects"
 	"ricjs/internal/source"
 	"ricjs/internal/symtab"
 )
@@ -56,6 +57,17 @@ type DepEntry struct {
 	Desc   ic.CIDescriptor
 }
 
+// SlotClaim is one typed-shape claim of an HCVT row: the slot at Offset of
+// the row's hidden class only ever holds values of Type. Claims are
+// computed by the static value-type analysis at extraction, verified
+// offline by riclint (VerifyTyped), and applied to the live hidden class
+// when the row validates in a Reuse run, upgrading its monomorphic load
+// sites to the typed fast path.
+type SlotClaim struct {
+	Offset int32
+	Type   objects.SlotType
+}
+
 // Stats summarizes an extraction for the §7.3 overhead analysis.
 type Stats struct {
 	// HiddenClasses is the number of HCVT rows.
@@ -73,6 +85,9 @@ type Stats struct {
 	// ContextIndependentHandlers counts the saved handler descriptors
 	// (equal to DependentSlots; kept for reporting symmetry).
 	ContextIndependentHandlers int
+	// TypedSlotClaims is the total number of typed-shape slot claims the
+	// record carries (the v5 section).
+	TypedSlotClaims int
 }
 
 // Record is the ICRecord (paper Figure 6): the persistent,
@@ -115,6 +130,11 @@ type Record struct {
 	// (off by default, paper §6).
 	IncludesGlobals bool
 
+	// TypedSlots maps an HCID to its typed-shape claims (the v5 wire
+	// section). Nil or absent entries mean "no claims"; v3/v4 records
+	// decode with no claims and remain fully usable.
+	TypedSlots map[int32][]SlotClaim
+
 	Stats Stats
 }
 
@@ -150,6 +170,19 @@ func (r *Record) validateShape() error {
 			if fieldHandler(d.Desc) && d.Desc.Offset < 0 {
 				return fmt.Errorf("ric: HCID %d dependent %s: negative field offset %d",
 					hcid, d.Site, d.Desc.Offset)
+			}
+		}
+	}
+	for hcid, claims := range r.TypedSlots {
+		if hcid < 0 || hcid >= r.HCCount {
+			return fmt.Errorf("ric: typed shape id %d out of range", hcid)
+		}
+		for _, c := range claims {
+			if c.Offset < 0 {
+				return fmt.Errorf("ric: typed shape %d: negative slot offset %d", hcid, c.Offset)
+			}
+			if !objects.ValidSlotTag(c.Type) {
+				return fmt.Errorf("ric: typed shape %d: invalid slot type tag %d", hcid, c.Type)
 			}
 		}
 	}

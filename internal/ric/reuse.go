@@ -181,6 +181,14 @@ func (r *Reuser) validate(creator objects.Creator, id int32, hc *objects.HiddenC
 	r.addr[id] = hc.Addr()
 	r.valid[id] = true
 	r.hcs[id] = hc
+	// Apply the row's typed-shape claims before preloading dependents, so
+	// load-site entries installed from here on upgrade to the typed fast
+	// path. Claims are advisory for correctness: the store path clears any
+	// claim a concrete value ever violates (possible only with a lying
+	// record), and the typed dispatch reads the live claim.
+	for _, c := range r.rec.TypedSlots[id] {
+		hc.SetSlotType(int(c.Offset), c.Type)
+	}
 	if r.prof != nil {
 		r.prof.Validate()
 	}

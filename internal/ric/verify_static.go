@@ -39,93 +39,9 @@ func (r *Record) VerifyStatic(res *analysis.Result) error {
 		return nil
 	}
 
-	shapes := make([]*analysis.Shape, r.HCCount)
-	assign := func(id int32, s *analysis.Shape, how string) error {
-		if s == nil || id < 0 || int(id) >= len(shapes) {
-			return nil
-		}
-		if shapes[id] == nil {
-			shapes[id] = s
-			return nil
-		}
-		if shapes[id] != s {
-			return fmt.Errorf("ric: HCID %d resolves to both %s and %s (%s): HC table inconsistent with static transition graph",
-				id, shapes[id], s, how)
-		}
-		return nil
-	}
-
-	// Builtin-keyed TOAST rows anchor resolution: startup is deterministic,
-	// so every builtin name the analysis knows maps to exactly one shape.
-	builtinNames := make([]string, 0, len(r.BuiltinTOAST))
-	for name := range r.BuiltinTOAST {
-		builtinNames = append(builtinNames, name)
-	}
-	sort.Strings(builtinNames)
-	for _, name := range builtinNames {
-		s := res.Builtin(name)
-		if s == nil {
-			s = res.ShapeForCreator(objects.Creator{Builtin: name}.String())
-		}
-		if err := assign(r.BuiltinTOAST[name], s, "builtin "+name); err != nil {
-			return err
-		}
-	}
-
-	sites := make([]source.Site, 0, len(r.SiteTOAST))
-	for site := range r.SiteTOAST {
-		sites = append(sites, site)
-	}
-	sort.Slice(sites, func(i, j int) bool { return sites[i].String() < sites[j].String() })
-
-	// Site-keyed rows chain off already-resolved classes, so iterate to a
-	// fixpoint: the pair giving an ID its shape may be visited after the
-	// pair consuming it.
-	for progress := true; progress; {
-		progress = false
-		for _, site := range sites {
-			if !res.Covered(site.Script) {
-				continue
-			}
-			pred := res.At(site)
-			if pred != nil && pred.Dead {
-				return fmt.Errorf("ric: TOAST site %s: statically unreachable, yet the record claims it created hidden classes", site)
-			}
-			for _, p := range r.SiteTOAST[site] {
-				before := shapes[p.Out]
-				switch {
-				case p.In < 0:
-					// Rootless creation: a constructor's instance root,
-					// keyed by the declaring function's site.
-					root := res.RootByCreator(objects.Creator{Site: site}.String())
-					if err := assign(p.Out, root, fmt.Sprintf("root at %s", site)); err != nil {
-						return err
-					}
-				case shapes[p.In] != nil:
-					if pred == nil || pred.Name == "" {
-						continue // keyed store: no static identity
-					}
-					if !pred.Top && !predContains(pred, shapes[p.In]) {
-						return fmt.Errorf("ric: TOAST site %s: incoming class %s is outside the predicted set %v",
-							site, shapes[p.In], pred)
-					}
-					next, ok := shapes[p.In].TransitionTo(pred.Name)
-					if !ok {
-						if pred.Top {
-							continue // receiver unknown: edge may be real
-						}
-						return fmt.Errorf("ric: TOAST site %s: no static transition %s --%q--> (stale or lying record)",
-							site, shapes[p.In], pred.Name)
-					}
-					if err := assign(p.Out, next, fmt.Sprintf("transition at %s", site)); err != nil {
-						return err
-					}
-				}
-				if shapes[p.Out] != before {
-					progress = true
-				}
-			}
-		}
+	shapes, err := r.resolveShapes(res)
+	if err != nil {
+		return err
 	}
 
 	for hcid, deps := range r.Deps {
@@ -158,6 +74,103 @@ func (r *Record) VerifyStatic(res *analysis.Result) error {
 		}
 	}
 	return nil
+}
+
+// resolveShapes maps every hidden-class ID the record can statically
+// justify to its analysis shape — the shared resolution step behind
+// VerifyStatic, VerifyTyped, and extraction-time claim attachment
+// (AttachTypedShapes). Unresolvable IDs stay nil (conservative); an ID
+// resolving to two distinct shapes is an inconsistency error.
+func (r *Record) resolveShapes(res *analysis.Result) ([]*analysis.Shape, error) {
+	shapes := make([]*analysis.Shape, r.HCCount)
+	assign := func(id int32, s *analysis.Shape, how string) error {
+		if s == nil || id < 0 || int(id) >= len(shapes) {
+			return nil
+		}
+		if shapes[id] == nil {
+			shapes[id] = s
+			return nil
+		}
+		if shapes[id] != s {
+			return fmt.Errorf("ric: HCID %d resolves to both %s and %s (%s): HC table inconsistent with static transition graph",
+				id, shapes[id], s, how)
+		}
+		return nil
+	}
+
+	// Builtin-keyed TOAST rows anchor resolution: startup is deterministic,
+	// so every builtin name the analysis knows maps to exactly one shape.
+	builtinNames := make([]string, 0, len(r.BuiltinTOAST))
+	for name := range r.BuiltinTOAST {
+		builtinNames = append(builtinNames, name)
+	}
+	sort.Strings(builtinNames)
+	for _, name := range builtinNames {
+		s := res.Builtin(name)
+		if s == nil {
+			s = res.ShapeForCreator(objects.Creator{Builtin: name}.String())
+		}
+		if err := assign(r.BuiltinTOAST[name], s, "builtin "+name); err != nil {
+			return nil, err
+		}
+	}
+
+	sites := make([]source.Site, 0, len(r.SiteTOAST))
+	for site := range r.SiteTOAST {
+		sites = append(sites, site)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].String() < sites[j].String() })
+
+	// Site-keyed rows chain off already-resolved classes, so iterate to a
+	// fixpoint: the pair giving an ID its shape may be visited after the
+	// pair consuming it.
+	for progress := true; progress; {
+		progress = false
+		for _, site := range sites {
+			if !res.Covered(site.Script) {
+				continue
+			}
+			pred := res.At(site)
+			if pred != nil && pred.Dead {
+				return nil, fmt.Errorf("ric: TOAST site %s: statically unreachable, yet the record claims it created hidden classes", site)
+			}
+			for _, p := range r.SiteTOAST[site] {
+				before := shapes[p.Out]
+				switch {
+				case p.In < 0:
+					// Rootless creation: a constructor's instance root,
+					// keyed by the declaring function's site.
+					root := res.RootByCreator(objects.Creator{Site: site}.String())
+					if err := assign(p.Out, root, fmt.Sprintf("root at %s", site)); err != nil {
+						return nil, err
+					}
+				case shapes[p.In] != nil:
+					if pred == nil || pred.Name == "" {
+						continue // keyed store: no static identity
+					}
+					if !pred.Top && !predContains(pred, shapes[p.In]) {
+						return nil, fmt.Errorf("ric: TOAST site %s: incoming class %s is outside the predicted set %v",
+							site, shapes[p.In], pred)
+					}
+					next, ok := shapes[p.In].TransitionTo(pred.Name)
+					if !ok {
+						if pred.Top {
+							continue // receiver unknown: edge may be real
+						}
+						return nil, fmt.Errorf("ric: TOAST site %s: no static transition %s --%q--> (stale or lying record)",
+							site, shapes[p.In], pred.Name)
+					}
+					if err := assign(p.Out, next, fmt.Sprintf("transition at %s", site)); err != nil {
+						return nil, err
+					}
+				}
+				if shapes[p.Out] != before {
+					progress = true
+				}
+			}
+		}
+	}
+	return shapes, nil
 }
 
 func predContains(p *analysis.SitePrediction, s *analysis.Shape) bool {

@@ -115,6 +115,15 @@ func (vm *VM) loadNamed(objVal objects.Value, slot *ic.Slot) (objects.Value, err
 			vm.emit(trace.EvICHit, slot.Site, slot.Name, int64(idx))
 			return o.Slot(int(e.FastOffset)), nil
 		}
+		if e.Fast == ic.FastLoadFieldTyped && !e.Preloaded {
+			// Typed denormalized hit (LoadNamedTypedFast when the inline
+			// dispatch path is bypassed, e.g. under a site observer):
+			// identical accounting, typed-slot read.
+			vm.Prof.Hit(idx, false)
+			vm.Prof.TypedFastHit()
+			vm.emit(trace.EvICHit, slot.Site, slot.Name, int64(idx))
+			return o.TypedSlot(int(e.FastOffset), hc.SlotType(int(e.FastOffset))), nil
+		}
 		if vm.staleProtoHandler(e.H) {
 			// A prototype in some chain changed shape since this handler
 			// was generated; evict it and take the miss path, which will
@@ -263,6 +272,7 @@ func (vm *VM) storeNamed(objVal objects.Value, v objects.Value, slot *ic.Slot) e
 	if o.IsDictionary() {
 		vm.Prof.Charge(profiler.CostGenericAccess)
 		o.SetNamed(vm.Space, slot.Name, v, objects.Creator{})
+		vm.observeStore(o)
 		return nil
 	}
 
@@ -280,6 +290,7 @@ func (vm *VM) storeNamed(objVal objects.Value, v objects.Value, slot *ic.Slot) e
 			vm.Prof.Hit(idx, false)
 			vm.emit(trace.EvICHit, slot.Site, slot.Name, int64(idx))
 			o.SetSlot(int(e.FastOffset), v)
+			vm.observeStore(o)
 			vm.maybeInvalidateCtorHCID(o, slot.NameID)
 			return nil
 		}
@@ -320,6 +331,14 @@ func (vm *VM) storeNamed(objVal objects.Value, v objects.Value, slot *ic.Slot) e
 	return nil
 }
 
+// observeStore reports a completed named store (or transition) to the
+// differential store observer, with the receiver in its post-store state.
+func (vm *VM) observeStore(o *objects.Object) {
+	if vm.storeObs != nil {
+		vm.storeObs(o)
+	}
+}
+
 // resolveStore performs a generic named store and generates the handler
 // the runtime would install for it. Shared by the named and keyed miss
 // paths. A new-property store transitions the hidden class and announces
@@ -329,11 +348,13 @@ func (vm *VM) resolveStore(o *objects.Object, id symtab.ID, name string, v objec
 	if off, ok := o.OwnOffsetID(id); ok {
 		vm.Prof.Charge(uint64(off+1) * profiler.CostLookupStep)
 		o.SetSlot(off, v)
+		vm.observeStore(o)
 		return ic.StoreField{Offset: off}
 	}
 	vm.Prof.Charge(uint64(max(1, incoming.NumFields())) * profiler.CostLookupStep)
 	creator := objects.Creator{Site: site, Global: o == vm.global}
 	next, created := o.AddOwnID(vm.Space, id, name, v, creator)
+	vm.observeStore(o)
 	if created {
 		vm.notifyHC(next.Creator(), incoming, next)
 	}
@@ -345,8 +366,10 @@ func (vm *VM) runStoreHandler(h ic.Handler, o *objects.Object, name string, v ob
 	switch t := h.(type) {
 	case ic.StoreField:
 		o.SetSlot(t.Offset, v)
+		vm.observeStore(o)
 	case ic.StoreTransition:
 		o.ApplyTransition(t.Next, v)
+		vm.observeStore(o)
 	default:
 		vm.genericStore(o, name, v, nil)
 	}
@@ -362,6 +385,7 @@ func (vm *VM) genericStore(o *objects.Object, name string, v objects.Value, slot
 	}
 	incoming := o.HC()
 	next, created := o.SetNamed(vm.Space, name, v, creator)
+	vm.observeStore(o)
 	if created {
 		vm.notifyHC(next.Creator(), incoming, next)
 	}
@@ -407,6 +431,7 @@ func (vm *VM) declGlobal(id symtab.ID, name string) {
 	incoming := vm.global.HC()
 	next, created := vm.global.AddOwnID(vm.Space, id, name, objects.Undefined(),
 		objects.Creator{Builtin: "global:" + name, Global: true})
+	vm.observeStore(vm.global)
 	if created {
 		vm.notifyHC(next.Creator(), incoming, next)
 	}
@@ -787,11 +812,13 @@ func (vm *VM) functionPrototype(fnObj *objects.Object, creator objects.Creator) 
 	pin := protoObj.HC()
 	pnext, pcreated := protoObj.AddOwn(vm.Space, "constructor", objects.Obj(fnObj),
 		objects.Creator{Builtin: "FunctionPrototype.constructor"})
+	vm.observeStore(protoObj)
 	if pcreated {
 		vm.notifyHC(pnext.Creator(), pin, pnext)
 	}
 	fin := fnObj.HC()
 	fnext, fcreated := fnObj.AddOwn(vm.Space, "prototype", objects.Obj(protoObj), creator)
+	vm.observeStore(fnObj)
 	if fcreated {
 		vm.notifyHC(fnext.Creator(), fin, fnext)
 	}

@@ -1,0 +1,131 @@
+package vm
+
+import (
+	"testing"
+
+	"ricjs/internal/bytecode"
+	"ricjs/internal/objects"
+	"ricjs/internal/parser"
+)
+
+func compileFor(t *testing.T, script, src string) *bytecode.Program {
+	t.Helper()
+	ast, err := parser.Parse(script, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := bytecode.Compile(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// runPointWorkload builds a Point, optionally applies slot-type claims to
+// its hidden class (as the reuse path does from a verified record), and
+// then runs a load-heavy loop.
+func runPointWorkload(t *testing.T, typed bool) *VM {
+	t.Helper()
+	v := New(Options{AddressSeed: 1})
+	setup := compileFor(t, "lib.js", `
+		function Point(x, y) { this.x = x; this.y = y; }
+		var p = new Point(1, 2.5);
+	`)
+	if _, err := v.RunProgram(setup); err != nil {
+		t.Fatal(err)
+	}
+	if typed {
+		pv, ok, _ := v.Global().GetOwn("p")
+		if !ok || pv.Obj() == nil {
+			t.Fatal("no p object")
+		}
+		hc := pv.Obj().HC()
+		hc.SetSlotType(0, objects.SlotTypeSmallInt)
+		hc.SetSlotType(1, objects.SlotTypeFloat)
+	}
+	loop := compileFor(t, "app.js", `
+		var s = 0;
+		for (var i = 0; i < 50; i++) s += p.x + p.y;
+		print(s);
+	`)
+	if _, err := v.RunProgram(loop); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// The typed monomorphic load path must be observationally identical to the
+// untyped one: same output, same abstract instruction counts, same IC hit
+// statistics. Only the typedFastHits gauge may differ.
+func TestTypedFastPathByteIdentical(t *testing.T) {
+	plain := runPointWorkload(t, false)
+	typed := runPointWorkload(t, true)
+
+	if po, to := plain.Output(), typed.Output(); po != to {
+		t.Errorf("output diverged: %q vs %q", po, to)
+	}
+	ps, ts := plain.Prof.Snapshot(), typed.Prof.Snapshot()
+	if ps.TypedFastHits != 0 {
+		t.Errorf("untyped run recorded %d typed hits", ps.TypedFastHits)
+	}
+	if ts.TypedFastHits == 0 {
+		t.Error("typed run recorded no typed hits")
+	}
+	// Null the gauge out and require everything else byte-identical.
+	ts.TypedFastHits = 0
+	if ps != ts {
+		t.Errorf("snapshots diverged:\nplain: %+v\ntyped: %+v", ps, ts)
+	}
+}
+
+// The typed path must also fire when dispatch routes through the runtime
+// helper (a store observer disables the inline paths), with identical
+// accounting.
+func TestTypedFastPathViaRuntimeHelper(t *testing.T) {
+	v := New(Options{AddressSeed: 1, StoreObserver: func(o *objects.Object) {}})
+	setup := compileFor(t, "lib.js", `
+		function Point(x, y) { this.x = x; this.y = y; }
+		var p = new Point(1, 2.5);
+	`)
+	if _, err := v.RunProgram(setup); err != nil {
+		t.Fatal(err)
+	}
+	pv, _, _ := v.Global().GetOwn("p")
+	pv.Obj().HC().SetSlotType(1, objects.SlotTypeFloat)
+	loop := compileFor(t, "app.js", `
+		var s = 0;
+		for (var i = 0; i < 10; i++) s += p.y;
+		print(s);
+	`)
+	if _, err := v.RunProgram(loop); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Prof.Snapshot().TypedFastHits; got == 0 {
+		t.Error("no typed hits through the runtime helper")
+	}
+	if want := "25\n"; v.Output() != want {
+		t.Errorf("output %q, want %q", v.Output(), want)
+	}
+}
+
+// A store observer sees every named store with the receiver in its
+// post-store state — the feed the differential soundness gate runs on.
+func TestStoreObserverSeesConstructorStores(t *testing.T) {
+	var seen int
+	v := New(Options{AddressSeed: 1, StoreObserver: func(o *objects.Object) { seen++ }})
+	prog := compileFor(t, "lib.js", `
+		function Point(x, y) { this.x = x; this.y = y; }
+		var a = new Point(1, 2);
+		var b = new Point(3, 4);
+		a.x = 9;
+	`)
+	if _, err := v.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	// 2 constructors × 2 field stores + 1 reassignment + global/prototype
+	// bookkeeping stores; the exact total would over-pin implementation
+	// details, but the five script-visible stores are a hard floor.
+	if seen < 5 {
+		t.Errorf("observer saw %d stores, want >= 5", seen)
+	}
+}

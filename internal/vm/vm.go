@@ -51,6 +51,14 @@ type Options struct {
 	// Dictionary-mode and primitive receivers bypass the IC and are not
 	// reported.
 	SiteObserver func(site source.Site, kind ic.AccessKind, hc *objects.HiddenClass)
+	// StoreObserver, when set, is invoked after every named-property
+	// store or layout transition script execution performs, with the
+	// receiver in its post-store state. The typed-shape differential
+	// gate uses it to assert that no concrete store ever places a value
+	// violating a claimed slot type. Setting it routes stores through
+	// the runtime helper (like SiteObserver does for all IC accesses),
+	// which performs identical accounting to the inline paths.
+	StoreObserver func(o *objects.Object)
 }
 
 // VM is one engine execution context: heap, globals, feedback vectors,
@@ -60,10 +68,11 @@ type VM struct {
 	Space *objects.Space
 	Prof  *profiler.Counters
 
-	global  *objects.Object
-	hooks   Hooks
-	tr      *trace.Buffer
-	siteObs func(site source.Site, kind ic.AccessKind, hc *objects.HiddenClass)
+	global   *objects.Object
+	hooks    Hooks
+	tr       *trace.Buffer
+	siteObs  func(site source.Site, kind ic.AccessKind, hc *objects.HiddenClass)
+	storeObs func(o *objects.Object)
 
 	// Shared root hidden classes (paper §2.2's HC0s for each object kind).
 	emptyObjectHC *objects.HiddenClass
@@ -150,6 +159,7 @@ func New(opts Options) *VM {
 		Prof:             &profiler.Counters{},
 		hooks:            opts.Hooks,
 		siteObs:          opts.SiteObserver,
+		storeObs:         opts.StoreObserver,
 		feedback:         make(map[*bytecode.FuncProto]*ic.Vector),
 		slotIndex:        make(map[source.Site]*ic.Slot),
 		out:              opts.Stdout,
@@ -611,7 +621,7 @@ func (vm *VM) exec(f *frame) (objects.Value, error) {
 		case bytecode.OpStoreGlobal:
 			slot := f.vec.Slot(int(code[pc+2]))
 			v := stack[len(stack)-1]
-			if o := vm.global; vm.siteObs == nil && slot.State != ic.Megamorphic && !o.IsDictionary() {
+			if o := vm.global; vm.siteObs == nil && vm.storeObs == nil && slot.State != ic.Megamorphic && !o.IsDictionary() {
 				if e, idx := slot.Find(o.HC()); e != nil && e.Fast == ic.FastStoreField && !e.Preloaded {
 					prof.Hit(idx, false)
 					if vm.tr != nil {
@@ -631,14 +641,34 @@ func (vm *VM) exec(f *frame) (objects.Value, error) {
 			slot := f.vec.Slot(int(code[pc+2]))
 			obj := stack[len(stack)-1]
 			if o := obj.Obj(); o != nil && vm.siteObs == nil && slot.State != ic.Megamorphic && !o.IsDictionary() {
-				if e, idx := slot.Find(o.HC()); e != nil && e.Fast == ic.FastLoadField && !e.Preloaded {
-					prof.Hit(idx, false)
-					if vm.tr != nil {
-						vm.tr.Emit(trace.EvICHit, slot.Site, slot.Name, int64(idx))
+				if e, idx := slot.Find(o.HC()); e != nil && !e.Preloaded {
+					if e.Fast == ic.FastLoadField {
+						prof.Hit(idx, false)
+						if vm.tr != nil {
+							vm.tr.Emit(trace.EvICHit, slot.Site, slot.Name, int64(idx))
+						}
+						stack[len(stack)-1] = o.Slot(int(e.FastOffset))
+						pc += 3
+						continue
 					}
-					stack[len(stack)-1] = o.Slot(int(e.FastOffset))
-					pc += 3
-					continue
+					if e.Fast == ic.FastLoadFieldTyped {
+						// LoadNamedTypedFast: the slot carries a verified
+						// static type, so the read switches on the claim
+						// instead of the boxed value's dynamic kind. The
+						// claim is read live from the hidden class so a
+						// store-path deopt takes effect immediately.
+						// Accounting is identical to the untyped hit — the
+						// typed counter is a separate gauge — so
+						// instruction counts and traces stay byte-identical.
+						prof.Hit(idx, false)
+						prof.TypedFastHit()
+						if vm.tr != nil {
+							vm.tr.Emit(trace.EvICHit, slot.Site, slot.Name, int64(idx))
+						}
+						stack[len(stack)-1] = o.TypedSlot(int(e.FastOffset), o.HC().SlotType(int(e.FastOffset)))
+						pc += 3
+						continue
+					}
 				}
 			}
 			var v objects.Value
@@ -654,7 +684,7 @@ func (vm *VM) exec(f *frame) (objects.Value, error) {
 			obj := stack[len(stack)-2]
 			// The array `length` store bypasses the IC before the slot is
 			// consulted, so it must bypass the inline path too.
-			if o := obj.Obj(); o != nil && vm.siteObs == nil && slot.State != ic.Megamorphic &&
+			if o := obj.Obj(); o != nil && vm.siteObs == nil && vm.storeObs == nil && slot.State != ic.Megamorphic &&
 				!o.IsDictionary() && !(o.IsArray() && slot.NameID == symtab.SymLength) {
 				if e, idx := slot.Find(o.HC()); e != nil && e.Fast == ic.FastStoreField && !e.Preloaded {
 					prof.Hit(idx, false)

@@ -1,0 +1,150 @@
+package ricjs
+
+import (
+	"testing"
+
+	"ricjs/internal/analysis"
+	"ricjs/internal/bytecode"
+	"ricjs/internal/objects"
+	"ricjs/internal/parser"
+	"ricjs/internal/ric"
+	"ricjs/internal/vm"
+	"ricjs/internal/workloads"
+)
+
+func compileWorkload(t *testing.T, name, src string) *bytecode.Program {
+	t.Helper()
+	ast, err := parser.Parse(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := bytecode.Compile(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestTypedClaimsSoundOnAllWorkloads is the differential soundness gate
+// for typed-shape inference, run over every library of the evaluation:
+//
+//  1. offline: the claims attached at extraction must pass VerifyTyped's
+//     independent recomputation (what riclint's fourth layer checks);
+//  2. store-side: during a Reuse run that applies the claims, no concrete
+//     store may place a value a claimed slot type does not admit, and no
+//     claim may ever be deoptimized away (a truthful record's claims hold
+//     for the whole run);
+//  3. differential: a Reuse run with the typed record must be
+//     byte-identical — output and every instruction/accounting counter —
+//     to one with the claims stripped, except for the typed-hit gauge,
+//     which must be nonzero with claims and zero without. The typed fast
+//     path is an observation change, never a semantic or accounting one.
+//
+// Any concrete violation of a claimed slot type is a hard failure here.
+func TestTypedClaimsSoundOnAllWorkloads(t *testing.T) {
+	for _, p := range workloads.Profiles {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			src := p.Source()
+			prog := compileWorkload(t, p.Script, src)
+			res := analysis.Analyze(prog)
+
+			v0 := vm.New(vm.Options{})
+			if _, err := v0.RunProgram(prog); err != nil {
+				t.Fatal(err)
+			}
+			rec := ric.Extract(v0, p.Script, ric.Config{})
+			rec.AttachTypedShapes(res)
+			if rec.Stats.TypedSlotClaims == 0 {
+				t.Fatal("extraction attached no typed claims; the gate is vacuous")
+			}
+			// Layer 1: the offline recomputation accepts every attached claim.
+			if err := rec.VerifyTyped(res); err != nil {
+				t.Fatalf("extraction attached a claim its own analysis rejects: %v", err)
+			}
+
+			runReuse := func(r *ric.Record, obs func(*objects.Object)) *vm.VM {
+				reuser := ric.NewReuser(r, nil, nil)
+				v := vm.New(vm.Options{Hooks: reuser, StoreObserver: obs})
+				reuser.Attach(v)
+				if _, err := v.RunProgram(prog); err != nil {
+					t.Fatal(err)
+				}
+				return v
+			}
+
+			// Layer 2: observe every named store of a claim-applying run.
+			// Claims are applied when the Reuser validates a hidden class,
+			// which can happen after the observer first sees it — so a claim
+			// appearing (none -> typed) is benign. But the only way a claim
+			// ever goes away is the store guard clearing one a value just
+			// violated, so typed -> none (or typed -> other) is a soundness
+			// failure, and every live claim must admit the receiver's
+			// current slot value.
+			seen := make(map[*objects.HiddenClass][]objects.SlotType)
+			stores := 0
+			observed := runReuse(rec, func(o *objects.Object) {
+				stores++
+				hc := o.HC()
+				snap, ok := seen[hc]
+				if !ok {
+					fields := hc.Fields()
+					snap = make([]objects.SlotType, len(fields))
+					for off := range fields {
+						snap[off] = hc.SlotType(off)
+					}
+					seen[hc] = snap
+				}
+				for off, want := range snap {
+					got := hc.SlotType(off)
+					if got != want {
+						if want != objects.SlotTypeNone {
+							t.Errorf("claim on %q slot %d was deoptimized %s -> %s: a store violated it",
+								hc.FieldAt(off), off, want, got)
+						}
+						snap[off] = got // lazy validation applied a claim (or report a clear once)
+					}
+					if got == objects.SlotTypeNone {
+						continue
+					}
+					if val, ok, _ := o.GetOwn(hc.FieldAt(off)); ok && !got.Admits(val) {
+						t.Errorf("slot %q claims %s but holds a value it does not admit",
+							hc.FieldAt(off), got)
+					}
+				}
+			})
+			if stores == 0 {
+				t.Fatal("store observer saw no stores; the gate is vacuous")
+			}
+			if observed.Prof.Snapshot().TypedFastHits == 0 {
+				t.Fatal("observed reuse run served no typed fast hits")
+			}
+
+			// Layer 3: typed vs stripped runs are byte-identical outside the
+			// typed-hit gauge.
+			stripped, err := ric.Decode(rec.Encode())
+			if err != nil {
+				t.Fatal(err)
+			}
+			stripped.TypedSlots = nil
+			stripped.Stats.TypedSlotClaims = 0
+
+			typed := runReuse(rec, nil)
+			plain := runReuse(stripped, nil)
+			if typed.Output() != plain.Output() {
+				t.Errorf("typed run output diverged:\n%q\n%q", typed.Output(), plain.Output())
+			}
+			ts, ps := typed.Prof.Snapshot(), plain.Prof.Snapshot()
+			if ts.TypedFastHits == 0 {
+				t.Error("typed reuse run served no typed fast hits")
+			}
+			if ps.TypedFastHits != 0 {
+				t.Errorf("stripped reuse run served %d typed hits", ps.TypedFastHits)
+			}
+			ts.TypedFastHits, ps.TypedFastHits = 0, 0
+			if ts != ps {
+				t.Errorf("typed fast path changed accounting:\ntyped:    %+v\nstripped: %+v", ts, ps)
+			}
+		})
+	}
+}
