@@ -86,13 +86,17 @@ for bad in point-remap point-offsets point-badversion point-bitflip point-trunca
   fi
 done
 
-echo "== perf gate: deterministic counters vs BENCH_baseline.json =="
+echo "== perf gate: deterministic counters + load floor vs BENCH_baseline.json =="
 # Instruction counts and record sizes are bit-for-bit reproducible, so
 # they are gated exactly (tolerance 2%), with zero flake; wall-clock
-# timings are deliberately not gated. After a legitimate improvement,
-# refresh and commit the baseline:
+# timings are deliberately not gated — except the open-loop load smoke,
+# which is gated only as a very conservative throughput floor (a quarter
+# of healthy) so it catches the read path growing a lock or sessions
+# serializing, never scheduler noise. The same run must also serve every
+# session with zero failures and zero output mismatches. After a
+# legitimate improvement, refresh and commit the baseline:
 #   go run ./cmd/ricbench -format json | go run ./cmd/perfgate -write
-go run ./cmd/ricbench -format json | go run ./cmd/perfgate
+go run ./cmd/ricbench -format json -load -load-sessions 80 -load-rate 400 -load-cold 4 | go run ./cmd/perfgate
 
 echo "== fuzz: FuzzDecodeRecord (10s) =="
 go test -run '^$' -fuzz '^FuzzDecodeRecord$' -fuzztime 10s ./internal/ric/

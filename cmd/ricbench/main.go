@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,13 @@ func main() {
 		reps       = flag.Int("reps", 5, "timing repetitions per Reuse run (median reported)")
 		parallel   = flag.Int("parallel", 0, "throughput mode: serve the workload set through a SessionPool with N workers (also measures 1 worker as the scaling baseline)")
 		sessions   = flag.Int("sessions", 0, "sessions per throughput measurement (default 8 per library)")
+		loadF      = flag.Bool("load", false, "open-loop load mode: seeded Poisson/Zipf session traffic through a SessionPool, reporting latency percentiles and throughput")
+		loadSess   = flag.Int("load-sessions", 0, "sessions per load run (default 1000)")
+		loadRate   = flag.Float64("load-rate", 0, "mean arrival rate, sessions/sec (default 200)")
+		loadSeed   = flag.Uint64("load-seed", 1, "seed for the load schedule (arrivals and key choice)")
+		loadZipf   = flag.Float64("load-zipf", 0, "Zipf skew exponent over the key universe (default 1.1)")
+		loadCold   = flag.Int("load-cold", 8, "progen-generated cold keys appended to the 7 libraries (0 disables)")
+		loadWarm   = flag.Bool("load-warmstart", false, "serve load sessions by snapshot restore where the workload permits")
 		format     = flag.String("format", "text", "output format: text or json (json runs the full evaluation)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -80,6 +88,21 @@ func main() {
 		}()
 	}
 
+	loadConfig := func() bench.LoadConfig {
+		cold := *loadCold
+		if cold == 0 {
+			cold = -1 // LoadConfig normalizes 0 to the default; <0 disables
+		}
+		return bench.LoadConfig{
+			Seed:      *loadSeed,
+			Sessions:  *loadSess,
+			Rate:      *loadRate,
+			ZipfS:     *loadZipf,
+			ColdKeys:  cold,
+			WarmStart: *loadWarm,
+		}
+	}
+
 	measureThroughput := func() []bench.ThroughputResult {
 		counts := []int{1}
 		if *parallel > 1 {
@@ -94,6 +117,11 @@ func main() {
 	}
 
 	if *format == "json" {
+		// The core evaluation failing emits nothing (plus a nonzero exit);
+		// a failed optional block lands in the document's `errors` field
+		// instead of truncating it. Either way stdout never carries a
+		// partial JSON document: the whole document is marshaled to memory
+		// and written in one piece at the end.
 		runs, err := bench.MeasureAll(bench.Options{Reps: *reps})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ricbench:", err)
@@ -105,12 +133,50 @@ func main() {
 			os.Exit(1)
 		}
 		res := bench.BuildJSON(runs, &wr)
+		exit := 0
 		if *parallel > 0 {
-			res.AddThroughput(measureThroughput())
+			counts := []int{1}
+			if *parallel > 1 {
+				counts = append(counts, *parallel)
+			}
+			results, terr := bench.MeasureThroughputScaling(counts, *sessions)
+			if terr != nil {
+				res.Errors = append(res.Errors, "throughput: "+terr.Error())
+				exit = 1
+			} else {
+				res.AddThroughput(results)
+				for _, t := range results {
+					if t.Failures > 0 {
+						res.Errors = append(res.Errors, fmt.Sprintf("throughput: %d of %d sessions failed at %d workers", t.Failures, t.Sessions, t.Workers))
+						exit = 1
+					}
+				}
+			}
 		}
-		if err := bench.EncodeJSON(os.Stdout, res); err != nil {
+		if *loadF {
+			lr, lerr := bench.MeasureLoad(loadConfig())
+			if lerr != nil {
+				res.Errors = append(res.Errors, "load: "+lerr.Error())
+				exit = 1
+			} else {
+				res.AddLoad(lr)
+				if lr.Failures > 0 || lr.OutputMismatches > 0 {
+					res.Errors = append(res.Errors, fmt.Sprintf("load: %d of %d sessions failed, %d output mismatches", lr.Failures, lr.Arrivals, lr.OutputMismatches))
+					exit = 1
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := bench.EncodeJSON(&buf, res); err != nil {
 			fmt.Fprintln(os.Stderr, "ricbench:", err)
 			os.Exit(1)
+		}
+		if _, err := os.Stdout.Write(buf.Bytes()); err != nil {
+			fmt.Fprintln(os.Stderr, "ricbench:", err)
+			os.Exit(1)
+		}
+		if exit != 0 {
+			os.Exit(exit)
 		}
 		return
 	}
@@ -121,7 +187,7 @@ func main() {
 
 	all := !(*fig1 || *fig5 || *table1 || *table4 || *fig8 || *fig9 ||
 		*overheads || *websites || *ablation || *snapshotF || *faults ||
-		*netFaults || *traceF || *parallel > 0)
+		*netFaults || *traceF || *parallel > 0 || *loadF)
 
 	needRuns := all || *fig5 || *table1 || *table4 || *fig8 || *fig9 || *overheads
 	var runs []bench.LibraryRun
@@ -212,5 +278,19 @@ func main() {
 	if *parallel > 0 {
 		bench.ReportThroughput(os.Stdout, measureThroughput())
 		fmt.Println()
+	}
+	// Load mode is opt-in only: an open-loop run takes Sessions/Rate
+	// seconds of wall time by construction.
+	if *loadF {
+		lr, err := bench.MeasureLoad(loadConfig())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ricbench:", err)
+			os.Exit(1)
+		}
+		bench.ReportLoad(os.Stdout, lr)
+		fmt.Println()
+		if lr.Failures > 0 || lr.OutputMismatches > 0 {
+			os.Exit(1)
+		}
 	}
 }

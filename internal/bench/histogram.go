@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// Histogram is an HDR-style bounded latency histogram: log-linear buckets
+// at microsecond resolution, with histSubCount linear sub-buckets per
+// power of two, so relative error is bounded at 1/histSubCount (~3%)
+// across the whole range while memory stays a few KB regardless of how
+// many samples are recorded. Percentile reads report the highest value a
+// sample in the chosen bucket could have had (the HdrHistogram
+// convention), clamped to the true recorded maximum — values below
+// 2*histSubCount µs are exact because their buckets have width 1.
+//
+// A Histogram is not safe for concurrent use; callers serialize Record
+// (the load generator records under its results lock).
+type Histogram struct {
+	counts [histBucketCount]uint64
+	n      uint64
+	min    int64 // µs, valid when n > 0
+	max    int64 // µs
+	sum    int64 // µs, for Mean
+}
+
+const (
+	// histSubBits sets the linear resolution: 2^histSubBits sub-buckets
+	// per octave.
+	histSubBits  = 5
+	histSubCount = 1 << histSubBits
+
+	// histBucketCount covers every non-negative int64 microsecond value:
+	// a width-1 linear region [0, 2*histSubCount) and 32 log-linear
+	// buckets per octave above it.
+	histBucketCount = (63-histSubBits)*histSubCount + 2*histSubCount
+)
+
+// histIndex maps a non-negative microsecond value to its bucket.
+func histIndex(v int64) int {
+	if v < 2*histSubCount {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - histSubBits - 1
+	return exp*histSubCount + int(v>>uint(exp))
+}
+
+// histUpper is the highest microsecond value histIndex maps to bucket i.
+func histUpper(i int) int64 {
+	if i < 2*histSubCount {
+		return int64(i)
+	}
+	exp := i/histSubCount - 1
+	sub := int64(histSubCount + i%histSubCount)
+	return (sub+1)<<uint(exp) - 1
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// RecordMicros adds one sample, clamping negatives to zero.
+func (h *Histogram) RecordMicros(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histIndex(v)]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+}
+
+// Record adds one latency sample at microsecond resolution.
+func (h *Histogram) Record(d time.Duration) { h.RecordMicros(d.Microseconds()) }
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *Histogram) Min() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return time.Duration(h.min) * time.Microsecond
+}
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) * time.Microsecond }
+
+// Mean returns the arithmetic mean of the recorded samples (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return time.Duration(float64(h.sum)/float64(h.n)) * time.Microsecond
+}
+
+// Percentile returns the q-th percentile (q in [0,100]): the value such
+// that at least ceil(q/100 * n) samples are <= it, reported as the
+// bucket's upper bound and clamped to the recorded min/max. Empty
+// histograms report 0.
+func (h *Histogram) Percentile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q / 100 * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := histUpper(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return time.Duration(v) * time.Microsecond
+		}
+	}
+	return h.Max()
+}
+
+// Merge folds another histogram's samples into this one.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+}

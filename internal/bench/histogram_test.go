@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func us(n int64) time.Duration { return time.Duration(n) * time.Microsecond }
+
+// TestHistogramExactPercentiles pins the percentile math on known input
+// vectors. All values sit in the width-1 linear region (< 64µs), so every
+// answer is exact, not bucket-approximate.
+func TestHistogramExactPercentiles(t *testing.T) {
+	tests := []struct {
+		name   string
+		values []int64
+		q      float64
+		want   int64
+	}{
+		{"p50 of 1..4 is rank 2", []int64{1, 2, 3, 4}, 50, 2},
+		{"p50 of 1..5 is rank 3", []int64{1, 2, 3, 4, 5}, 50, 3},
+		{"p50 odd spread", []int64{10, 20, 30, 40, 50}, 50, 30},
+		{"p90 rounds rank up", []int64{10, 20, 30, 40, 50}, 90, 50},
+		{"p99 of five", []int64{10, 20, 30, 40, 50}, 99, 50},
+		{"p0 is the min", []int64{10, 20, 30}, 0, 10},
+		{"p100 is the max", []int64{10, 20, 30}, 100, 30},
+		{"single sample, any q", []int64{42}, 99.9, 42},
+		{"repeated values", []int64{7, 7, 7, 7, 7, 7, 7, 63}, 50, 7},
+		{"repeated tail", []int64{7, 7, 7, 7, 7, 7, 7, 63}, 99, 63},
+		{"zero values allowed", []int64{0, 0, 1}, 50, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			h := NewHistogram()
+			for _, v := range tt.values {
+				h.RecordMicros(v)
+			}
+			if got := h.Percentile(tt.q); got != us(tt.want) {
+				t.Fatalf("Percentile(%v) = %v, want %v", tt.q, got, us(tt.want))
+			}
+		})
+	}
+}
+
+// TestHistogramHundredSamples covers the canonical 1..100 vector: p50 and
+// p90 land in width-1 and width-2 buckets respectively; p999 must clamp
+// to the true recorded maximum.
+func TestHistogramHundredSamples(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(1); v <= 100; v++ {
+		h.RecordMicros(v)
+	}
+	if got := h.Percentile(50); got != us(50) {
+		t.Fatalf("p50 = %v, want 50µs", got)
+	}
+	// Rank 90 lands in the width-2 bucket {90,91}; the reported value is
+	// the bucket's upper bound.
+	if got := h.Percentile(90); got != us(91) {
+		t.Fatalf("p90 = %v, want 91µs (bucket upper bound)", got)
+	}
+	if got := h.Percentile(99.9); got != us(100) {
+		t.Fatalf("p999 = %v, want 100µs (clamped to max)", got)
+	}
+	if h.Count() != 100 || h.Min() != us(1) || h.Max() != us(100) {
+		t.Fatalf("count/min/max = %d/%v/%v", h.Count(), h.Min(), h.Max())
+	}
+}
+
+// TestHistogramBoundedRelativeError checks the log-linear design claim:
+// any value is reported within 1/histSubCount of itself.
+func TestHistogramBoundedRelativeError(t *testing.T) {
+	for _, v := range []int64{100, 999, 12345, 1_000_000, 87_654_321, 1 << 40} {
+		h := NewHistogram()
+		h.RecordMicros(v)
+		got := int64(h.Percentile(50) / time.Microsecond)
+		if got < v || float64(got-v) > float64(v)/histSubCount {
+			t.Fatalf("value %d reported as %d, beyond 1/%d relative error", v, got, histSubCount)
+		}
+	}
+}
+
+// TestHistogramEmptyAndNegative pins the edge behavior: an empty
+// histogram reports zeros, and negative samples clamp to zero.
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	h := NewHistogram()
+	if h.Percentile(50) != 0 || h.Max() != 0 || h.Min() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.RecordMicros(-5)
+	if h.Percentile(99) != 0 || h.Count() != 1 {
+		t.Fatalf("negative sample: p99 = %v count = %d, want 0µs/1", h.Percentile(99), h.Count())
+	}
+}
+
+// TestHistogramMerge checks that merging equals recording into one.
+func TestHistogramMerge(t *testing.T) {
+	a, b, all := NewHistogram(), NewHistogram(), NewHistogram()
+	for v := int64(1); v <= 50; v++ {
+		a.RecordMicros(v)
+		all.RecordMicros(v)
+	}
+	for v := int64(51); v <= 100; v++ {
+		b.RecordMicros(v)
+		all.RecordMicros(v)
+	}
+	a.Merge(b)
+	a.Merge(nil)
+	a.Merge(NewHistogram())
+	for _, q := range []float64{0, 25, 50, 90, 99, 99.9, 100} {
+		if a.Percentile(q) != all.Percentile(q) {
+			t.Fatalf("p%v: merged %v != direct %v", q, a.Percentile(q), all.Percentile(q))
+		}
+	}
+	if a.Count() != all.Count() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatal("merged count/min/max diverge from direct recording")
+	}
+}
+
+// TestHistogramIndexRoundTrip checks the bucket mapping invariants over a
+// wide sweep: indexes are nondecreasing in the value (wider buckets absorb
+// neighbors, e.g. 64 and 65 share one), every value maps into a bucket
+// whose upper bound is >= the value, and bucket upper bounds strictly
+// increase with the index.
+func TestHistogramIndexRoundTrip(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 31, 32, 63, 64, 65, 127, 128, 1000, 1 << 20, 1 << 40, 1 << 62} {
+		i := histIndex(v)
+		if i < prev {
+			t.Fatalf("histIndex(%d) = %d, decreasing (prev %d)", v, i, prev)
+		}
+		prev = i
+		if up := histUpper(i); up < v {
+			t.Fatalf("histUpper(histIndex(%d)) = %d < value", v, up)
+		}
+		if i+1 < histBucketCount && histUpper(i+1) <= histUpper(i) {
+			t.Fatalf("bucket %d upper %d not below bucket %d upper %d", i, histUpper(i), i+1, histUpper(i+1))
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Open-loop, production-shaped load generation for the SessionPool.
+//
+// `ricbench -parallel` measures a cold pool draining a pre-queued batch —
+// a closed loop, where a slow server conveniently slows its own clients
+// down. Production traffic is open-loop: users arrive when they arrive,
+// and a server that falls behind accumulates queue, which is exactly what
+// tail-latency percentiles must capture. The generator here is
+// deterministic where it can be (the arrival schedule and key choice are
+// a pure function of the seed) and honest where it cannot (latencies are
+// wall-clock): Poisson inter-arrival times model independent user
+// arrivals, Zipf key skew models the hot/cold record distribution of a
+// real fleet, and per-session latency is measured from the *scheduled*
+// arrival instant, so dispatch delay under overload is charged to the
+// server, never silently dropped (no coordinated omission).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"ricjs"
+	"ricjs/internal/progen"
+	"ricjs/internal/source"
+	"ricjs/internal/trace"
+	"ricjs/internal/workloads"
+)
+
+// LoadConfig configures one load run. The zero value is normalized to the
+// defaults documented per field.
+type LoadConfig struct {
+	// Seed drives the arrival schedule and key choice; equal seeds (and
+	// equal knobs) produce byte-identical schedules.
+	Seed uint64
+	// Sessions is the total number of arrivals (default 1000).
+	Sessions int
+	// Rate is the mean arrival rate in sessions per second (default 200).
+	Rate float64
+	// ZipfS is the Zipf skew exponent over the ranked key universe
+	// (default 1.1; higher concentrates traffic on the hottest keys).
+	ZipfS float64
+	// ColdKeys is how many progen-generated single-use-style programs are
+	// appended to the 7 workload libraries as the cold tail of the key
+	// universe (default 8).
+	ColdKeys int
+	// WarmStart serves sessions by snapshot restore where the workload
+	// permits (PoolOptions.SnapshotWarmStart): cloned warm engine state
+	// instead of re-executed initialization.
+	WarmStart bool
+	// TraceCapacity, when nonzero, gives every session a private trace
+	// buffer; the generator appends load-arrival/load-complete events
+	// after each session settles.
+	TraceCapacity int
+}
+
+// normalized fills in the documented defaults.
+func (c LoadConfig) normalized() LoadConfig {
+	if c.Sessions <= 0 {
+		c.Sessions = 1000
+	}
+	if c.Rate <= 0 {
+		c.Rate = 200
+	}
+	if c.ZipfS <= 0 {
+		c.ZipfS = 1.1
+	}
+	if c.ColdKeys < 0 {
+		c.ColdKeys = 0
+	} else if c.ColdKeys == 0 {
+		c.ColdKeys = 8
+	}
+	return c
+}
+
+// Arrival is one scheduled session: when it arrives and which key it asks
+// for. KeyRank indexes the ranked key universe (0 = hottest).
+type Arrival struct {
+	At      time.Duration
+	Key     string
+	KeyRank int
+}
+
+// loadRNG is the generator's deterministic randomness source: splitmix64,
+// chosen for its fixed, platform-independent output per seed.
+type loadRNG struct{ s uint64 }
+
+func (r *loadRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform sample in the open interval (0, 1).
+func (r *loadRNG) float() float64 {
+	return (float64(r.next()>>11) + 0.5) / float64(uint64(1)<<53)
+}
+
+// loadKey is one entry of the key universe: the record key and the
+// session scripts it runs.
+type loadKey struct {
+	key     string
+	scripts []ricjs.SessionScript
+}
+
+// loadUniverse builds the ranked key universe: the 7 Table 3 libraries
+// first (the hot head), then ColdKeys progen-generated programs (the cold
+// tail). Rank order is the Zipf rank: rank 0 gets the most traffic.
+func loadUniverse(cfg LoadConfig) []loadKey {
+	keys := make([]loadKey, 0, len(workloads.Profiles)+cfg.ColdKeys)
+	for _, p := range workloads.Profiles {
+		keys = append(keys, loadKey{
+			key:     p.Name,
+			scripts: []ricjs.SessionScript{{Name: p.Script, Src: p.Source()}},
+		})
+	}
+	for i := 0; i < cfg.ColdKeys; i++ {
+		name := fmt.Sprintf("progen-%d", i)
+		src := progen.New(cfg.Seed ^ uint64(0xC01D<<16) ^ uint64(i)).Program()
+		keys = append(keys, loadKey{
+			key:     name,
+			scripts: []ricjs.SessionScript{{Name: name + ".js", Src: src}},
+		})
+	}
+	return keys
+}
+
+// zipfCDF precomputes the cumulative weights of a Zipf distribution with
+// exponent s over n ranks: weight(rank r) = 1/(r+1)^s.
+func zipfCDF(n int, s float64) []float64 {
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	return cdf
+}
+
+// LoadSchedule derives the deterministic arrival schedule for a config:
+// Poisson arrivals (exponential inter-arrival times at cfg.Rate) over a
+// Zipf-skewed choice from the key universe. Same seed, same schedule.
+func LoadSchedule(cfg LoadConfig) []Arrival {
+	cfg = cfg.normalized()
+	universe := loadUniverse(cfg)
+	cdf := zipfCDF(len(universe), cfg.ZipfS)
+	total := cdf[len(cdf)-1]
+	rng := &loadRNG{s: cfg.Seed}
+
+	arrivals := make([]Arrival, cfg.Sessions)
+	var t float64 // seconds
+	for i := range arrivals {
+		t += -math.Log(rng.float()) / cfg.Rate
+		u := rng.float() * total
+		rank := sort.SearchFloat64s(cdf, u)
+		if rank >= len(universe) {
+			rank = len(universe) - 1
+		}
+		arrivals[i] = Arrival{
+			At:      time.Duration(t * float64(time.Second)),
+			Key:     universe[rank].key,
+			KeyRank: rank,
+		}
+	}
+	return arrivals
+}
+
+// LoadResult is one load run's measurement.
+type LoadResult struct {
+	// Config is the normalized configuration the run used.
+	Config LoadConfig
+	// Arrivals is the scheduled session count; Served of them completed,
+	// Failures returned errors. Served + Failures == Arrivals.
+	Arrivals int
+	Served   int
+	Failures int
+	// OutputMismatches counts executed sessions whose print output
+	// differed from the first executed session of the same key — always 0
+	// unless the engine's determinism contract broke under concurrency.
+	OutputMismatches int
+	// Elapsed is the wall time from the first scheduled arrival to the
+	// last completion.
+	Elapsed time.Duration
+	// SessionsPerSec is Served / Elapsed: failures are excluded from the
+	// rate.
+	SessionsPerSec float64
+	// Latency holds per-session latency from scheduled arrival to
+	// completion, for every served session; Restore holds the subset
+	// served by snapshot restore (empty unless Config.WarmStart).
+	Latency *Histogram
+	Restore *Histogram
+	// Pool is the pool's aggregate statistics after the run.
+	Pool ricjs.PoolStats
+	// Errors samples the first few failure messages.
+	Errors []string
+}
+
+// maxLoadErrors bounds how many failure messages a result retains.
+const maxLoadErrors = 8
+
+// MeasureLoad runs one open-loop load measurement: the deterministic
+// schedule is dispatched against wall time (a late dispatcher charges the
+// delay to the affected sessions' latencies), every session is served
+// through one shared SessionPool, and per-session latencies land in an
+// HDR-style histogram.
+func MeasureLoad(cfg LoadConfig) (LoadResult, error) {
+	cfg = cfg.normalized()
+	universe := loadUniverse(cfg)
+	arrivals := LoadSchedule(cfg)
+
+	pool := ricjs.NewSessionPool(ricjs.PoolOptions{
+		WaitForRecord:     true,
+		SnapshotWarmStart: cfg.WarmStart,
+		TraceCapacity:     cfg.TraceCapacity,
+	})
+
+	res := LoadResult{
+		Config:   cfg,
+		Arrivals: len(arrivals),
+		Latency:  NewHistogram(),
+		Restore:  NewHistogram(),
+	}
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		outputs = make(map[string]string, len(universe))
+	)
+
+	start := time.Now()
+	for _, arr := range arrivals {
+		if d := time.Until(start.Add(arr.At)); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(arr Arrival) {
+			defer wg.Done()
+			sr, err := pool.Serve(ricjs.SessionRequest{
+				Key:       arr.Key,
+				Scripts:   universe[arr.KeyRank].scripts,
+				WarmStart: cfg.WarmStart,
+			})
+			lat := time.Since(start.Add(arr.At))
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				res.Failures++
+				if len(res.Errors) < maxLoadErrors {
+					res.Errors = append(res.Errors, fmt.Sprintf("%s: %v", arr.Key, err))
+				}
+				return
+			}
+			res.Served++
+			res.Latency.Record(lat)
+			if sr.Mode == ricjs.SessionSnapshot {
+				res.Restore.Record(lat)
+			} else if prev, ok := outputs[arr.Key]; !ok {
+				outputs[arr.Key] = sr.Output
+			} else if prev != sr.Output {
+				res.OutputMismatches++
+			}
+			if sr.Trace != nil {
+				sr.Trace.Emit(trace.EvLoadArrival, source.Site{}, arr.Key, arr.At.Microseconds())
+				sr.Trace.Emit(trace.EvLoadComplete, source.Site{}, arr.Key, lat.Microseconds())
+			}
+		}(arr)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Pool = pool.Stats()
+	if res.Elapsed > 0 {
+		res.SessionsPerSec = float64(res.Served) / res.Elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// ReportLoad prints a load run as text.
+func ReportLoad(w io.Writer, r LoadResult) {
+	fmt.Fprintf(w, "Open-loop load: %d sessions, Poisson %.0f/s, Zipf s=%.2f over %d keys (%d cold), seed %d\n",
+		r.Arrivals, r.Config.Rate, r.Config.ZipfS,
+		len(workloads.Profiles)+r.Config.ColdKeys, r.Config.ColdKeys, r.Config.Seed)
+	t := tw(w)
+	fmt.Fprintln(t, "Served\tFailed\tElapsed\tSessions/s\tp50\tp90\tp99\tp999\tmax")
+	fmt.Fprintf(t, "%d\t%d\t%s\t%.1f\t%s\t%s\t%s\t%s\t%s\n",
+		r.Served, r.Failures, r.Elapsed.Round(time.Millisecond), r.SessionsPerSec,
+		r.Latency.Percentile(50).Round(time.Microsecond),
+		r.Latency.Percentile(90).Round(time.Microsecond),
+		r.Latency.Percentile(99).Round(time.Microsecond),
+		r.Latency.Percentile(99.9).Round(time.Microsecond),
+		r.Latency.Max().Round(time.Microsecond))
+	t.Flush()
+	fmt.Fprintf(w, "pool: %d reuse hits, %d extractions, %d conventional, %d shard-lock acquires\n",
+		r.Pool.ReuseHits, r.Pool.Extractions, r.Pool.ConventionalRuns, r.Pool.ShardLockAcquires)
+	if r.Config.WarmStart {
+		fmt.Fprintf(w, "warm start: %d snapshot restores (p50 %s), %d captures, %d errors\n",
+			r.Pool.SnapshotRestores, r.Restore.Percentile(50).Round(time.Microsecond),
+			r.Pool.SnapshotCaptures, r.Pool.SnapshotErrors)
+	}
+	if r.OutputMismatches > 0 {
+		fmt.Fprintf(w, "WARNING: %d output mismatches across sessions of one key\n", r.OutputMismatches)
+	}
+	for _, e := range r.Errors {
+		fmt.Fprintf(w, "error: %s\n", e)
+	}
+}

@@ -17,6 +17,11 @@ type PoolCounters struct {
 	conventional atomic.Uint64
 	degraded     atomic.Uint64
 
+	shardLocks       atomic.Uint64
+	snapshotCaptures atomic.Uint64
+	snapshotRestores atomic.Uint64
+	snapshotErrors   atomic.Uint64
+
 	quarantined     atomic.Uint64
 	remoteHits      atomic.Uint64
 	remoteMisses    atomic.Uint64
@@ -59,6 +64,25 @@ func (p *PoolCounters) Conventional() { p.conventional.Add(1) }
 
 // Degraded records a session whose engine abandoned reuse mid-run.
 func (p *PoolCounters) Degraded() { p.degraded.Add(1) }
+
+// ShardLock records a record-cache read that had to take a shard mutex —
+// only cold keys (entry installation) do; the warm read path resolves
+// lock-free against the published copy-on-write map snapshot. An all-hot
+// run must keep this counter at 0; that is the lock-freedom acceptance
+// check of the load harness.
+func (p *PoolCounters) ShardLock() { p.shardLocks.Add(1) }
+
+// SnapshotCapture records an Initial run's heap snapshot captured for
+// snapshot warm starts.
+func (p *PoolCounters) SnapshotCapture() { p.snapshotCaptures.Add(1) }
+
+// SnapshotRestore records a session served by restoring a captured heap
+// snapshot instead of executing its scripts.
+func (p *PoolCounters) SnapshotRestore() { p.snapshotRestores.Add(1) }
+
+// SnapshotError records a failed best-effort snapshot operation (capture
+// of unrepresentable state, or a restore that fell back to execution).
+func (p *PoolCounters) SnapshotError() { p.snapshotErrors.Add(1) }
 
 // Quarantined records a corrupt stored record set aside (.ric.bad)
 // during a pool session's store load. Without this counter a fleet
@@ -109,6 +133,18 @@ type PoolSnapshot struct {
 	ConventionalRuns uint64
 	// DegradedSessions counts sessions whose engine degraded mid-run.
 	DegradedSessions uint64
+	// ShardLockAcquires counts record-cache reads that took a shard mutex
+	// (cold-key entry installation only). The warm read path is lock-free
+	// — an all-hot run keeps this at 0.
+	ShardLockAcquires uint64
+	// SnapshotCaptures counts Initial-run heap snapshots captured for
+	// warm starts.
+	SnapshotCaptures uint64
+	// SnapshotRestores counts sessions served by snapshot restore instead
+	// of script execution.
+	SnapshotRestores uint64
+	// SnapshotErrors counts failed best-effort snapshot operations.
+	SnapshotErrors uint64
 	// QuarantinedRecords counts corrupt stored records quarantined during
 	// pool store loads (renamed to .ric.bad, key treated as cold).
 	QuarantinedRecords uint64
@@ -150,6 +186,10 @@ func (p *PoolCounters) Snapshot() PoolSnapshot {
 		ConventionalRuns:   p.conventional.Load(),
 		DegradedSessions:   p.degraded.Load(),
 
+		ShardLockAcquires:      p.shardLocks.Load(),
+		SnapshotCaptures:       p.snapshotCaptures.Load(),
+		SnapshotRestores:       p.snapshotRestores.Load(),
+		SnapshotErrors:         p.snapshotErrors.Load(),
 		QuarantinedRecords:     p.quarantined.Load(),
 		RemoteHits:             p.remoteHits.Load(),
 		RemoteMisses:           p.remoteMisses.Load(),

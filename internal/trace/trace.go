@@ -142,6 +142,26 @@ const (
 	// conventional). At most one per session.
 	EvPoolRemoteDegraded
 
+	// EvPoolSnapshotCapture is an Initial run's heap snapshot captured for
+	// snapshot warm starts (PoolOptions.SnapshotWarmStart).
+	EvPoolSnapshotCapture
+	// EvPoolSnapshotRestore is a session served by restoring a captured
+	// heap snapshot instead of executing its scripts.
+	EvPoolSnapshotRestore
+	// EvPoolSnapshotError is a failed best-effort snapshot operation: a
+	// capture of unrepresentable state, or a restore that fell back to a
+	// normal reuse run.
+	EvPoolSnapshotError
+
+	// EvLoadArrival is one session arriving at the open-loop load
+	// generator's scheduled instant; N is the scheduled offset from the
+	// run's start in microseconds (deterministic for a fixed seed).
+	EvLoadArrival
+	// EvLoadComplete is a load-generated session completing; N is the
+	// measured latency in microseconds from the scheduled arrival to
+	// completion (wall-clock, not deterministic).
+	EvLoadComplete
+
 	// NumTypes is the number of event types (array sizing).
 	NumTypes
 )
@@ -182,6 +202,12 @@ var typeNames = [NumTypes]string{
 	EvPoolRemotePublish:  "pool-remote-publish",
 	EvPoolRemoteWait:     "pool-remote-wait",
 	EvPoolRemoteDegraded: "pool-remote-degraded",
+
+	EvPoolSnapshotCapture: "pool-snapshot-capture",
+	EvPoolSnapshotRestore: "pool-snapshot-restore",
+	EvPoolSnapshotError:   "pool-snapshot-error",
+	EvLoadArrival:         "load-arrival",
+	EvLoadComplete:        "load-complete",
 }
 
 // String returns the stable wire name of the event type. These names are

@@ -45,6 +45,16 @@ type PoolOptions struct {
 	// latency, no reuse benefit for that session. Either way extraction
 	// happens exactly once per cold key.
 	WaitForRecord bool
+	// SnapshotWarmStart makes each extraction owner also capture a heap
+	// snapshot of its finished Initial run (best-effort — unrepresentable
+	// state just skips the capture), so later sessions of the same
+	// workload that opt in (SessionRequest.WarmStart) can be served by
+	// restoring the snapshot instead of re-executing the scripts. A
+	// restored session clones the warm engine state in microseconds and
+	// produces no print output (nothing executes); it is only served when
+	// the request's scripts are byte-identical to the ones the snapshot
+	// was captured from.
+	SnapshotWarmStart bool
 	// IncludeGlobals extends extraction to global-object state (paper §6).
 	IncludeGlobals bool
 	// MaxSteps bounds every session's scripts (0 = unlimited).
@@ -73,6 +83,12 @@ type SessionRequest struct {
 	Scripts []SessionScript
 	// Stdout receives print output; nil collects it into Result.Output.
 	Stdout io.Writer
+	// WarmStart asks for snapshot-restore serving when the pool holds a
+	// snapshot for this key and the scripts match what it was captured
+	// from (see PoolOptions.SnapshotWarmStart). When no snapshot fits,
+	// the session runs normally; the flag never changes correctness, only
+	// whether initialization is cloned or re-executed.
+	WarmStart bool
 	// AddressSeed and RandSeed are forwarded to the engine (see Options).
 	AddressSeed uint64
 	RandSeed    uint64
@@ -92,6 +108,11 @@ const (
 	// was already in flight elsewhere (and WaitForRecord was off, or the
 	// awaited extraction failed).
 	SessionConventional
+	// SessionSnapshot means the session was served by restoring a captured
+	// heap snapshot of a finished Initial run instead of executing its
+	// scripts (see PoolOptions.SnapshotWarmStart). Nothing executed, so
+	// the session has no print output.
+	SessionSnapshot
 )
 
 // String returns the mode name.
@@ -103,6 +124,8 @@ func (m SessionMode) String() string {
 		return "initial"
 	case SessionConventional:
 		return "conventional"
+	case SessionSnapshot:
+		return "snapshot"
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
@@ -145,10 +168,63 @@ func (ent *recordEntry) settled() bool {
 	}
 }
 
-// recordShard is one lock domain of the shared record cache.
+// recordShard is one lock domain of the shared record cache. Lookups are
+// lock-free: readers load the published map snapshot through an atomic
+// pointer and never touch the mutex. Writers (entry installation on a cold
+// key, abandonment after a failed extraction) serialize on the mutex,
+// build a fresh map copy, and publish it with a release store — the
+// copy-on-write protocol, so a warm-cache session never contends with
+// anyone. The atomic.Pointer Load carries acquire semantics, so a reader
+// that observes the new map also observes every entry it references fully
+// constructed; per-entry publication (rec then close(ready)) is ordered by
+// the channel close as before.
 type recordShard struct {
-	mu      sync.Mutex
-	entries map[string]*recordEntry
+	mu      sync.Mutex // writers only; the read path never takes it
+	entries atomic.Pointer[map[string]*recordEntry]
+}
+
+// lookup resolves a key against the published snapshot without locking.
+func (sh *recordShard) lookup(key string) (*recordEntry, bool) {
+	ent, ok := (*sh.entries.Load())[key]
+	return ent, ok
+}
+
+// install adds an entry for key under the shard mutex, unless a competing
+// writer installed one first — then that entry is returned instead. The
+// new map is published atomically; readers see either the old or the new
+// snapshot, never a partial one.
+func (sh *recordShard) install(key string, ent *recordEntry) (*recordEntry, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old := *sh.entries.Load()
+	if existing, ok := old[key]; ok {
+		return existing, false
+	}
+	next := make(map[string]*recordEntry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[key] = ent
+	sh.entries.Store(&next)
+	return ent, true
+}
+
+// remove deletes key's entry if it is still ent (abandonment), publishing
+// a map without it so a future session can retry the extraction.
+func (sh *recordShard) remove(key string, ent *recordEntry) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old := *sh.entries.Load()
+	if old[key] != ent {
+		return
+	}
+	next := make(map[string]*recordEntry, len(old)-1)
+	for k, v := range old {
+		if k != key {
+			next[k] = v
+		}
+	}
+	sh.entries.Store(&next)
 }
 
 // SessionPool serves many independent engine sessions concurrently
@@ -172,12 +248,37 @@ type SessionPool struct {
 	store          *RecordStore
 	remote         *RemoteTier
 	wait           bool
+	snapWarm       bool
 	includeGlobals bool
 	maxSteps       uint64
 	traceCap       int
 	sessionSeq     atomic.Uint64
 	shards         []recordShard
+	snapshots      sync.Map // key → *poolSnapshot, written once per key
 	stats          profiler.PoolCounters
+}
+
+// poolSnapshot is a captured warm-start artifact: the heap snapshot of one
+// finished Initial run plus the exact scripts it was captured from, so a
+// restore is only ever applied to the workload it belongs to.
+type poolSnapshot struct {
+	snap    *Snapshot
+	scripts []SessionScript
+	sources map[string]string
+}
+
+// fits reports whether a request's scripts are byte-identical to the ones
+// the snapshot was captured from.
+func (ps *poolSnapshot) fits(scripts []SessionScript) bool {
+	if len(scripts) != len(ps.scripts) {
+		return false
+	}
+	for i, s := range scripts {
+		if s.Name != ps.scripts[i].Name || s.Src != ps.scripts[i].Src {
+			return false
+		}
+	}
+	return true
 }
 
 // NewSessionPool creates a pool.
@@ -195,13 +296,15 @@ func NewSessionPool(opts PoolOptions) *SessionPool {
 		store:          opts.Store,
 		remote:         opts.Remote,
 		wait:           opts.WaitForRecord,
+		snapWarm:       opts.SnapshotWarmStart,
 		includeGlobals: opts.IncludeGlobals,
 		maxSteps:       opts.MaxSteps,
 		traceCap:       opts.TraceCapacity,
 		shards:         make([]recordShard, n),
 	}
 	for i := range p.shards {
-		p.shards[i].entries = make(map[string]*recordEntry)
+		empty := make(map[string]*recordEntry)
+		p.shards[i].entries.Store(&empty)
 	}
 	return p
 }
@@ -214,14 +317,11 @@ func (p *SessionPool) Stats() PoolStats { return p.stats.Snapshot() }
 func (p *SessionPool) CachedRecords() int {
 	n := 0
 	for i := range p.shards {
-		sh := &p.shards[i]
-		sh.mu.Lock()
-		for _, ent := range sh.entries {
+		for _, ent := range *p.shards[i].entries.Load() {
 			if ent.settled() && ent.rec != nil {
 				n++
 			}
 		}
-		sh.mu.Unlock()
 	}
 	return n
 }
@@ -261,6 +361,10 @@ type poolEvents struct {
 	remoteWait     bool // waited on a peer node's extraction
 	remoteDegraded bool // fell off the remote tier (at most once)
 	abandon        bool // owned entry settled without a record
+
+	snapshotCapture bool // Initial run's heap snapshot captured for warm starts
+	snapshotRestore bool // session served by snapshot restore, not execution
+	snapshotErrs    int  // failed best-effort snapshot operations
 }
 
 // acquire resolves a key against the shared cache. It returns the shared
@@ -271,43 +375,47 @@ type poolEvents struct {
 // the acquisition outcome for the session's trace.
 func (p *SessionPool) acquire(key string, ev *poolEvents) (rec *Record, owned *recordEntry) {
 	sh := p.shard(key)
-	sh.mu.Lock()
-	ent, ok := sh.entries[key]
-	if !ok {
-		ent = &recordEntry{ready: make(chan struct{})}
-		sh.entries[key] = ent
-		sh.mu.Unlock()
+	if ent, ok := sh.lookup(key); ok {
+		// Warm-cache fast path: resolved entirely against the published
+		// snapshot, no shard mutex — sessions of hot keys never contend.
+		return p.resolve(ent, ev), nil
+	}
+	// Cold key: fall to the write path. The mutex acquisition is counted
+	// so an all-hot run can prove the read path stayed lock-free.
+	p.stats.ShardLock()
+	ent, installed := sh.install(key, &recordEntry{ready: make(chan struct{})})
+	if installed {
 		ev.own = true
 		return nil, ent
 	}
-	sh.mu.Unlock()
-	if ent.settled() {
-		if ent.rec != nil {
-			p.stats.ReuseHit()
-			ev.hit = true
-			return ent.rec, nil
+	// A competing writer installed the entry between our snapshot read and
+	// the lock; treat it exactly like a fast-path find.
+	return p.resolve(ent, ev), nil
+}
+
+// resolve classifies an existing cache entry for a session: a published
+// record (reuse), a retired failed extraction (conventional, don't pile
+// onto the retry), or an extraction in flight (wait for it, or go
+// conventional when the pool doesn't wait or the awaited extraction
+// failed). Returns the record to reuse, or nil for a conventional run.
+func (p *SessionPool) resolve(ent *recordEntry, ev *poolEvents) *Record {
+	if !ent.settled() {
+		p.stats.Deduped()
+		ev.dedup = true
+		if p.wait {
+			p.stats.Waited()
+			ev.waited = true
+			<-ent.ready
 		}
-		// Settled without a record: a failed extraction is being retired;
-		// run conventionally rather than pile onto the retry.
-		p.stats.Conventional()
-		ev.conventional = true
-		return nil, nil
 	}
-	p.stats.Deduped()
-	ev.dedup = true
-	if p.wait {
-		p.stats.Waited()
-		ev.waited = true
-		<-ent.ready
-		if ent.rec != nil {
-			p.stats.ReuseHit()
-			ev.hit = true
-			return ent.rec, nil
-		}
+	if ent.settled() && ent.rec != nil {
+		p.stats.ReuseHit()
+		ev.hit = true
+		return ent.rec
 	}
 	p.stats.Conventional()
 	ev.conventional = true
-	return nil, nil
+	return nil
 }
 
 // publish settles an owned entry with a record; the channel close is the
@@ -321,12 +429,7 @@ func (p *SessionPool) publish(ent *recordEntry, rec *Record) {
 // cache so a future session can retry the extraction. Current waiters
 // proceed conventionally.
 func (p *SessionPool) abandon(key string, ent *recordEntry) {
-	sh := p.shard(key)
-	sh.mu.Lock()
-	if sh.entries[key] == ent {
-		delete(sh.entries, key)
-	}
-	sh.mu.Unlock()
+	p.shard(key).remove(key, ent)
 	close(ent.ready)
 }
 
@@ -348,6 +451,10 @@ func (p *SessionPool) Serve(req SessionRequest) (*SessionResult, error) {
 	var ev poolEvents
 	rec, owned := p.acquire(req.Key, &ev)
 	if rec != nil {
+		if res, ok := p.serveSnapshot(req, &ev, tr); ok {
+			p.settleTrace(tr, res, req.Key, &ev)
+			return res, nil
+		}
 		res, _, err := p.runSession(req, rec, SessionReuse, tr)
 		p.settleTrace(tr, res, req.Key, &ev)
 		return res, err
@@ -467,6 +574,7 @@ func (p *SessionPool) Serve(req SessionRequest) (*SessionResult, error) {
 	ev.extract = true
 	p.publish(owned, record)
 	ev.publish = "extract"
+	p.captureSnapshot(req, eng, &ev)
 	p.storeSave(req.Key, record, &ev)
 	if p.remote != nil {
 		if !p.remotePublish(req.Key, record, &ev) && claimed {
@@ -528,6 +636,66 @@ func (p *SessionPool) remoteDegrade(ev *poolEvents) {
 		p.stats.RemoteDegraded()
 		ev.remoteDegraded = true
 	}
+}
+
+// serveSnapshot tries to serve a warm-cache session by restoring the
+// key's captured heap snapshot instead of executing its scripts. It only
+// applies when both sides opted in, a snapshot exists, and the request's
+// scripts are byte-identical to what the snapshot was captured from; any
+// mismatch or restore failure falls back to the normal reuse run, so the
+// flag can never change a session's correctness.
+func (p *SessionPool) serveSnapshot(req SessionRequest, ev *poolEvents, tr *trace.Buffer) (*SessionResult, bool) {
+	if !p.snapWarm || !req.WarmStart {
+		return nil, false
+	}
+	v, ok := p.snapshots.Load(req.Key)
+	if !ok {
+		return nil, false
+	}
+	ps := v.(*poolSnapshot)
+	if !ps.fits(req.Scripts) {
+		return nil, false
+	}
+	eng := NewEngine(Options{
+		Cache:       p.cache,
+		Stdout:      req.Stdout,
+		AddressSeed: req.AddressSeed,
+		RandSeed:    req.RandSeed,
+		MaxSteps:    p.maxSteps,
+		Trace:       tr,
+	})
+	if err := eng.RestoreSnapshot(ps.snap, ps.sources); err != nil {
+		p.stats.SnapshotError()
+		ev.snapshotErrs++
+		return nil, false
+	}
+	p.stats.SnapshotRestore()
+	ev.snapshotRestore = true
+	return &SessionResult{Mode: SessionSnapshot, Stats: eng.Stats(), Output: eng.Output()}, true
+}
+
+// captureSnapshot records the warm engine state of a finished Initial run
+// for snapshot warm starts, best-effort: workloads with unrepresentable
+// state (e.g. bound functions) simply skip the capture and are always
+// served by execution.
+func (p *SessionPool) captureSnapshot(req SessionRequest, eng *Engine, ev *poolEvents) {
+	if !p.snapWarm {
+		return
+	}
+	snap, err := eng.CaptureSnapshot(req.Key)
+	if err != nil {
+		p.stats.SnapshotError()
+		ev.snapshotErrs++
+		return
+	}
+	scripts := append([]SessionScript(nil), req.Scripts...)
+	sources := make(map[string]string, len(scripts))
+	for _, s := range scripts {
+		sources[s.Name] = s.Src
+	}
+	p.snapshots.Store(req.Key, &poolSnapshot{snap: snap, scripts: scripts, sources: sources})
+	p.stats.SnapshotCapture()
+	ev.snapshotCapture = true
 }
 
 // storeSave persists a record to the backing store best-effort.
@@ -601,6 +769,15 @@ func (p *SessionPool) settleTrace(tr *trace.Buffer, res *SessionResult, key stri
 	}
 	if ev.remoteDegraded {
 		tr.Emit(trace.EvPoolRemoteDegraded, none, key, 0)
+	}
+	if ev.snapshotCapture {
+		tr.Emit(trace.EvPoolSnapshotCapture, none, key, 0)
+	}
+	if ev.snapshotRestore {
+		tr.Emit(trace.EvPoolSnapshotRestore, none, key, 0)
+	}
+	for i := 0; i < ev.snapshotErrs; i++ {
+		tr.Emit(trace.EvPoolSnapshotError, none, key, 0)
 	}
 	if res.Degraded {
 		tr.Emit(trace.EvPoolDegraded, none, key, 0)
