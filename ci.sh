@@ -44,10 +44,33 @@ echo "== ricserved smoke: one extraction fleet-wide =="
 # along under -race.
 go test -race -count=1 -run 'TestRicservedFleetSmoke|TestRemote|TestSessionPoolStoreFaultsUnderRace' .
 
+echo "== progen differential sweep: fixed seed range =="
+# Seeds 200-260 are dense in keyed-element, delete-to-dictionary, and
+# prototype-call statement kinds: plain, Conventional, RIC Reuse, and
+# snapshot-restore must agree on every one of them.
+go test -count=1 -run 'TestProgenDifferential' ./internal/progen
+
 echo "== golden traces: drift check =="
 # The committed per-workload event summaries under testdata/traces/ must
 # match what the engine emits today. Regenerate deliberately with
 #   go test -run TestGoldenTraces -update .
+# Every workload must carry BOTH phases: a missing initial or reuse
+# golden is a gap the drift test alone cannot see (it only diffs files
+# the current test list produces).
+for g in testdata/traces/*.initial.golden; do
+  base="${g%.initial.golden}"
+  if [ ! -f "$base.reuse.golden" ]; then
+    echo "ci.sh: $base has an initial golden but no reuse golden" >&2
+    exit 1
+  fi
+done
+for g in testdata/traces/*.reuse.golden; do
+  base="${g%.reuse.golden}"
+  if [ ! -f "$base.initial.golden" ]; then
+    echo "ci.sh: $base has a reuse golden but no initial golden" >&2
+    exit 1
+  fi
+done
 go test -count=1 -run 'TestGoldenTraces|TestTraceDeterminism' .
 
 echo "== coverage floors =="
@@ -67,15 +90,21 @@ check_cover() {
   fi
   echo "$pkg ${pct}% (floor ${floor}%)"
 }
-check_cover ./internal/ic 95.0
-check_cover ./internal/vm 84.0
-check_cover ./internal/ric 79.0
+check_cover ./internal/ic 98.0
+check_cover ./internal/vm 85.0
+check_cover ./internal/ric 86.0
 check_cover ./internal/trace 93.0
 
 echo "== riclint: offline record verification =="
 # Truthful fixtures must pass all four layers (integrity, site existence,
 # static cross-check, typed-shape soundness)...
 go run ./cmd/riclint -js lib.js=testdata/point.js testdata/point.ric testdata/array.ric testdata/point-typed.ric
+# The workload-zoo regime fixtures ride the same sweep: a keyed-IC record
+# (element + array-length + keyed-named handlers) and a dictionary-mode
+# record (fast shapes recorded before delete-demotion). Regenerate with
+#   RIC_REGEN_FIXTURES=1 go test ./internal/ric/ -run TestRegenerateZooFixtures
+go run ./cmd/riclint -js keyed.js=testdata/keyed.js testdata/keyed.ric
+go run ./cmd/riclint -js dict.js=testdata/dict.js testdata/dict.ric
 # ...and every fault-injected fixture must be rejected without executing:
 # remapped ids and skewed offsets by the analysis cross-check, forged
 # slot-type claims by the typed recomputation, corrupt bytes at decode.
@@ -85,6 +114,13 @@ for bad in point-remap point-offsets point-badversion point-bitflip point-trunca
     exit 1
   fi
 done
+# The forged keyed record moves an element handler onto a non-array
+# shape; only the static cross-check can catch it, so the source map is
+# required for the rejection to be meaningful.
+if go run ./cmd/riclint -js keyed.js=testdata/keyed.js testdata/keyed-forged.ric >/dev/null 2>&1; then
+  echo "ci.sh: riclint accepted lying fixture keyed-forged.ric" >&2
+  exit 1
+fi
 
 echo "== perf gate: deterministic counters + load floor vs BENCH_baseline.json =="
 # Instruction counts and record sizes are bit-for-bit reproducible, so

@@ -38,6 +38,7 @@ func main() {
 		snapshotF  = flag.Bool("snapshot", false, "compare RIC with heap-snapshot restoration (§9)")
 		traceF     = flag.Bool("trace", false, "structured IC-event totals, Initial vs Reuse run")
 		reps       = flag.Int("reps", 5, "timing repetitions per Reuse run (median reported)")
+		workloadsF = flag.String("workloads", "", "glob over workload names or kinds to measure (e.g. 'Json*', 'keyed'; default all)")
 		parallel   = flag.Int("parallel", 0, "throughput mode: serve the workload set through a SessionPool with N workers (also measures 1 worker as the scaling baseline)")
 		sessions   = flag.Int("sessions", 0, "sessions per throughput measurement (default 8 per library)")
 		loadF      = flag.Bool("load", false, "open-loop load mode: seeded Poisson/Zipf session traffic through a SessionPool, reporting latency percentiles and throughput")
@@ -122,7 +123,7 @@ func main() {
 		// instead of truncating it. Either way stdout never carries a
 		// partial JSON document: the whole document is marshaled to memory
 		// and written in one piece at the end.
-		runs, err := bench.MeasureAll(bench.Options{Reps: *reps})
+		runs, err := bench.MeasureAll(bench.Options{Reps: *reps, Workloads: *workloadsF})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ricbench:", err)
 			os.Exit(1)
@@ -193,7 +194,7 @@ func main() {
 	var runs []bench.LibraryRun
 	if needRuns {
 		var err error
-		runs, err = bench.MeasureAll(bench.Options{Reps: *reps})
+		runs, err = bench.MeasureAll(bench.Options{Reps: *reps, Workloads: *workloadsF})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ricbench:", err)
 			os.Exit(1)

@@ -47,6 +47,20 @@ func (a *analyzer) callNative(o *absObj, thisv absVal, args []absVal) absVal {
 		return a.functionMethod(strings.TrimPrefix(name, "Function.prototype."), thisv, args)
 	case strings.HasPrefix(name, "String.prototype."):
 		return a.stringMethod(strings.TrimPrefix(name, "String.prototype."))
+	case name == "JSON.parse":
+		// The parsed structure is built at runtime from text the analysis
+		// cannot see: shapes, protos and property values are all unknown.
+		// ⊤ is the only sound summary — downstream, VerifyStatic simply
+		// skips dependents on shapes it cannot resolve, and the reuse-time
+		// preload filter never excludes a class a ⊤ prediction covers.
+		a.escapeAll(args)
+		return topVal
+	case name == "JSON.stringify":
+		// Serialization reads every reachable property, so the argument
+		// escapes; the result is always a string (or undefined, folded
+		// into the string summary conservatively).
+		a.escapeAll(args)
+		return primVal(pStr).join(primVal(pUndef))
 	}
 	// No model: assume the worst.
 	a.escapeVal(thisv)

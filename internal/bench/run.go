@@ -1,7 +1,10 @@
 package bench
 
 import (
+	"fmt"
+	"path"
 	"sort"
+	"strings"
 	"time"
 
 	"ricjs"
@@ -76,6 +79,25 @@ type Options struct {
 	Reps int
 	// IncludeGlobals extends RIC to global-object state (ablation).
 	IncludeGlobals bool
+	// Workloads restricts measurement to profiles whose Name or Kind
+	// matches this path.Match glob (empty means all). "Json*" picks the
+	// JSON pipeline, "dict" every dictionary-regime family, "*" all.
+	Workloads string
+}
+
+// matchesWorkloads reports whether opts selects profile p. Matching is
+// case-insensitive: profile names mix caps freely (JSONPipe, jQuery).
+func (o Options) matchesWorkloads(p workloads.Profile) (bool, error) {
+	if o.Workloads == "" {
+		return true, nil
+	}
+	pat := strings.ToLower(o.Workloads)
+	byName, err := path.Match(pat, strings.ToLower(p.Name))
+	if err != nil {
+		return false, fmt.Errorf("bench: bad -workloads pattern %q: %w", o.Workloads, err)
+	}
+	byKind, _ := path.Match(pat, strings.ToLower(p.Kind))
+	return byName || byKind, nil
 }
 
 func (o Options) reps() int {
@@ -157,15 +179,27 @@ func MeasureLibrary(p workloads.Profile, opts Options) (LibraryRun, error) {
 	return run, nil
 }
 
-// MeasureAll measures every library of Table 3.
+// MeasureAll measures every library of Table 3 plus the workload zoo,
+// optionally filtered by the Workloads glob.
 func MeasureAll(opts Options) ([]LibraryRun, error) {
 	runs := make([]LibraryRun, 0, len(workloads.Profiles))
 	for _, p := range workloads.Profiles {
+		ok, err := opts.matchesWorkloads(p)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
 		r, err := MeasureLibrary(p, opts)
 		if err != nil {
 			return nil, err
 		}
 		runs = append(runs, r)
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("bench: -workloads pattern %q matches no profile (have %v)",
+			opts.Workloads, workloads.Names())
 	}
 	return runs, nil
 }

@@ -3,23 +3,26 @@ package bench
 import (
 	"strings"
 	"testing"
+
+	"ricjs/internal/workloads"
 )
 
 func TestMeasureThroughputServesAllSessions(t *testing.T) {
-	res, err := MeasureThroughput(4, 21)
+	n := len(workloads.Profiles)
+	res, err := MeasureThroughput(4, 3*n)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Pool.Sessions != 21 {
-		t.Fatalf("Sessions = %d, want 21", res.Pool.Sessions)
+	if res.Pool.Sessions != uint64(3*n) {
+		t.Fatalf("Sessions = %d, want %d", res.Pool.Sessions, 3*n)
 	}
-	// 21 sessions round-robin over 7 libraries: one extraction per
-	// library, never more (single-flight), the rest reuse.
-	if res.Pool.Extractions != 7 {
-		t.Fatalf("Extractions = %d, want 7", res.Pool.Extractions)
+	// Sessions round-robin over the workload set (libraries + zoo): one
+	// extraction per workload, never more (single-flight), the rest reuse.
+	if res.Pool.Extractions != uint64(n) {
+		t.Fatalf("Extractions = %d, want %d", res.Pool.Extractions, n)
 	}
-	if res.Pool.ReuseHits != 14 {
-		t.Fatalf("ReuseHits = %d, want 14", res.Pool.ReuseHits)
+	if res.Pool.ReuseHits != uint64(2*n) {
+		t.Fatalf("ReuseHits = %d, want %d", res.Pool.ReuseHits, 2*n)
 	}
 	if res.SessionsPerSec <= 0 {
 		t.Fatalf("SessionsPerSec = %f", res.SessionsPerSec)
@@ -36,7 +39,8 @@ func TestMeasureThroughputRejectsZeroWorkers(t *testing.T) {
 }
 
 func TestThroughputJSONBlock(t *testing.T) {
-	results, err := MeasureThroughputScaling([]int{1, 2}, 14)
+	n := len(workloads.Profiles)
+	results, err := MeasureThroughputScaling([]int{1, 2}, 2*n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,9 +53,9 @@ func TestThroughputJSONBlock(t *testing.T) {
 		t.Fatalf("baseline speedup = %f, want 1.0", res.Throughput[0].SpeedupVsFirst)
 	}
 	for i, tp := range res.Throughput {
-		if tp.RecordsDecoded != 7 || tp.Extractions != 7 {
-			t.Fatalf("entry %d: recordsDecoded=%d extractions=%d, want 7/7",
-				i, tp.RecordsDecoded, tp.Extractions)
+		if tp.RecordsDecoded != uint64(n) || tp.Extractions != uint64(n) {
+			t.Fatalf("entry %d: recordsDecoded=%d extractions=%d, want %d/%d",
+				i, tp.RecordsDecoded, tp.Extractions, n, n)
 		}
 		if tp.SessionsPerSec <= 0 {
 			t.Fatalf("entry %d: sessionsPerSec = %f", i, tp.SessionsPerSec)

@@ -110,9 +110,16 @@ func (g *Gen) Program() string {
 function writeP(o, v) { o.` + g.pick(propNames) + ` = v; return o; }
 `)
 
+	// A numeric array for keyed-element statements, and a keyed helper
+	// whose site sees both element and constant-string access.
+	fmt.Fprintf(&b, "var nums = [];\nfor (var npre = 0; npre < %d; npre++) nums.push((npre * %d + %d) %% 13);\n",
+		4+g.intn(6), 2+g.intn(5), g.intn(7))
+	b.WriteString(`function readK(o, k, dflt) { var v = o[k]; return v === undefined ? dflt : v; }
+`)
+
 	// Statement soup.
 	for i := 0; i < g.Budget; i++ {
-		switch g.intn(10) {
+		switch g.intn(14) {
 		case 0:
 			fmt.Fprintf(&b, "sum += readP(pool[%d %% pool.length], %d);\n", g.intn(16), g.intn(9))
 		case 1:
@@ -136,13 +143,39 @@ function writeP(o, v) { o.` + g.pick(propNames) + ` = v; return o; }
 				50+g.intn(500))
 		case 8:
 			fmt.Fprintf(&b, "(function (k) { sum += readP(pool[k %% pool.length], 2); })(%d);\n", g.intn(16))
+		case 9:
+			// Keyed element loop: LoadElement (and sometimes StoreElement)
+			// handlers over the numeric array.
+			if g.intn(2) == 0 {
+				fmt.Fprintf(&b, "for (var k%d = 0; k%d < nums.length; k%d++) sum += nums[k%d];\n",
+					i, i, i, i)
+			} else {
+				fmt.Fprintf(&b, "for (var k%d = 0; k%d < nums.length; k%d++) nums[k%d] = (nums[k%d] + %d) %% 29;\n",
+					i, i, i, i, i, 1+g.intn(9))
+			}
+		case 10:
+			// Keyed access with a constant string key: a KeyedNamed site.
+			fmt.Fprintf(&b, "sum += readK(pool[%d %% pool.length], '%s', %d);\n",
+				g.intn(16), g.pick(propNames), g.intn(9))
+		case 11:
+			// Delete-to-dictionary: multiple deletes demote the object, and
+			// a post-delete add plus a read exercise the generic paths.
+			p0, p1 := g.pick(propNames), g.pick(propNames)
+			fmt.Fprintf(&b,
+				"var d%d = pool[%d %% pool.length];\ndelete d%d.%s;\ndelete d%d.%s;\nd%d.zz%d = %d;\nlog += typeof d%d.%s;\n",
+				i, g.intn(16), i, p0, i, p1, i, g.intn(4), g.intn(50), i, p0)
+		case 12:
+			// Direct prototype-method call on a freshly constructed
+			// receiver (monomorphic dispatch when the ctor has a method).
+			fmt.Fprintf(&b, "var pm%d = new C%d(%d);\nif (pm%d.m) { sum += pm%d.m() + pm%d.m(); }\n",
+				i, g.intn(nCtors), g.intn(50), i, i, i)
 		default:
 			fmt.Fprintf(&b, "log += typeof pool[%d %% pool.length].%s;\n",
 				g.intn(16), g.pick(propNames))
 		}
 	}
 
-	// Checksum everything observable.
+	// Checksum everything observable, the numeric array included.
 	b.WriteString(`var check = '';
 for (var ci = 0; ci < pool.length; ci++) {
 	var keys = Object.keys(pool[ci]);
@@ -151,6 +184,8 @@ for (var ci = 0; ci < pool.length; ci++) {
 	}
 	check += '|';
 }
+check += '#';
+for (var cn = 0; cn < nums.length; cn++) check += nums[cn] + ',';
 print(sum, log, check);
 `)
 	return b.String()

@@ -7,6 +7,7 @@ import (
 	"ricjs/internal/bytecode"
 	"ricjs/internal/parser"
 	"ricjs/internal/ric"
+	"ricjs/internal/snapshot"
 	"ricjs/internal/vm"
 )
 
@@ -89,6 +90,83 @@ func TestDifferentialEquivalence(t *testing.T) {
 		if initial.Output() != reuse.Output() {
 			t.Fatalf("seed %d: RIC diverged\ninitial: %q\nric:     %q\nprogram:\n%s",
 				seed, initial.Output(), reuse.Output(), src)
+		}
+	}
+}
+
+// TestProgenDifferential is the fixed-seed-range sweep ci.sh runs by name:
+// for every seed, four executions of the same program must agree —
+// plain, Conventional (second run, warm code cache semantics), RIC Reuse,
+// and a snapshot-restored heap whose observable state (sum/log/check)
+// matches the donor's byte for byte. The range starts at 200 to cover
+// programs dense in the keyed/delete/prototype-call statement kinds.
+func TestProgenDifferential(t *testing.T) {
+	lo, hi := uint64(200), uint64(260)
+	if testing.Short() {
+		hi = lo + 15
+	}
+	for seed := lo; seed <= hi; seed++ {
+		src := New(seed).Program()
+		prog, err := parser.Parse("gen.js", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		bc, err := bytecode.Compile(prog)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		initial := vm.New(vm.Options{MaxSteps: 2_000_000})
+		if _, err := initial.RunProgram(bc); err != nil {
+			t.Fatalf("seed %d: initial: %v\n%s", seed, err, src)
+		}
+		rec := ric.Extract(initial, "gen.js", ric.Config{})
+
+		conv := vm.New(vm.Options{MaxSteps: 2_000_000})
+		if _, err := conv.RunProgram(bc); err != nil {
+			t.Fatalf("seed %d: conventional: %v", seed, err)
+		}
+
+		reuser := ric.NewReuser(rec, nil, nil)
+		reuse := vm.New(vm.Options{MaxSteps: 2_000_000, Hooks: reuser})
+		reuser.Attach(reuse)
+		reuse.RegisterProgram(bc)
+		reuser.ReplayPreloads()
+		if _, err := reuse.RunProgram(bc); err != nil {
+			t.Fatalf("seed %d: reuse: %v\n%s", seed, err, src)
+		}
+
+		if initial.Output() != conv.Output() {
+			t.Fatalf("seed %d: conventional diverged\ninitial: %q\nconv:    %q\nprogram:\n%s",
+				seed, initial.Output(), conv.Output(), src)
+		}
+		if initial.Output() != reuse.Output() {
+			t.Fatalf("seed %d: RIC diverged\ninitial: %q\nric:     %q\nprogram:\n%s",
+				seed, initial.Output(), reuse.Output(), src)
+		}
+
+		snap, err := snapshot.Capture(initial, "gen")
+		if err != nil {
+			t.Fatalf("seed %d: capture: %v", seed, err)
+		}
+		restored := vm.New(vm.Options{MaxSteps: 2_000_000})
+		restored.RegisterProgram(bc)
+		if err := snapshot.Restore(restored, snap); err != nil {
+			t.Fatalf("seed %d: restore: %v", seed, err)
+		}
+		for _, name := range []string{"sum", "log", "check"} {
+			want, ok := initial.Global().GetNamed(name)
+			if !ok {
+				t.Fatalf("seed %d: donor missing global %q", seed, name)
+			}
+			got, ok := restored.Global().GetNamed(name)
+			if !ok {
+				t.Fatalf("seed %d: restored heap missing global %q", seed, name)
+			}
+			if got.ToString() != want.ToString() {
+				t.Fatalf("seed %d: snapshot diverged on %s\nwant: %q\ngot:  %q\nprogram:\n%s",
+					seed, name, want.ToString(), got.ToString(), src)
+			}
 		}
 	}
 }

@@ -1,0 +1,20 @@
+
+	function Entry(n) { this.k0 = n; this.k1 = n + 1; this.k2 = n + 2; this.k3 = n * 2; }
+	function dread(e) { return e.k0 + e.k3; }
+	function dupd(e, n) { e.k3 = e.k3 + n; return e.k3; }
+	var pool = [];
+	for (var i = 0; i < 6; i++) pool.push(new Entry(i));
+	var acc = 0;
+	for (var w = 0; w < 4; w++) {
+		for (var j = 0; j < pool.length; j++) acc += dread(pool[j]) + dupd(pool[j], 1);
+	}
+	for (var d = 0; d < 3; d++) {
+		delete pool[d].k1;
+		delete pool[d].k2;
+		pool[d].extra = d * 2;
+	}
+	var post = 0;
+	for (var r = 0; r < pool.length; r++) post += dread(pool[r]);
+	var fast = new Entry(40);
+	post += dread(fast);
+	print('dict', acc, post);

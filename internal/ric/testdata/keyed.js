@@ -1,0 +1,14 @@
+
+	var ks = [];
+	for (var i = 0; i < 16; i++) ks.push(i % 7);
+	function ksum(a) { var s = 0; for (var si = 0; si < a.length; si++) s += a[si]; return s; }
+	function kscale(a) { for (var ci = 0; ci < a.length; ci++) a[ci] = a[ci] * 2 - ci; return a.length; }
+	var krec = { alpha: 1, beta: 2, gamma: 3 };
+	function kget(r, k) { return r[k]; }
+	function kbump(r, k) { r[k] = r[k] + 1; return r[k]; }
+	var acc = 0;
+	for (var t = 0; t < 6; t++) {
+		acc += ksum(ks) + kscale(ks);
+		acc += kget(krec, 'alpha') + kbump(krec, 'beta');
+	}
+	print('keyed', acc);

@@ -580,6 +580,7 @@ func (vm *VM) populateGlobals() {
 	// (§6: "we insert a fake window object ... to mimic a browser").
 	defG("window", objects.Obj(g))
 
+	vm.setupJSON()
 	vm.setupStringMethods()
 }
 

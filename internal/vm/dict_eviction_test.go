@@ -1,0 +1,110 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"ricjs/internal/ic"
+)
+
+// namedSlotsFor collects the non-keyed feedback slots carrying a name.
+func namedSlotsFor(v *VM, name string) []*ic.Slot {
+	var out []*ic.Slot
+	for _, vec := range v.Vectors() {
+		for i := range vec.Slots {
+			if !vec.Slots[i].Kind.IsKeyed() && vec.Slots[i].Name == name {
+				out = append(out, &vec.Slots[i])
+			}
+		}
+	}
+	return out
+}
+
+// TestStaleDictionaryProtoEviction pins the eviction path for handlers
+// whose validity depends on prototype shapes: demoting a prototype to
+// dictionary mode (any delete does it) bumps the proto epoch, so the next
+// access through a cached LoadFromPrototype must evict the stale handler,
+// re-resolve through the dictionary prototype, and keep tracking later
+// dictionary-mode mutations instead of serving a stale fast-slot copy.
+func TestStaleDictionaryProtoEviction(t *testing.T) {
+	v, _ := run(t, `
+		function C(s) { this.x = s; }
+		C.prototype.tag = 7;
+		C.prototype.junk = 1;
+		var pool = [new C(1), new C(2)];
+		function readTag(o) { return o.tag; }
+		var s = 0;
+		for (var i = 0; i < 6; i++) s += readTag(pool[i % 2]);
+		delete C.prototype.junk;
+		var afterDemote = readTag(pool[0]);
+		C.prototype.tag = 9;
+		var afterMutate = readTag(pool[1]);
+		print(s, afterDemote, afterMutate);
+	`)
+	if !strings.Contains(v.Output(), "42 7 9") {
+		t.Fatalf("output = %q, want \"42 7 9\"", v.Output())
+	}
+	// The stale offset-carrying handler must have been replaced: after
+	// re-resolution against the dictionary prototype the cached handler is
+	// a LoadFromPrototype with no fast offset.
+	found := false
+	for _, s := range namedSlotsFor(v, "tag") {
+		for _, e := range s.Entries {
+			lp, ok := e.H.(ic.LoadFromPrototype)
+			if !ok {
+				continue
+			}
+			found = true
+			if lp.Offset >= 0 {
+				t.Errorf("stale fast-offset proto handler survived demotion: %+v", lp)
+			}
+			if !lp.Holder.IsDictionary() {
+				t.Error("re-resolved handler does not point at the dictionary holder")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no LoadFromPrototype handler cached for the tag site")
+	}
+}
+
+// TestDictionaryReceiverDoesNotPoisonSiblingCache: demoting ONE receiver
+// must not disturb the IC entry its fast-mode siblings still hit, and the
+// demoted object's reads and writes through the same sites must take the
+// generic path with post-delete values — never the cached field offsets,
+// which no longer describe its storage.
+func TestDictionaryReceiverDoesNotPoisonSiblingCache(t *testing.T) {
+	v, _ := run(t, `
+		function E(s) { this.k0 = s; this.k1 = s + 1; this.k2 = s + 2; }
+		var fast = new E(10);
+		var demoted = new E(20);
+		function readE(o) { return o.k2; }
+		function writeE(o, n) { o.k0 = n; return o.k0; }
+		var warm = 0;
+		for (var i = 0; i < 5; i++) warm += readE(fast) + readE(demoted);
+		delete demoted.k1;
+		var gone = demoted.k1;
+		var dRead = readE(demoted);
+		var dWrite = writeE(demoted, 77);
+		var fRead = readE(fast);
+		var fWrite = writeE(fast, 55);
+		print(warm, typeof gone, dRead, dWrite, fRead, fWrite);
+	`)
+	if !strings.Contains(v.Output(), "170 undefined 22 77 12 55") {
+		t.Fatalf("output = %q, want \"170 undefined 22 77 12 55\"", v.Output())
+	}
+	// The shared sites keep exactly their fast-shape entries: demotion
+	// installs nothing for the shared dictionary class.
+	for _, name := range []string{"k2", "k0"} {
+		for _, s := range namedSlotsFor(v, name) {
+			if s.State == ic.Megamorphic {
+				t.Errorf("%s site went megamorphic; dictionary receivers must bypass the IC", name)
+			}
+			for _, e := range s.Entries {
+				if e.HC == v.Space.DictHC() {
+					t.Errorf("%s site cached an entry for the shared dictionary class", name)
+				}
+			}
+		}
+	}
+}

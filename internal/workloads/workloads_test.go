@@ -10,8 +10,14 @@ import (
 )
 
 func TestProfilesComplete(t *testing.T) {
-	if len(Profiles) != 7 {
-		t.Fatalf("Table 3 lists 7 libraries, got %d", len(Profiles))
+	if len(Libraries) != 7 {
+		t.Fatalf("Table 3 lists 7 libraries, got %d", len(Libraries))
+	}
+	if len(Zoo) != 4 {
+		t.Fatalf("the zoo has 4 families, got %d", len(Zoo))
+	}
+	if len(Profiles) != len(Libraries)+len(Zoo) {
+		t.Fatalf("Profiles must cover libraries + zoo, got %d", len(Profiles))
 	}
 	seen := map[string]bool{}
 	for _, p := range Profiles {
@@ -38,8 +44,14 @@ func TestByNameAndNames(t *testing.T) {
 		t.Fatal("unknown name must not resolve")
 	}
 	names := Names()
-	if len(names) != 7 || names[0] != "AngularJS" || names[6] != "Underscore" {
+	if len(names) != 11 || names[0] != "AngularJS" || names[6] != "Underscore" {
 		t.Fatalf("Names() = %v", names)
+	}
+	if names[7] != "KeyedKernels" || names[10] != "JSONPipe" {
+		t.Fatalf("zoo families must follow the libraries: %v", names[7:])
+	}
+	if p, ok := ByName("DictRegistry"); !ok || p.Kind != KindDict {
+		t.Fatalf("ByName(DictRegistry) = %+v, %v", p, ok)
 	}
 }
 
@@ -169,7 +181,7 @@ func TestWebsitesRunEndToEnd(t *testing.T) {
 			}
 		}
 		out := v.Output()
-		for _, p := range Profiles {
+		for _, p := range Libraries {
 			if !strings.Contains(out, p.Name+" ") {
 				t.Fatalf("website %d output missing %s: %q", n, p.Name, out)
 			}

@@ -1,0 +1,128 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"ricjs/internal/bytecode"
+	"ricjs/internal/parser"
+	"ricjs/internal/vm"
+)
+
+// TestZooRegimeSignatures pins the structural property that makes each
+// family its own IC regime: the generated source must actually contain the
+// access forms the profile advertises.
+func TestZooRegimeSignatures(t *testing.T) {
+	src := map[string]string{}
+	for _, p := range Zoo {
+		src[p.Kind] = p.Source()
+	}
+	keyed := src[KindKeyed]
+	for _, want := range []string{"s += a[i]", "a[i] = a[i] * 2 - i", "r[k] = r[k] + 1", "r[knames[i % knames.length]]"} {
+		if !strings.Contains(keyed, want) {
+			t.Errorf("keyed source missing %q", want)
+		}
+	}
+	dict := src[KindDict]
+	for _, want := range []string{"delete e.k1", "delete e.k2", "e.extra = de * 2", "dread(fast)"} {
+		if !strings.Contains(dict, want) {
+			t.Errorf("dict source missing %q", want)
+		}
+	}
+	proto := src[KindProto]
+	// Groups of 2, 4, and 8 shapes: the last shape of the last group exists.
+	for _, want := range []string{"function P0_1(", "function P1_3(", "function P2_7(", "o.pm0() + o.pm1()"} {
+		if !strings.Contains(proto, want) {
+			t.Errorf("proto source missing %q", want)
+		}
+	}
+	if strings.Contains(proto, "function P2_8(") {
+		t.Error("proto group 2 must stop at 8 shapes")
+	}
+	pipe := src[KindJSONPipe]
+	for _, want := range []string{"JSON.parse(lines[ji])", "rec.score = jscore(rec)", "JSON.stringify(out[0])"} {
+		if !strings.Contains(pipe, want) {
+			t.Errorf("jsonpipe source missing %q", want)
+		}
+	}
+}
+
+// TestZooDistinctRegimeCounters runs each family and checks the profile
+// actually exercises its regime relative to the others: jsonpipe allocates
+// per-record, dict's generic reads depress the hit rate, keyed's kernels
+// keep it loop-dominated.
+func TestZooDistinctRegimeCounters(t *testing.T) {
+	stats := map[string]struct {
+		hits, misses, allocs, hcs uint64
+	}{}
+	for _, p := range Zoo {
+		prog, err := parser.Parse(p.Script, p.Source())
+		if err != nil {
+			t.Fatalf("%s: parse: %v", p.Name, err)
+		}
+		bc, err := bytecode.Compile(prog)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", p.Name, err)
+		}
+		v := vm.New(vm.Options{})
+		if _, err := v.RunProgram(bc); err != nil {
+			t.Fatalf("%s: run: %v", p.Name, err)
+		}
+		out := v.Output()
+		if !strings.HasPrefix(out, p.Name+" ") {
+			t.Fatalf("%s: checksum line missing: %q", p.Name, out)
+		}
+		s := v.Prof.Snapshot()
+		stats[p.Kind] = struct {
+			hits, misses, allocs, hcs uint64
+		}{s.ICHits, s.ICMisses, s.Allocations, s.HCCreated}
+	}
+	// JSON.parse materializes a fresh object tree per record per batch, so
+	// jsonpipe out-allocates the dictionary registry.
+	if stats[KindJSONPipe].allocs <= stats[KindDict].allocs {
+		t.Errorf("jsonpipe allocs (%d) must exceed dict (%d)",
+			stats[KindJSONPipe].allocs, stats[KindDict].allocs)
+	}
+	for kind, s := range stats {
+		if s.hits == 0 || s.misses == 0 || s.hcs == 0 {
+			t.Errorf("%s: degenerate IC activity %+v", kind, s)
+		}
+	}
+	// Keyed kernels are hot loops over monomorphic element sites: their hit
+	// volume must dwarf dict's, whose hot reads bypass the IC entirely.
+	if stats[KindKeyed].hits <= stats[KindDict].hits {
+		t.Errorf("keyed hits (%d) must exceed dict hits (%d)",
+			stats[KindKeyed].hits, stats[KindDict].hits)
+	}
+}
+
+// TestZooDeterministicAccounting runs every family twice in fresh VMs:
+// output and instruction accounting must be byte-identical — the property
+// the differential sweep and record reuse both depend on.
+func TestZooDeterministicAccounting(t *testing.T) {
+	for _, p := range Zoo {
+		prog, err := parser.Parse(p.Script, p.Source())
+		if err != nil {
+			t.Fatalf("%s: parse: %v", p.Name, err)
+		}
+		bc, err := bytecode.Compile(prog)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", p.Name, err)
+		}
+		run := func() (string, interface{}) {
+			v := vm.New(vm.Options{})
+			if _, err := v.RunProgram(bc); err != nil {
+				t.Fatalf("%s: run: %v", p.Name, err)
+			}
+			return v.Output(), v.Prof.Snapshot()
+		}
+		o1, s1 := run()
+		o2, s2 := run()
+		if o1 != o2 {
+			t.Errorf("%s: output differs between runs", p.Name)
+		}
+		if s1 != s2 {
+			t.Errorf("%s: accounting differs:\n%+v\n%+v", p.Name, s1, s2)
+		}
+	}
+}

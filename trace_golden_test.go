@@ -75,24 +75,29 @@ func TestGoldenTraces(t *testing.T) {
 		})
 	}
 	t.Run("Website", func(t *testing.T) {
-		// Cross-website reuse: record from website 1, consumed by website
-		// 2's different load order (§6's robustness setup).
+		// Cross-website reuse: record from website 1, consumed both by the
+		// same load order and by website 2's different one (§6's robustness
+		// setup). Every website gets an initial AND a reuse golden, so the
+		// pairing invariant ci.sh checks holds for the whole directory.
 		cache := NewCodeCache()
-		initial := NewEngine(Options{Cache: cache, Trace: NewTrace(0)})
-		for _, s := range workloads.Website(1) {
-			if err := initial.Run(s.Name, s.Source); err != nil {
-				t.Fatal(err)
+		runSite := func(n int, record *Record) *Engine {
+			e := NewEngine(Options{Cache: cache, Record: record, Trace: NewTrace(0)})
+			for _, s := range workloads.Website(n) {
+				if err := e.Run(s.Name, s.Source); err != nil {
+					t.Fatal(err)
+				}
 			}
+			return e
 		}
-		record := initial.ExtractRecord("website1")
-		reuse := NewEngine(Options{Cache: cache, Record: record, Trace: NewTrace(0)})
-		for _, s := range workloads.Website(2) {
-			if err := reuse.Run(s.Name, s.Source); err != nil {
-				t.Fatal(err)
-			}
-		}
-		checkGolden(t, "Website1.initial.golden", initial.Trace().Summary().String())
-		checkGolden(t, "Website2.reuse.golden", reuse.Trace().Summary().String())
+		initial1 := runSite(1, nil)
+		record := initial1.ExtractRecord("website1")
+		initial2 := runSite(2, nil)
+		reuse1 := runSite(1, record)
+		reuse2 := runSite(2, record)
+		checkGolden(t, "Website1.initial.golden", initial1.Trace().Summary().String())
+		checkGolden(t, "Website1.reuse.golden", reuse1.Trace().Summary().String())
+		checkGolden(t, "Website2.initial.golden", initial2.Trace().Summary().String())
+		checkGolden(t, "Website2.reuse.golden", reuse2.Trace().Summary().String())
 	})
 }
 
