@@ -9,7 +9,10 @@
 // regression beyond the tolerance (default 2%). `typedFastHits` is gated
 // in the opposite direction — it counts loads the Reuse run served through
 // the typed-slot fast path, so a drop means typed-shape inference silently
-// lost coverage.
+// lost coverage. `quickenedExecutions` and `fusedExecutions` are floored
+// the same way: they count dispatches served by quickened and fused
+// opcodes in a quickened conventional run, so a drop means the bytecode
+// overlay silently stopped engaging while outputs stayed correct.
 //
 // Usage:
 //
@@ -35,6 +38,8 @@ type gated struct {
 	StaticTypes              struct {
 		TypedFastHits uint64 `json:"typedFastHits"`
 	} `json:"staticTypes"`
+	QuickenedExecutions uint64 `json:"quickenedExecutions"`
+	FusedExecutions     uint64 `json:"fusedExecutions"`
 }
 
 type baseline struct {
@@ -182,6 +187,8 @@ func main() {
 		check(w.Name, "ricInstructions", old.RICInstructions, w.RICInstructions)
 		check(w.Name, "recordBytes", old.RecordBytes, w.RecordBytes)
 		checkFloor(w.Name, "typedFastHits", old.StaticTypes.TypedFastHits, w.StaticTypes.TypedFastHits)
+		checkFloor(w.Name, "quickenedExecutions", old.QuickenedExecutions, w.QuickenedExecutions)
+		checkFloor(w.Name, "fusedExecutions", old.FusedExecutions, w.FusedExecutions)
 	}
 	for name := range byName {
 		fmt.Printf("perfgate: workload %q disappeared from the benchmark\n", name)

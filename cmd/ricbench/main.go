@@ -37,6 +37,7 @@ func main() {
 		netFaults  = flag.Bool("netfaults", false, "network chaos sweep: pooled sessions with a faulted remote record tier vs conventional runs")
 		snapshotF  = flag.Bool("snapshot", false, "compare RIC with heap-snapshot restoration (§9)")
 		traceF     = flag.Bool("trace", false, "structured IC-event totals, Initial vs Reuse run")
+		opstatsF   = flag.Bool("opstats", false, "executed-opcode and adjacent-pair dispatch histogram (superinstruction selection evidence)")
 		reps       = flag.Int("reps", 5, "timing repetitions per Reuse run (median reported)")
 		workloadsF = flag.String("workloads", "", "glob over workload names or kinds to measure (e.g. 'Json*', 'keyed'; default all)")
 		parallel   = flag.Int("parallel", 0, "throughput mode: serve the workload set through a SessionPool with N workers (also measures 1 worker as the scaling baseline)")
@@ -154,6 +155,15 @@ func main() {
 				}
 			}
 		}
+		if *opstatsF {
+			os, oerr := bench.MeasureOpStats(bench.Options{Workloads: *workloadsF})
+			if oerr != nil {
+				res.Errors = append(res.Errors, "opstats: "+oerr.Error())
+				exit = 1
+			} else {
+				res.AddOpStats(os)
+			}
+		}
 		if *loadF {
 			lr, lerr := bench.MeasureLoad(loadConfig())
 			if lerr != nil {
@@ -188,7 +198,7 @@ func main() {
 
 	all := !(*fig1 || *fig5 || *table1 || *table4 || *fig8 || *fig9 ||
 		*overheads || *websites || *ablation || *snapshotF || *faults ||
-		*netFaults || *traceF || *parallel > 0 || *loadF)
+		*netFaults || *traceF || *opstatsF || *parallel > 0 || *loadF)
 
 	needRuns := all || *fig5 || *table1 || *table4 || *fig8 || *fig9 || *overheads
 	var runs []bench.LibraryRun
@@ -263,6 +273,17 @@ func main() {
 			os.Exit(1)
 		}
 	})
+	// The opstats section is opt-in only: it is engineering evidence for
+	// the superinstruction selection, not part of the paper's evaluation.
+	if *opstatsF {
+		os_, err := bench.MeasureOpStats(bench.Options{Workloads: *workloadsF})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ricbench:", err)
+			os.Exit(1)
+		}
+		bench.ReportOpStats(os.Stdout, os_)
+		fmt.Println()
+	}
 	// The trace section is opt-in only (never part of `all`): its totals
 	// restate the Table 1/4 aggregates at per-event granularity.
 	if *traceF {

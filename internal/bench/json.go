@@ -16,6 +16,7 @@ type JSONResults struct {
 	Website    *JSONWebsite     `json:"website,omitempty"`
 	Throughput []JSONThroughput `json:"throughput,omitempty"`
 	Load       *JSONLoad        `json:"load,omitempty"`
+	OpStats    *JSONOpStats     `json:"opStats,omitempty"`
 	Paper      JSONPaperAnchors `json:"paper"`
 	// Errors lists measurements that failed after the core evaluation
 	// succeeded (e.g. one throughput load level). The document is still
@@ -46,12 +47,12 @@ type JSONLoad struct {
 	P999Ms float64 `json:"p999Ms"`
 	MaxMs  float64 `json:"maxMs"`
 
-	ReuseHits         uint64 `json:"reuseHits"`
-	Extractions       uint64 `json:"extractions"`
-	ConventionalRuns  uint64 `json:"conventionalRuns"`
-	ShardLockAcquires uint64 `json:"shardLockAcquires"`
-	SnapshotCaptures  uint64 `json:"snapshotCaptures"`
-	SnapshotRestores  uint64 `json:"snapshotRestores"`
+	ReuseHits         uint64  `json:"reuseHits"`
+	Extractions       uint64  `json:"extractions"`
+	ConventionalRuns  uint64  `json:"conventionalRuns"`
+	ShardLockAcquires uint64  `json:"shardLockAcquires"`
+	SnapshotCaptures  uint64  `json:"snapshotCaptures"`
+	SnapshotRestores  uint64  `json:"snapshotRestores"`
 	RestoreP50Ms      float64 `json:"restoreP50Ms"`
 
 	Errors []string `json:"errors,omitempty"`
@@ -108,6 +109,12 @@ type JSONLibrary struct {
 	// Typed-shape static inference: what the extraction-time analysis
 	// inferred and how often the Reuse run served the typed fast path.
 	StaticTypes JSONStaticTypes `json:"staticTypes"`
+
+	// Quickening overlay counters from a quickened conventional run.
+	// Deterministic; perfgate floors both so quickened/fused dispatch
+	// coverage cannot silently regress.
+	QuickenedExecutions uint64 `json:"quickenedExecutions"`
+	FusedExecutions     uint64 `json:"fusedExecutions"`
 }
 
 // JSONStaticTypes is one library's typed-shape summary. All four values
@@ -186,6 +193,8 @@ func BuildJSON(runs []LibraryRun, website *WebsiteRun) JSONResults {
 				TypedSlots:    r.StaticTypes.TypedSlots,
 				TypedFastHits: r.StaticTypes.TypedFastHits,
 			},
+			QuickenedExecutions: r.QuickenedExecutions,
+			FusedExecutions:     r.FusedExecutions,
 		}
 		out.Libraries = append(out.Libraries, lib)
 		out.Averages.InitialMissRatePct += lib.InitialMissRatePct / n
@@ -229,6 +238,44 @@ func (r *JSONResults) AddThroughput(results []ThroughputResult) {
 			SpeedupVsFirst:     speedup,
 		})
 	}
+}
+
+// JSONOpStats is the dispatch-histogram block (`ricbench -opstats`):
+// the executed-opcode and adjacent-pair top lists that justify the
+// superinstruction selection. Deterministic for a fixed workload set.
+type JSONOpStats struct {
+	Workloads     int             `json:"workloads"`
+	TotalExecuted uint64          `json:"totalExecuted"`
+	TopOps        []JSONOpCount   `json:"topOps"`
+	TopPairs      []JSONPairCount `json:"topPairs"`
+}
+
+// JSONOpCount is one opcode row of the histogram.
+type JSONOpCount struct {
+	Op       string  `json:"op"`
+	Count    uint64  `json:"count"`
+	SharePct float64 `json:"sharePct"`
+}
+
+// JSONPairCount is one adjacent-pair row; Fused marks pairs the
+// superinstruction table already covers.
+type JSONPairCount struct {
+	First  string `json:"first"`
+	Second string `json:"second"`
+	Count  uint64 `json:"count"`
+	Fused  bool   `json:"fused"`
+}
+
+// AddOpStats attaches the dispatch histogram to the results.
+func (r *JSONResults) AddOpStats(res OpStatsResult) {
+	out := &JSONOpStats{Workloads: res.Workloads, TotalExecuted: res.Total}
+	for _, o := range res.TopOps {
+		out.TopOps = append(out.TopOps, JSONOpCount{Op: o.Op, Count: o.Count, SharePct: o.SharePct})
+	}
+	for _, p := range res.TopPairs {
+		out.TopPairs = append(out.TopPairs, JSONPairCount{First: p.First, Second: p.Second, Count: p.Count, Fused: p.Fused})
+	}
+	r.OpStats = out
 }
 
 // AddLoad attaches an open-loop load measurement to the results.

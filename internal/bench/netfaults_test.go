@@ -1,0 +1,25 @@
+package bench
+
+import "testing"
+
+// TestNetFaultSweepQuickened runs the full chaos sweep in-process so the
+// race detector sees it: the trial pools run with quickening+fusion on
+// while the baselines ran plain, making every fault mode a
+// quickened-vs-plain output differential under tier-ladder degradation.
+func TestNetFaultSweepQuickened(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep spins real HTTP servers; skipped in -short")
+	}
+	trials, err := NetFaultSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) == 0 {
+		t.Fatal("no fault modes ran")
+	}
+	for _, trial := range trials {
+		if !trial.OK() {
+			t.Errorf("mode %s: %+v", trial.Mode, trial)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestMeasureOpStatsDeterministicAndMarksFusedPairs pins the histogram's
+// two contracts: identical results across runs (the report is selection
+// evidence, so it must be byte-stable), and fused-pair marking — the
+// pairs the superinstruction table covers must appear marked somewhere
+// in the aggregate, or the table's evidence and its implementation have
+// drifted apart.
+func TestMeasureOpStatsDeterministicAndMarksFusedPairs(t *testing.T) {
+	a, err := MeasureOpStats(Options{Workloads: "jQuery"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureOpStats(Options{Workloads: "jQuery"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("opstats not deterministic:\na: %+v\nb: %+v", a, b)
+	}
+	if a.Workloads != 1 || a.Total == 0 || len(a.TopOps) == 0 || len(a.TopPairs) == 0 {
+		t.Fatalf("degenerate result: %+v", a)
+	}
+	var share float64
+	for _, o := range a.TopOps {
+		if o.Count == 0 {
+			t.Fatalf("zero-count op %q in top list", o.Op)
+		}
+		share += o.SharePct
+	}
+	if share <= 0 || share > 100.0001 {
+		t.Fatalf("top-op shares sum to %v%%", share)
+	}
+	fused := 0
+	for _, p := range a.TopPairs {
+		if p.Fused {
+			fused++
+		}
+	}
+	if fused == 0 {
+		t.Fatal("no fused pair in the jQuery top pairs; selection evidence is vacuous")
+	}
+
+	var out bytes.Buffer
+	ReportOpStats(&out, a)
+	text := out.String()
+	for _, want := range []string{"Dispatch histogram", "superinstruction candidates", " *"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestOpStatsJSONBlock pins the -format json -opstats wiring.
+func TestOpStatsJSONBlock(t *testing.T) {
+	res, err := MeasureOpStats(Options{Workloads: "jQuery"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc JSONResults
+	doc.AddOpStats(res)
+	if doc.OpStats == nil || doc.OpStats.TotalExecuted != res.Total ||
+		len(doc.OpStats.TopPairs) != len(res.TopPairs) {
+		t.Fatalf("opstats block mismatch: %+v vs %+v", doc.OpStats, res)
+	}
+	var out bytes.Buffer
+	if err := EncodeJSON(&out, doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"opStats"`, `"topPairs"`, `"fused"`} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("JSON missing %s:\n%s", want, out.String())
+		}
+	}
+}

@@ -119,6 +119,10 @@ const (
 	// static type for the slot, so the read skips the boxed value's
 	// dynamic type dispatch (and SmallInt slots unbox to int32).
 	FastLoadFieldTyped
+	// FastLoadElement reads an array element at the (dynamic) integer key;
+	// the keyed-load dispatch and its quickened form use it to recognize
+	// the element hit without a handler type-switch.
+	FastLoadElement
 )
 
 // Entry is one (HCAddr, Handler) tuple of a slot (paper Figure 3).
@@ -145,6 +149,8 @@ func fastFor(h Handler) (FastOp, int32) {
 		return FastStoreField, int32(t.Offset)
 	case LoadArrayLength:
 		return FastLoadArrayLength, 0
+	case LoadElement:
+		return FastLoadElement, 0
 	default:
 		return FastNone, 0
 	}

@@ -148,6 +148,11 @@ type Counters struct {
 	staticRisk     uint64 // gauge: sites the analysis flags as megamorphic risk
 
 	typedFastHits uint64 // monomorphic hits served by a typed-slot handler
+
+	quickens       uint64 // instruction words rewritten to a quickened op
+	dequickens     uint64 // quickened words restored to their base op
+	quickenedExecs uint64 // executions served by a quickened opcode
+	fusedExecs     uint64 // executions served by a fused superinstruction
 }
 
 // Charge adds n abstract instructions to the current category.
@@ -245,6 +250,24 @@ func (c *Counters) StaticSiteFlags(dead, risk uint64) {
 // so instruction counts stay byte-identical with and without claims.
 func (c *Counters) TypedFastHit() { c.typedFastHits++ }
 
+// Quicken records one instruction word rewritten to a quickened opcode in
+// the VM's private executable code copy. Like the de-quicken, execution
+// gauges below it charges no abstract instructions: quickening is a
+// runtime overlay that must leave the paper's Pin-style accounting
+// byte-identical with and without it.
+func (c *Counters) Quicken() { c.quickens++ }
+
+// Dequicken records one quickened word restored to its canonical base op
+// (the IC slot left the monomorphic state or a guard failed).
+func (c *Counters) Dequicken() { c.dequickens++ }
+
+// QuickenedExecution records one access served by a quickened opcode.
+func (c *Counters) QuickenedExecution() { c.quickenedExecs++ }
+
+// FusedExecution records one execution of a fused superinstruction
+// (which covers both halves of the pair).
+func (c *Counters) FusedExecution() { c.fusedExecs++ }
+
 // Degrade records that the engine abandoned a reuse run because of a
 // record-attributable failure and retried conventionally (record-free).
 func (c *Counters) Degrade() { c.degradedRuns++ }
@@ -299,6 +322,16 @@ type Snapshot struct {
 	// TypedFastHits counts monomorphic hits served by the typed-slot fast
 	// path (zero when no typed-shape claims were applied).
 	TypedFastHits uint64
+
+	// Quickens/Dequickens count instruction-word rewrites in the VM's
+	// private executable code copy; QuickenedExecutions/FusedExecutions
+	// count accesses served by quickened and fused opcodes. All four are
+	// zero unless quickening/fusion was enabled; none affect instruction
+	// accounting.
+	Quickens            uint64
+	Dequickens          uint64
+	QuickenedExecutions uint64
+	FusedExecutions     uint64
 }
 
 // Snapshot captures the current statistics.
@@ -325,6 +358,10 @@ func (c *Counters) Snapshot() Snapshot {
 		StaticDeadSites:        c.staticDead,
 		StaticMegamorphicRisk:  c.staticRisk,
 		TypedFastHits:          c.typedFastHits,
+		Quickens:               c.quickens,
+		Dequickens:             c.dequickens,
+		QuickenedExecutions:    c.quickenedExecs,
+		FusedExecutions:        c.fusedExecs,
 	}
 }
 

@@ -95,11 +95,12 @@ func TestDifferentialEquivalence(t *testing.T) {
 }
 
 // TestProgenDifferential is the fixed-seed-range sweep ci.sh runs by name:
-// for every seed, four executions of the same program must agree —
-// plain, Conventional (second run, warm code cache semantics), RIC Reuse,
-// and a snapshot-restored heap whose observable state (sum/log/check)
-// matches the donor's byte for byte. The range starts at 200 to cover
-// programs dense in the keyed/delete/prototype-call statement kinds.
+// for every seed, five executions of the same program must agree —
+// plain, Conventional (second run, warm code cache semantics), quickened
+// (runtime bytecode overlay enabled), RIC Reuse, and a snapshot-restored
+// heap whose observable state (sum/log/check) matches the donor's byte for
+// byte. The range starts at 200 to cover programs dense in the
+// keyed/delete/prototype-call statement kinds.
 func TestProgenDifferential(t *testing.T) {
 	lo, hi := uint64(200), uint64(260)
 	if testing.Short() {
@@ -127,6 +128,11 @@ func TestProgenDifferential(t *testing.T) {
 			t.Fatalf("seed %d: conventional: %v", seed, err)
 		}
 
+		quick := vm.New(vm.Options{MaxSteps: 2_000_000, Quicken: true, Fuse: true})
+		if _, err := quick.RunProgram(bc); err != nil {
+			t.Fatalf("seed %d: quickened: %v\n%s", seed, err, src)
+		}
+
 		reuser := ric.NewReuser(rec, nil, nil)
 		reuse := vm.New(vm.Options{MaxSteps: 2_000_000, Hooks: reuser})
 		reuser.Attach(reuse)
@@ -139,6 +145,16 @@ func TestProgenDifferential(t *testing.T) {
 		if initial.Output() != conv.Output() {
 			t.Fatalf("seed %d: conventional diverged\ninitial: %q\nconv:    %q\nprogram:\n%s",
 				seed, initial.Output(), conv.Output(), src)
+		}
+		if initial.Output() != quick.Output() {
+			t.Fatalf("seed %d: quickening diverged\ninitial: %q\nquick:   %q\nprogram:\n%s",
+				seed, initial.Output(), quick.Output(), src)
+		}
+		cs, qs := conv.Prof.Snapshot(), quick.Prof.Snapshot()
+		qs.Quickens, qs.Dequickens, qs.QuickenedExecutions, qs.FusedExecutions = 0, 0, 0, 0
+		if cs != qs {
+			t.Fatalf("seed %d: quickening changed accounting\nconv:  %+v\nquick: %+v\nprogram:\n%s",
+				seed, cs, qs, src)
 		}
 		if initial.Output() != reuse.Output() {
 			t.Fatalf("seed %d: RIC diverged\ninitial: %q\nric:     %q\nprogram:\n%s",

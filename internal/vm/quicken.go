@@ -1,0 +1,151 @@
+package vm
+
+import (
+	"ricjs/internal/bytecode"
+	"ricjs/internal/ic"
+	"ricjs/internal/trace"
+)
+
+// Bytecode quickening and superinstruction fusion.
+//
+// Both are a runtime-only overlay on the VM's private executable copy of a
+// function's code. The canonical FuncProto.Code is immutable and shared
+// across sessions (codecache, snapshots); everything derived from it —
+// .ric records, static analysis, riclint, golden traces — sees only base
+// opcodes. The overlay exists solely in vm.execCode, which no other VM can
+// reach, so rewriting words needs no synchronization.
+//
+// Quickening rewrites an instruction after an execution proves its IC slot
+// monomorphic: the opcode word becomes the quickened form and the name
+// operand word is reinterpreted as the cached field offset, eliminating
+// the slot lookup and entry scan on later executions. Every quickened
+// dispatch still validates the full guard set (plus offset equality, which
+// catches a slot that regressed to a different monomorphic entry); any
+// failure de-quickens by copying the canonical words back and re-dispatching
+// the base op, so quickened code can never observe stale IC state.
+
+// quickenAt rewrites the instruction at pc in the VM's private code copy
+// to its quickened form, baking operand into the first operand word.
+func (vm *VM) quickenAt(code []uint32, pc int, q bytecode.Op, operand uint32, slot *ic.Slot) {
+	code[pc] = uint32(q)
+	code[pc+1] = operand
+	vm.Prof.Quicken()
+	vm.emit(trace.EvQuicken, slot.Site, slot.Name, int64(pc))
+}
+
+// dequickenAt restores the canonical words of the quickened instruction at
+// pc from the immutable FuncProto.Code. The caller re-dispatches the
+// restored base op at the same pc after un-counting the failed dispatch,
+// so accounting stays byte-identical with quickening off.
+func (vm *VM) dequickenAt(f *frame, code []uint32, pc int, slot *ic.Slot) {
+	base := bytecode.Op(code[pc]).Base()
+	n := 1 + base.OperandCount()
+	copy(code[pc:pc+n], f.proto.Code[pc:pc+n])
+	vm.Prof.Dequicken()
+	vm.emit(trace.EvDequicken, slot.Site, slot.Name, int64(pc))
+}
+
+// execCodeFor returns the VM's private executable copy of a proto's code,
+// materializing it (and running the fusion pass, when enabled) on first
+// use. The copy is keyed by proto identity, so re-entered and recursive
+// frames of the same function share one overlay.
+func (vm *VM) execCodeFor(p *bytecode.FuncProto) []uint32 {
+	if c, ok := vm.execCode[p]; ok {
+		return c
+	}
+	c := append([]uint32(nil), p.Code...)
+	if vm.fuse {
+		fuseCode(c)
+	}
+	vm.execCode[p] = c
+	return c
+}
+
+// ExecCode returns the VM's executable overlay for a proto, or nil when
+// quickening/fusion is disabled or the proto has not executed yet. It is
+// the read side for disassembly (ricdis) and tests; callers must not
+// mutate the returned slice.
+func (vm *VM) ExecCode(p *bytecode.FuncProto) []uint32 {
+	if vm.execCode == nil {
+		return nil
+	}
+	return vm.execCode[p]
+}
+
+// FusedPair reports the superinstruction a pair of adjacent opcodes
+// fuses to, if any — the read side of the fusion rule table, used by
+// ricbench -opstats to mark already-covered pairs in the histogram.
+func FusedPair(a, b bytecode.Op) (bytecode.Op, bool) { return fusePair(a, b) }
+
+// fusePair maps an adjacent opcode pair to its superinstruction. The
+// candidate set is the measured hottest pairs from ricbench -opstats
+// across the workload zoo (see EXPERIMENTS.md).
+func fusePair(a, b bytecode.Op) (bytecode.Op, bool) {
+	switch {
+	case a == bytecode.OpLoadLocal && b == bytecode.OpLoadNamed:
+		return bytecode.OpFusedLoadLocalLoadNamed, true
+	case a == bytecode.OpDup && b == bytecode.OpStoreNamed:
+		return bytecode.OpFusedDupStoreNamed, true
+	case a == bytecode.OpLt && b == bytecode.OpJumpIfFalse:
+		return bytecode.OpFusedLtJumpIfFalse, true
+	}
+	return 0, false
+}
+
+// fuseCode rewrites fusible adjacent pairs in a private code copy with
+// superinstructions. Only the first opcode word of a pair is overwritten;
+// all operand words and the second opcode word stay in place, so a jump
+// into the second half still dispatches the base op. A pair whose second
+// half is a jump target is never fused: the standalone dispatch of that
+// half could quicken it and overwrite the operand word the fused case
+// reads. Fused spans are skipped, so fusion never chains.
+func fuseCode(code []uint32) {
+	isTarget := make([]bool, len(code))
+	for pc := 0; pc < len(code); {
+		op := bytecode.Op(code[pc])
+		switch op {
+		case bytecode.OpJump, bytecode.OpJumpIfFalse, bytecode.OpJumpIfTrue:
+			if t := int(code[pc+1]); t < len(code) {
+				isTarget[t] = true
+			}
+		case bytecode.OpTryPush:
+			if t := int(code[pc+1]); t < len(code) {
+				isTarget[t] = true
+			}
+		}
+		pc += 1 + op.OperandCount()
+	}
+	for pc := 0; pc < len(code); {
+		op := bytecode.Op(code[pc])
+		next := pc + 1 + op.OperandCount()
+		if next >= len(code) {
+			return
+		}
+		if fused, ok := fusePair(op, bytecode.Op(code[next])); ok && !isTarget[next] {
+			code[pc] = uint32(fused)
+			pc += 1 + fused.OperandCount()
+			continue
+		}
+		pc = next
+	}
+}
+
+// OpStats is the executed-opcode and adjacent-pair histogram collected by
+// Options.CollectOpStats (ricbench -opstats). Counts come from the
+// dispatch loop itself — the same points the abstract accounting layer
+// charges — so they are deterministic for a deterministic program. Pairs
+// is a flat [NumOps][NumOps] matrix indexed a*NumOps+b, counting b
+// dispatched at exactly the offset a fell through to (taken jumps break
+// the chain).
+type OpStats struct {
+	Ops   [bytecode.NumOps]uint64
+	Pairs [bytecode.NumOps * bytecode.NumOps]uint64
+}
+
+// Pair returns the count of the adjacent pair (a, b).
+func (s *OpStats) Pair(a, b bytecode.Op) uint64 {
+	return s.Pairs[int(a)*bytecode.NumOps+int(b)]
+}
+
+// OpStats returns the VM's histogram, or nil when collection is disabled.
+func (vm *VM) OpStats() *OpStats { return vm.opStats }

@@ -1,0 +1,342 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"ricjs/internal/bytecode"
+	"ricjs/internal/ic"
+	"ricjs/internal/objects"
+	"ricjs/internal/trace"
+)
+
+// TestFusedPairTable pins the exported read side of the fusion rule table
+// against the rewrite side: every fused opcode ricbench -opstats can mark
+// must be exactly the one fuseCode would install.
+func TestFusedPairTable(t *testing.T) {
+	cases := []struct {
+		a, b  bytecode.Op
+		fused bytecode.Op
+		ok    bool
+	}{
+		{bytecode.OpLoadLocal, bytecode.OpLoadNamed, bytecode.OpFusedLoadLocalLoadNamed, true},
+		{bytecode.OpDup, bytecode.OpStoreNamed, bytecode.OpFusedDupStoreNamed, true},
+		{bytecode.OpLt, bytecode.OpJumpIfFalse, bytecode.OpFusedLtJumpIfFalse, true},
+		{bytecode.OpLoadLocal, bytecode.OpStoreNamed, 0, false},
+		{bytecode.OpLt, bytecode.OpJumpIfTrue, 0, false},
+		{bytecode.OpDup, bytecode.OpLoadNamed, 0, false},
+	}
+	for _, tc := range cases {
+		fused, ok := FusedPair(tc.a, tc.b)
+		if ok != tc.ok || fused != tc.fused {
+			t.Errorf("FusedPair(%s, %s) = (%s, %v), want (%s, %v)",
+				tc.a, tc.b, fused, ok, tc.fused, tc.ok)
+		}
+	}
+}
+
+// TestOpStatsCollection checks the dispatch-loop histogram: opcode counts
+// accumulate, adjacent pairs are counted only on fall-through, and a VM
+// without collection reports nil.
+func TestOpStatsCollection(t *testing.T) {
+	v := New(Options{AddressSeed: 1, CollectOpStats: true})
+	runScript(t, v, `
+		function g(o) { var t = o.a; return t; }
+		var r = g({a: 1}) + g({a: 2});
+		print(r);
+	`)
+	if got := v.Output(); got != "3\n" {
+		t.Fatalf("output %q, want %q", got, "3\n")
+	}
+	s := v.OpStats()
+	if s == nil {
+		t.Fatal("CollectOpStats VM returned nil OpStats")
+	}
+	if s.Ops[bytecode.OpLoadLocal] == 0 || s.Ops[bytecode.OpLoadNamed] == 0 {
+		t.Fatalf("opcode counts missing: LoadLocal=%d LoadNamed=%d",
+			s.Ops[bytecode.OpLoadLocal], s.Ops[bytecode.OpLoadNamed])
+	}
+	// g's body dispatches `o.a` right after loading the local, twice.
+	if got := s.Pair(bytecode.OpLoadLocal, bytecode.OpLoadNamed); got < 2 {
+		t.Fatalf("Pair(LoadLocal, LoadNamed) = %d, want >= 2", got)
+	}
+	if plain := New(Options{AddressSeed: 1}); plain.OpStats() != nil {
+		t.Fatal("plain VM reported a non-nil OpStats")
+	}
+}
+
+// TestQuickenedSteadyStateHits drives every quickened form past the
+// rewrite into repeated quickened executions — with tracing on and a step
+// budget armed, so the hit paths emit EvICHit and the guard-failure paths
+// refund the step budget — then invalidates each one.
+func TestQuickenedSteadyStateHits(t *testing.T) {
+	tr := trace.NewBuffer(0)
+	v := New(Options{AddressSeed: 1, Quicken: true, MaxSteps: 1 << 30, Trace: tr})
+	runScript(t, v, `
+		function ld(o) { return o.a; }
+		function st(o, x) { o.a = x; }
+		function ke(a, i) { return a[i]; }
+		var gv = 5;
+		function lg() { return gv; }
+		var o = {a: 1};
+		var arr = [7, 8, 9];
+		ld(o); ld(o); ld(o); ld(o);
+		st(o, 2); st(o, 3); st(o, 4);
+		lg(); lg(); lg();
+		ke(arr, 0); ke(arr, 1); ke(arr, 2);
+		print(ld(o) + lg() + ke(arr, 2));
+	`)
+	if got := v.Output(); got != "18\n" {
+		t.Fatalf("output %q, want %q", got, "18\n")
+	}
+	s := v.Prof.Snapshot()
+	if s.Quickens < 4 {
+		t.Fatalf("expected all four forms to quicken, got %d quickens", s.Quickens)
+	}
+	if s.QuickenedExecutions < 4 {
+		t.Fatalf("expected steady-state quickened executions, got %d", s.QuickenedExecutions)
+	}
+	if s.Dequickens != 0 {
+		t.Fatalf("steady state de-quickened %d times", s.Dequickens)
+	}
+	if tr.Count(trace.EvQuicken) < 4 {
+		t.Fatalf("trace recorded %d quicken events, want >= 4", tr.Count(trace.EvQuicken))
+	}
+	if tr.Count(trace.EvICHit) == 0 {
+		t.Fatal("no EvICHit events from quickened executions")
+	}
+
+	// Invalidate each form in turn; every guard failure must de-quicken,
+	// refund the armed step budget, and trace the restoration.
+	runScript(t, v, `
+		ld({b: 1, a: 2});
+		st({z: 1, a: 0}, 9);
+		fresh_global_qs = 1; lg();
+		ke({nope: 1}, 0);
+	`)
+	after := v.Prof.Snapshot()
+	if after.Dequickens < 4 {
+		t.Fatalf("expected all four forms to de-quicken, got %d", after.Dequickens)
+	}
+	if tr.Count(trace.EvDequicken) < 4 {
+		t.Fatalf("trace recorded %d dequicken events, want >= 4", tr.Count(trace.EvDequicken))
+	}
+}
+
+// TestQuickenedTypedFastLifecycle walks the typed quickened load through
+// its full lifecycle: a typed-slot claim routes the site to
+// LoadNamedTypedFast, steady-state executions take the quickened typed
+// read, and a shape change de-quickens it.
+func TestQuickenedTypedFastLifecycle(t *testing.T) {
+	tr := trace.NewBuffer(0)
+	v := New(Options{AddressSeed: 1, Quicken: true, MaxSteps: 1 << 30, Trace: tr})
+	runScript(t, v, `
+		function Point(x, y) { this.x = x; this.y = y; }
+		var p = new Point(3, 4);
+		function gx(o) { return o.x; }
+	`)
+	pv, ok := v.Global().GetNamed("p")
+	if !ok || pv.Obj() == nil {
+		t.Fatal("no p object")
+	}
+	pv.Obj().HC().SetSlotType(0, objects.SlotTypeSmallInt)
+
+	runScript(t, v, `gx(p); gx(p); gx(p); print(gx(p));`)
+	if got := v.Output(); got != "3\n" {
+		t.Fatalf("output %q, want %q", got, "3\n")
+	}
+	p := protoOf(t, v, "gx")
+	if !hasOverlay(v, p, bytecode.OpLoadNamedTypedFast) {
+		t.Fatalf("typed claim did not quicken to LoadNamedTypedFast\ndisasm:\n%s",
+			p.DisassembleOverlay(v.ExecCode(p)))
+	}
+	s := v.Prof.Snapshot()
+	if s.TypedFastHits == 0 {
+		t.Fatal("no typed fast hits recorded")
+	}
+	if s.QuickenedExecutions == 0 {
+		t.Fatal("no quickened executions of the typed form")
+	}
+
+	runScript(t, v, `print(gx({q: 1, x: 7}));`)
+	if !strings.HasSuffix(v.Output(), "7\n") {
+		t.Fatalf("post-invalidation output %q, want suffix %q", v.Output(), "7\n")
+	}
+	if hasOverlay(v, p, bytecode.OpLoadNamedTypedFast) {
+		t.Fatal("shape change did not de-quicken the typed load")
+	}
+	if v.Prof.Snapshot().Dequickens == 0 {
+		t.Fatal("typed guard failure did not count a de-quicken")
+	}
+}
+
+// TestFusedDupStoreNamedExec covers the FusedDupStoreNamed dispatch case.
+// The current compiler never emits Dup directly before StoreNamed (a
+// value expression always sits between them), so the fused form is
+// exercised with a hand-built proto whose toplevel performs `o.a = o`
+// three times through one feedback slot: an add-property transition miss,
+// an in-place store miss that installs the field entry, then an IC hit.
+func TestFusedDupStoreNamedExec(t *testing.T) {
+	proto := &bytecode.FuncProto{
+		Name:      "<main>",
+		Script:    "fused.js",
+		NumLocals: 1,
+		Code: []uint32{
+			uint32(bytecode.OpNewObject),
+			uint32(bytecode.OpStoreLocal), 0,
+			uint32(bytecode.OpPop),
+			uint32(bytecode.OpLoadLocal), 0,
+			uint32(bytecode.OpDup),
+			uint32(bytecode.OpStoreNamed), 0, 0,
+			uint32(bytecode.OpPop),
+			uint32(bytecode.OpLoadLocal), 0,
+			uint32(bytecode.OpDup),
+			uint32(bytecode.OpStoreNamed), 0, 0,
+			uint32(bytecode.OpPop),
+			uint32(bytecode.OpLoadLocal), 0,
+			uint32(bytecode.OpDup),
+			uint32(bytecode.OpStoreNamed), 0, 0,
+			uint32(bytecode.OpPop),
+		},
+		Names: []string{"a"},
+		Sites: []bytecode.SiteInfo{{Kind: ic.AccessStore, Name: "a"}},
+	}
+	prog := &bytecode.Program{Script: "fused.js", Toplevel: proto}
+
+	v := New(Options{AddressSeed: 1, Quicken: true, Fuse: true})
+	if _, err := v.RunProgram(prog); err != nil {
+		t.Fatalf("fused store program failed: %v", err)
+	}
+	if !hasOverlay(v, proto, bytecode.OpFusedDupStoreNamed) {
+		t.Fatalf("Dup+StoreNamed did not fuse\ndisasm:\n%s",
+			proto.DisassembleOverlay(v.ExecCode(proto)))
+	}
+	s := v.Prof.Snapshot()
+	if s.FusedExecutions < 3 {
+		t.Fatalf("fused executions = %d, want >= 3 (two misses then a hit)", s.FusedExecutions)
+	}
+	if s.ICMisses == 0 || s.ICHits == 0 {
+		t.Fatalf("expected store misses and a store hit through the fused case, got misses=%d hits=%d",
+			s.ICMisses, s.ICHits)
+	}
+}
+
+// TestBadOpcodeThrows pins the dispatch loop's default case: an opcode
+// outside the instruction set raises a catchable VM error, it does not
+// crash the interpreter.
+func TestBadOpcodeThrows(t *testing.T) {
+	proto := &bytecode.FuncProto{
+		Name:   "<main>",
+		Script: "bad.js",
+		Code:   []uint32{9999},
+	}
+	_, err := New(Options{AddressSeed: 1}).RunProgram(&bytecode.Program{Script: "bad.js", Toplevel: proto})
+	if err == nil || !strings.Contains(err.Error(), "bad opcode") {
+		t.Fatalf("bad opcode produced %v, want a bad-opcode error", err)
+	}
+}
+
+// TestFusedLtJumpIfFalseStringCompare drives the fused compare-and-branch
+// through its string leg: JS relational comparison on two strings is
+// lexicographic, and the fused form must preserve that.
+func TestFusedLtJumpIfFalseStringCompare(t *testing.T) {
+	v := New(Options{AddressSeed: 1, Quicken: true, Fuse: true})
+	runScript(t, v, `
+		function grow(limit) {
+			var n = 0;
+			for (var s = ""; s < limit; s = s + "x") { n = n + 1; }
+			return n;
+		}
+		print(grow("xxx"));
+	`)
+	if got := v.Output(); got != "3\n" {
+		t.Fatalf("string-compare loop output %q, want %q", got, "3\n")
+	}
+	p := protoOf(t, v, "grow")
+	if !hasOverlay(v, p, bytecode.OpFusedLtJumpIfFalse) {
+		t.Fatalf("string loop did not fuse Lt+JumpIfFalse\ndisasm:\n%s",
+			p.DisassembleOverlay(v.ExecCode(p)))
+	}
+}
+
+// TestFusedLoadNamedThrow covers the fused load's error leg: the second
+// half of FusedLoadLocalLoadNamed faulting on a null receiver must raise
+// the same catchable TypeError as the unfused sequence.
+func TestFusedLoadNamedThrow(t *testing.T) {
+	v := New(Options{AddressSeed: 1, Quicken: true, Fuse: true})
+	runScript(t, v, `
+		function f(o) { var t = o.x; return t; }
+		f({x: 1});
+		try { f(null); } catch (e) { print("caught"); }
+	`)
+	if got := v.Output(); got != "caught\n" {
+		t.Fatalf("output %q, want %q", got, "caught\n")
+	}
+}
+
+// TestFusedTypedLoadInFusedPair routes the fused LoadLocal+LoadNamed pair
+// through a typed-slot entry, covering the typed leg of the fused case.
+func TestFusedTypedLoadInFusedPair(t *testing.T) {
+	v := New(Options{AddressSeed: 1, Quicken: true, Fuse: true})
+	runScript(t, v, `
+		function Point(x, y) { this.x = x; this.y = y; }
+		var p = new Point(3, 4);
+		function gx(o) { var t = o.x; return t; }
+	`)
+	pv, ok := v.Global().GetNamed("p")
+	if !ok || pv.Obj() == nil {
+		t.Fatal("no p object")
+	}
+	pv.Obj().HC().SetSlotType(0, objects.SlotTypeSmallInt)
+	runScript(t, v, `gx(p); print(gx(p));`)
+	if got := v.Output(); got != "3\n" {
+		t.Fatalf("output %q, want %q", got, "3\n")
+	}
+	p := protoOf(t, v, "gx")
+	if !hasOverlay(v, p, bytecode.OpFusedLoadLocalLoadNamed) {
+		t.Fatalf("gx did not fuse its load pair\ndisasm:\n%s",
+			p.DisassembleOverlay(v.ExecCode(p)))
+	}
+	if v.Prof.Snapshot().TypedFastHits == 0 {
+		t.Fatal("typed entry not taken inside the fused pair")
+	}
+}
+
+// TestFusedStepLimitParity sweeps the step budget across a fused loop and
+// requires every abort point — including the mid-pair checks inside the
+// fused cases — to behave exactly as the unfused sequence: same error,
+// same output, same profiler snapshot once the quickening gauges are
+// zeroed.
+func TestFusedStepLimitParity(t *testing.T) {
+	const src = `
+		function sum(o, n) {
+			var t = 0;
+			for (var i = 0; i < n; i++) { t = t + o.val; }
+			return t;
+		}
+		print(sum({val: 3}, 50));
+	`
+	for budget := uint64(1); budget <= 80; budget++ {
+		fused := New(Options{AddressSeed: 1, Quicken: true, Fuse: true, MaxSteps: budget})
+		_, ferr := fused.RunProgram(compileQ(t, src))
+		plain := New(Options{AddressSeed: 1, MaxSteps: budget})
+		_, perr := plain.RunProgram(compileQ(t, src))
+
+		if (ferr == nil) != (perr == nil) {
+			t.Fatalf("budget %d: fused err %v vs plain err %v", budget, ferr, perr)
+		}
+		if ferr != nil {
+			if _, ok := ferr.(*LimitError); !ok {
+				t.Fatalf("budget %d: fused error %v is not a LimitError", budget, ferr)
+			}
+		}
+		if fused.Output() != plain.Output() {
+			t.Fatalf("budget %d: output diverged %q vs %q", budget, fused.Output(), plain.Output())
+		}
+		fs, ps := fused.Prof.Snapshot(), plain.Prof.Snapshot()
+		fs.Quickens, fs.Dequickens, fs.QuickenedExecutions, fs.FusedExecutions = 0, 0, 0, 0
+		if fs != ps {
+			t.Fatalf("budget %d: snapshots diverged\nfused: %+v\nplain: %+v", budget, fs, ps)
+		}
+	}
+}

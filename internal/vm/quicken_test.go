@@ -1,0 +1,341 @@
+package vm
+
+import (
+	"testing"
+
+	"ricjs/internal/bytecode"
+	"ricjs/internal/ic"
+	"ricjs/internal/parser"
+)
+
+// compileQ compiles a source for the quickening tests.
+func compileQ(t *testing.T, src string) *bytecode.Program {
+	t.Helper()
+	prog, err := parser.Parse("quicken.js", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := bytecode.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bc
+}
+
+// runScript executes src on v, failing the test on error.
+func runScript(t *testing.T, v *VM, src string) {
+	t.Helper()
+	if _, err := v.RunProgram(compileQ(t, src)); err != nil {
+		t.Fatalf("run %q: %v", src, err)
+	}
+}
+
+// protoOf resolves the FuncProto of a global function by name.
+func protoOf(t *testing.T, v *VM, name string) *bytecode.FuncProto {
+	t.Helper()
+	fn, ok := v.Global().GetNamed(name)
+	if !ok {
+		t.Fatalf("global %q not found", name)
+	}
+	return fn.Obj().Func().Code.(*bytecode.FuncProto)
+}
+
+// overlayOps lists the overlay opcodes present in the VM's executable copy
+// of a proto's code (nil when no copy exists yet).
+func overlayOps(v *VM, p *bytecode.FuncProto) []bytecode.Op {
+	code := v.ExecCode(p)
+	var out []bytecode.Op
+	for pc := 0; pc < len(code); {
+		op := bytecode.Op(code[pc])
+		if op.IsOverlay() {
+			out = append(out, op)
+		}
+		pc += 1 + op.OperandCount()
+	}
+	return out
+}
+
+func hasOverlay(v *VM, p *bytecode.FuncProto, want bytecode.Op) bool {
+	for _, op := range overlayOps(v, p) {
+		if op == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestQuickenStateMachine drives each quickened form through its full
+// lifecycle: monomorphic execution quickens the instruction word, an
+// invalidating execution (polymorphic promotion, dictionary demotion, a
+// global-object transition, a non-array receiver) de-quickens it back to
+// the canonical word, and a subsequent monomorphic hit re-quickens.
+func TestQuickenStateMachine(t *testing.T) {
+	cases := []struct {
+		name string
+		// setup defines fn and executes it through the miss (first call)
+		// and the quickening hit (second call).
+		fn    string
+		setup string
+		op    bytecode.Op
+		// invalidate makes the quickened guard fail on its next execution.
+		invalidate string
+		// requicken drives the site back through a monomorphic hit; empty
+		// skips the re-quicken leg.
+		requicken string
+	}{
+		{
+			name:       "load-named poly promotion",
+			fn:         "getA",
+			setup:      `function getA(o) { return o.a; } var pa = {a: 1}; getA(pa); getA(pa);`,
+			op:         bytecode.OpLoadNamedMonoFast,
+			invalidate: `getA({b: 2, a: 3});`,
+		},
+		{
+			name:       "load-named dictionary demotion",
+			fn:         "getB",
+			setup:      `function getB(o) { return o.a; } var pb = {a: 1}; getB(pb); getB(pb);`,
+			op:         bytecode.OpLoadNamedMonoFast,
+			invalidate: `delete pb.a; getB(pb);`,
+			// A fresh object with the original transition chain rebuilds the
+			// monomorphic hit; the slot never lost its entry.
+			requicken: `var pb2 = {a: 5}; getB(pb2); getB(pb2);`,
+		},
+		{
+			name:       "store-named poly promotion",
+			fn:         "setA",
+			setup:      `function setA(o, v) { o.a = v; } var sa = {a: 1}; setA(sa, 2); setA(sa, 3);`,
+			op:         bytecode.OpStoreNamedMonoFast,
+			invalidate: `setA({z: 1, a: 0}, 4);`,
+		},
+		{
+			name:  "load-global object transition",
+			fn:    "lg",
+			setup: `var gq = 7; function lg() { return gq; } lg(); lg();`,
+			op:    bytecode.OpLoadGlobalMonoFast,
+			// Declaring a fresh global transitions the global object's
+			// hidden class; the slot then caches both classes (polymorphic)
+			// and stays ineligible, so there is no re-quicken leg.
+			invalidate: `fresh_global_q = 1; lg();`,
+		},
+		{
+			name:       "keyed element non-array receiver",
+			fn:         "ke",
+			setup:      `function ke(a, i) { return a[i]; } var ka = [1, 2, 3]; ke(ka, 0); ke(ka, 1);`,
+			op:         bytecode.OpLoadKeyedElemFast,
+			invalidate: `ke({nope: 1}, 0);`,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			v := New(Options{AddressSeed: 1, Quicken: true})
+			runScript(t, v, tc.setup)
+			p := protoOf(t, v, tc.fn)
+			if !hasOverlay(v, p, tc.op) {
+				t.Fatalf("after setup, %s not quickened to %s; overlay ops: %v\ndisasm:\n%s",
+					tc.fn, tc.op, overlayOps(v, p), p.DisassembleOverlay(v.ExecCode(p)))
+			}
+			base := v.Prof.Snapshot()
+			if base.Quickens == 0 {
+				t.Fatal("profiler counted no quickens")
+			}
+			if base.Dequickens != 0 {
+				t.Fatalf("setup already de-quickened %d times", base.Dequickens)
+			}
+
+			runScript(t, v, tc.invalidate)
+			if hasOverlay(v, p, tc.op) {
+				t.Fatalf("after invalidation, %s still carries %s\ndisasm:\n%s",
+					tc.fn, tc.op, p.DisassembleOverlay(v.ExecCode(p)))
+			}
+			after := v.Prof.Snapshot()
+			if after.Dequickens == 0 {
+				t.Fatal("invalidation did not count a de-quicken")
+			}
+
+			if tc.requicken == "" {
+				return
+			}
+			runScript(t, v, tc.requicken)
+			if !hasOverlay(v, p, tc.op) {
+				t.Fatalf("site did not re-quicken to %s\ndisasm:\n%s",
+					tc.op, p.DisassembleOverlay(v.ExecCode(p)))
+			}
+			if re := v.Prof.Snapshot(); re.Quickens <= after.Quickens {
+				t.Fatal("re-quickening did not count a fresh quicken")
+			}
+		})
+	}
+}
+
+// TestQuickenStaleOffsetGuard pins the subtle hazard the offset guard
+// exists for: a slot that goes polymorphic and then regresses to
+// monomorphic (entry eviction) can present a DIFFERENT hidden class at
+// entry 0 — one that matches a later receiver while the offset baked into
+// the quickened word belongs to the evicted entry. Hidden-class equality
+// alone would read the wrong slot; the offset comparison must de-quicken.
+func TestQuickenStaleOffsetGuard(t *testing.T) {
+	v := New(Options{AddressSeed: 1, Quicken: true})
+	// Shape A stores `a` at offset 0; shape B ({x, a}) stores it at 1.
+	runScript(t, v, `
+		function gsf(o) { return o.a; }
+		var oa = {a: 10};
+		var ob = {x: 1}; ob.a = 20;
+		gsf(oa); gsf(oa);
+	`)
+	p := protoOf(t, v, "gsf")
+	if !hasOverlay(v, p, bytecode.OpLoadNamedMonoFast) {
+		t.Fatal("setup did not quicken the load")
+	}
+
+	// Mutate the slot behind the quickened word's back: promote to
+	// polymorphic with B's entry, then evict A — the machine state after a
+	// prototype-invalidation eviction. Entry 0 is now (HC_B, offset 1)
+	// while the quickened word still carries offset 0.
+	obVal, _ := v.Global().GetNamed("ob")
+	hcB := obVal.Obj().HC()
+	var slot *ic.Slot
+	vec := v.feedback[p]
+	for i := range vec.Slots {
+		if vec.Slots[i].Name == "a" {
+			slot = &vec.Slots[i]
+		}
+	}
+	if slot == nil || slot.State != ic.Monomorphic {
+		t.Fatalf("expected a monomorphic slot for %q, got %+v", "a", slot)
+	}
+	hcA := slot.Entries[0].HC
+	slot.Add(hcB, ic.LoadField{Offset: 1})
+	slot.Remove(hcA)
+	if slot.State != ic.Monomorphic || slot.Entries[0].HC != hcB {
+		t.Fatal("slot manipulation did not produce the regressed-mono state")
+	}
+
+	// The receiver matches entry 0's hidden class, but the baked offset is
+	// stale. The guard must de-quicken and produce 20 — offset 0 holds x=1.
+	runScript(t, v, `print(gsf(ob));`)
+	if got := v.Output(); got != "20\n" {
+		t.Fatalf("stale-offset execution produced %q, want %q", got, "20\n")
+	}
+	if v.Prof.Snapshot().Dequickens == 0 {
+		t.Fatal("stale offset did not de-quicken")
+	}
+}
+
+// TestFusionRewritesPairs checks the fusion pass: candidate pairs fuse in
+// the executable copy, jump targets landing on the second half suppress
+// fusion, and fused execution is counted.
+func TestFusionRewritesPairs(t *testing.T) {
+	v := New(Options{AddressSeed: 1, Quicken: true, Fuse: true})
+	runScript(t, v, `
+		function sum(o, n) {
+			var t = 0;
+			for (var i = 0; i < n; i++) { t = t + o.val; }
+			return t;
+		}
+		print(sum({val: 3}, 4));
+	`)
+	p := protoOf(t, v, "sum")
+	ops := overlayOps(v, p)
+	var fused, ltFused bool
+	for _, op := range ops {
+		if op == bytecode.OpFusedLoadLocalLoadNamed {
+			fused = true
+		}
+		if op == bytecode.OpFusedLtJumpIfFalse {
+			ltFused = true
+		}
+	}
+	if !fused {
+		t.Errorf("LoadLocal+LoadNamed did not fuse; overlay ops: %v\ndisasm:\n%s",
+			ops, p.DisassembleOverlay(v.ExecCode(p)))
+	}
+	if !ltFused {
+		t.Errorf("Lt+JumpIfFalse did not fuse; overlay ops: %v\ndisasm:\n%s",
+			ops, p.DisassembleOverlay(v.ExecCode(p)))
+	}
+	if got := v.Output(); got != "12\n" {
+		t.Fatalf("fused run output %q, want %q", got, "12\n")
+	}
+	if v.Prof.Snapshot().FusedExecutions == 0 {
+		t.Fatal("no fused executions counted")
+	}
+}
+
+// TestFuseCodeSkipsJumpTargets feeds fuseCode a synthetic stream whose
+// fusible second half is a jump target and asserts it stays unfused.
+func TestFuseCodeSkipsJumpTargets(t *testing.T) {
+	// 0: LoadLocal 0          (fusible first half)
+	// 2: LoadNamed n fb       (jump target — must not fuse)
+	// 5: Jump 2
+	code := []uint32{
+		uint32(bytecode.OpLoadLocal), 0,
+		uint32(bytecode.OpLoadNamed), 0, 0,
+		uint32(bytecode.OpJump), 2,
+	}
+	orig := append([]uint32(nil), code...)
+	fuseCode(code)
+	for i := range code {
+		if code[i] != orig[i] {
+			t.Fatalf("word %d rewritten: %d -> %d; a jump-target second half must not fuse", i, orig[i], code[i])
+		}
+	}
+
+	// Without the jump, the same pair fuses.
+	code2 := []uint32{
+		uint32(bytecode.OpLoadLocal), 0,
+		uint32(bytecode.OpLoadNamed), 0, 0,
+	}
+	fuseCode(code2)
+	if bytecode.Op(code2[0]) != bytecode.OpFusedLoadLocalLoadNamed {
+		t.Fatalf("pair did not fuse: op0 = %s", bytecode.Op(code2[0]))
+	}
+}
+
+// TestQuickenSharedProtoPrivateCopies proves two VMs executing the same
+// compiled proto never see each other's quickening: the canonical code is
+// immutable and each VM overlays a private copy.
+func TestQuickenSharedProtoPrivateCopies(t *testing.T) {
+	src := `function shared(o) { return o.f; } var so = {f: 9}; shared(so); shared(so); print(shared(so));`
+	bc := compileQ(t, src)
+	canon := append([]uint32(nil), protoIn(t, bc, "shared").Code...)
+
+	v1 := New(Options{AddressSeed: 1, Quicken: true})
+	v2 := New(Options{AddressSeed: 2})
+	if _, err := v1.RunProgram(bc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v2.RunProgram(bc); err != nil {
+		t.Fatal(err)
+	}
+	p := protoIn(t, bc, "shared")
+	for i, w := range p.Code {
+		if w != canon[i] {
+			t.Fatalf("canonical code mutated at word %d", i)
+		}
+	}
+	if !hasOverlay(v1, p, bytecode.OpLoadNamedMonoFast) {
+		t.Fatal("quickening VM did not quicken its copy")
+	}
+	if v2.ExecCode(p) != nil {
+		t.Fatal("non-quickening VM has an executable overlay")
+	}
+	if v1.Output() != v2.Output() {
+		t.Fatalf("outputs diverged: %q vs %q", v1.Output(), v2.Output())
+	}
+}
+
+// protoIn finds a nested proto by function name in a compiled program.
+func protoIn(t *testing.T, bc *bytecode.Program, name string) *bytecode.FuncProto {
+	t.Helper()
+	var found *bytecode.FuncProto
+	bc.Toplevel.WalkProtos(func(p *bytecode.FuncProto) {
+		if p.Name == name {
+			found = p
+		}
+	})
+	if found == nil {
+		t.Fatalf("proto %q not found", name)
+	}
+	return found
+}

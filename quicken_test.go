@@ -1,0 +1,81 @@
+package ricjs
+
+import (
+	"testing"
+
+	"ricjs/internal/workloads"
+)
+
+// zeroQuickenGauges clears the accounting-neutral quickening gauges so two
+// snapshots can be compared for the fields that must not move.
+func zeroQuickenGauges(s *Stats) {
+	s.Quickens, s.Dequickens = 0, 0
+	s.QuickenedExecutions, s.FusedExecutions = 0, 0
+}
+
+// TestQuickeningNeutralOnAllWorkloads is the tentpole's semantic gate:
+// with quickening and fusion enabled, every workload must produce
+// byte-identical output and identical abstract instruction accounting —
+// the overlay may only change wall-clock dispatch cost, never what the
+// profiler or the script observes. Both conventional and record-reuse
+// runs are checked; the reuse leg also covers preloaded entries (which
+// quickened guards must skip until their first hit clears the flag).
+func TestQuickeningNeutralOnAllWorkloads(t *testing.T) {
+	var totalQuickened, totalFused uint64
+	for _, p := range workloads.Profiles {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			src := p.Source()
+			cache := NewCodeCache()
+
+			runOne := func(quicken bool, rec *Record) *Engine {
+				t.Helper()
+				e := NewEngine(Options{
+					Cache:       cache,
+					Record:      rec,
+					AddressSeed: 7,
+					Quicken:     quicken,
+					Fuse:        quicken,
+				})
+				if err := e.Run(p.Script, src); err != nil {
+					t.Fatalf("quicken=%v: %v", quicken, err)
+				}
+				return e
+			}
+
+			initial := runOne(false, nil)
+			rec := initial.ExtractRecord(p.Script)
+
+			for _, leg := range []struct {
+				name string
+				rec  *Record
+			}{
+				{"conventional", nil},
+				{"reuse", rec},
+			} {
+				off := runOne(false, leg.rec)
+				on := runOne(true, leg.rec)
+				if off.Output() != on.Output() {
+					t.Errorf("%s: output diverged with quickening on", leg.name)
+				}
+				so, sq := off.Stats(), on.Stats()
+				if so.Quickens != 0 || so.FusedExecutions != 0 {
+					t.Errorf("%s: quickening-off run counted overlay activity: %+v", leg.name, so)
+				}
+				totalQuickened += sq.QuickenedExecutions
+				totalFused += sq.FusedExecutions
+				zeroQuickenGauges(&so)
+				zeroQuickenGauges(&sq)
+				if so != sq {
+					t.Errorf("%s: accounting diverged\noff: %+v\non:  %+v", leg.name, so, sq)
+				}
+			}
+		})
+	}
+	if totalQuickened == 0 {
+		t.Error("no workload executed a quickened instruction; the gate is vacuous")
+	}
+	if totalFused == 0 {
+		t.Error("no workload executed a fused instruction; the gate is vacuous")
+	}
+}

@@ -157,6 +157,21 @@ type Options struct {
 	// excluded, and a degradation resets the buffer alongside the fresh
 	// profiler so the two stay reconcilable.
 	Trace *trace.Buffer
+	// Quicken enables bytecode quickening: monomorphic IC sites rewrite
+	// their instruction word, in the VM's private executable copy of the
+	// code, to a fast form carrying the cached field offset inline. A
+	// runtime-only overlay — compiled bytecode, records, analysis, and
+	// traces all see canonical opcodes, and abstract instruction counts are
+	// identical with it on or off.
+	Quicken bool
+	// Fuse enables superinstruction fusion: the hottest adjacent opcode
+	// pairs (measured by ricbench -opstats) dispatch as one fused opcode in
+	// the VM's private code copy. Accounting-neutral like Quicken.
+	Fuse bool
+	// CollectOpStats makes the VM count executed opcodes and adjacent
+	// opcode pairs (the ricbench -opstats histogram). Deterministic for a
+	// deterministic program; costs one array update per dispatch.
+	CollectOpStats bool
 }
 
 // NewTrace allocates a trace buffer to pass as Options.Trace. capacity
@@ -199,6 +214,8 @@ const (
 	EvPreloadApplied   = trace.EvPreloadApplied
 	EvPreloadRejected  = trace.EvPreloadRejected
 	EvPreloadFiltered  = trace.EvPreloadFiltered
+	EvQuicken          = trace.EvQuicken
+	EvDequicken        = trace.EvDequicken
 	EvDegrade          = trace.EvDegrade
 	EvPoolSession      = trace.EvPoolSession
 	EvPoolAcquireHit   = trace.EvPoolAcquireHit
@@ -311,12 +328,15 @@ func NewEngine(opts Options) *Engine {
 		hooks = e.reuser
 	}
 	e.vm = vm.New(vm.Options{
-		AddressSeed: opts.AddressSeed,
-		Hooks:       hooks,
-		Stdout:      e.runWriter(),
-		MaxSteps:    opts.MaxSteps,
-		RandSeed:    opts.RandSeed,
-		Trace:       opts.Trace,
+		AddressSeed:    opts.AddressSeed,
+		Hooks:          hooks,
+		Stdout:         e.runWriter(),
+		MaxSteps:       opts.MaxSteps,
+		RandSeed:       opts.RandSeed,
+		Trace:          opts.Trace,
+		Quicken:        opts.Quicken,
+		Fuse:           opts.Fuse,
+		CollectOpStats: opts.CollectOpStats,
 	})
 	if e.reuser != nil {
 		// The VM announced builtin hidden classes during construction;
@@ -477,11 +497,14 @@ func (e *Engine) degrade(cause *EngineError) {
 	// lifetime (the replay below re-emits the session's events).
 	e.opts.Trace.Reset()
 	e.vm = vm.New(vm.Options{
-		AddressSeed: e.opts.AddressSeed,
-		Stdout:      replayWriter,
-		MaxSteps:    e.opts.MaxSteps,
-		RandSeed:    e.opts.RandSeed,
-		Trace:       e.opts.Trace,
+		AddressSeed:    e.opts.AddressSeed,
+		Stdout:         replayWriter,
+		MaxSteps:       e.opts.MaxSteps,
+		RandSeed:       e.opts.RandSeed,
+		Trace:          e.opts.Trace,
+		Quicken:        e.opts.Quicken,
+		Fuse:           e.opts.Fuse,
+		CollectOpStats: e.opts.CollectOpStats,
 	})
 	e.vm.Prof.Degrade()
 	e.opts.Trace.Emit(trace.EvDegrade, source.Site{}, cause.Phase, 0)
@@ -592,3 +615,7 @@ func (e *Engine) ICState() string { return e.vm.DumpICState() }
 // VM exposes the underlying virtual machine for advanced inspection
 // (extraction internals, tests, tooling).
 func (e *Engine) VM() *vm.VM { return e.vm }
+
+// OpStats returns the executed-opcode histogram collected under
+// Options.CollectOpStats, or nil when collection is disabled.
+func (e *Engine) OpStats() *vm.OpStats { return e.vm.OpStats() }
